@@ -1,0 +1,60 @@
+//! Criterion benches for the ablation studies A1–A4 (budget, DVFS latency,
+//! BL threshold, multi-level DVFS); each target regenerates one sweep at
+//! Tiny scale and prints the Small-scale table once.
+
+use cata_bench::sweeps;
+use cata_workloads::{Benchmark, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+
+    println!(
+        "A1 budget sweep (Swaptions):\n{}",
+        sweeps::budget_sweep(Benchmark::Swaptions, Scale::Small, &[8, 16, 24]).render()
+    );
+    println!(
+        "A2 latency sweep (Fluidanimate):\n{}",
+        sweeps::latency_sweep(Benchmark::Fluidanimate, Scale::Small, &[5, 25, 200]).render()
+    );
+    println!(
+        "A3 threshold sweep (Bodytrack):\n{}",
+        sweeps::threshold_sweep(Benchmark::Bodytrack, Scale::Small, &[0.5, 1.0]).render()
+    );
+    println!(
+        "A4 multilevel (Swaptions):\n{}",
+        sweeps::multilevel_sweep(Benchmark::Swaptions, Scale::Small).render()
+    );
+
+    group.bench_function("budget_sweep", |b| {
+        b.iter(|| black_box(sweeps::budget_sweep(Benchmark::Swaptions, Scale::Tiny, &[8, 24])));
+    });
+    group.bench_function("latency_sweep", |b| {
+        b.iter(|| {
+            black_box(sweeps::latency_sweep(
+                Benchmark::Blackscholes,
+                Scale::Tiny,
+                &[25, 100],
+            ))
+        });
+    });
+    group.bench_function("threshold_sweep", |b| {
+        b.iter(|| {
+            black_box(sweeps::threshold_sweep(
+                Benchmark::Bodytrack,
+                Scale::Tiny,
+                &[0.5, 1.0],
+            ))
+        });
+    });
+    group.bench_function("multilevel_sweep", |b| {
+        b.iter(|| black_box(sweeps::multilevel_sweep(Benchmark::Dedup, Scale::Tiny)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, ablations);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench regenerating Figure 4 cells (experiment F4a/F4b).
+//!
+//! Each benchmark target simulates one (benchmark, configuration) cell at 16
+//! fast cores and Small scale; the measured wall time is the harness cost of
+//! regenerating that cell. The derived paper metrics (speedup, normalized
+//! EDP) are printed once per target so `cargo bench` output doubles as a
+//! compact reproduction record.
+
+use cata_bench::matrix::{run_one, DEFAULT_SEED};
+use cata_core::RunConfig;
+use cata_workloads::{Benchmark, Scale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    for bench in Benchmark::all() {
+        let fifo = run_one(bench, RunConfig::fifo(16), Scale::Small, DEFAULT_SEED);
+        for cfg_of in [
+            RunConfig::cats_bl as fn(usize) -> RunConfig,
+            RunConfig::cats_sa,
+            RunConfig::cata,
+        ] {
+            let cfg = cfg_of(16);
+            let label = cfg.label.clone();
+            let r = run_one(bench, cfg.clone(), Scale::Small, DEFAULT_SEED);
+            println!(
+                "fig4 {:<14} {:<8}: speedup {:.3}  norm-EDP {:.3}",
+                bench.name(),
+                label,
+                r.speedup_over(&fifo),
+                r.edp_normalized_to(&fifo)
+            );
+            group.bench_with_input(
+                BenchmarkId::new(label, bench.name()),
+                &cfg,
+                |b, cfg| {
+                    b.iter(|| run_one(bench, cfg.clone(), Scale::Tiny, DEFAULT_SEED));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig4);
+criterion_main!(benches);

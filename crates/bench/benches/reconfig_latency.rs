@@ -1,0 +1,55 @@
+//! Criterion bench for the §V-C reconfiguration-path analysis: measures the
+//! software DVFS path model under uncontended and bursty request patterns,
+//! and the RSU operation cost, printing the latency statistics the paper
+//! reports.
+
+use cata_cpufreq::software_path::{SoftwareDvfsPath, SoftwarePathParams};
+use cata_rsu::unit::{Rsu, RsuConfig};
+use cata_sim::time::{Frequency, SimDuration, SimTime};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn software_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reconfig_latency");
+
+    // Print the modelled latencies once (the paper's §V-C numbers).
+    let mut p = SoftwareDvfsPath::new(SoftwarePathParams::paper_calibrated(), SimDuration::from_us(25));
+    let g = p.request(SimTime::ZERO);
+    println!(
+        "software path uncontended: total {} (paper: 11-65us averages)",
+        g.total_latency(SimTime::ZERO)
+    );
+    let mut p = SoftwareDvfsPath::new(SoftwarePathParams::paper_calibrated(), SimDuration::from_us(25));
+    let mut worst = SimDuration::ZERO;
+    for _ in 0..32 {
+        let g = p.request(SimTime::ZERO);
+        worst = worst.max(g.lock_wait(SimTime::ZERO));
+    }
+    println!("software path 32-burst worst lock wait: {worst} (paper: 4.8-15ms maxima)");
+
+    group.bench_function("software_path_request", |b| {
+        let mut path =
+            SoftwareDvfsPath::new(SoftwarePathParams::paper_calibrated(), SimDuration::from_us(25));
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 100;
+            black_box(path.request(SimTime::from_us(t)));
+        });
+    });
+
+    group.bench_function("rsu_start_end_pair", |b| {
+        let mut rsu = Rsu::init(RsuConfig::paper_default(16));
+        let f = Frequency::from_ghz(2);
+        let mut core = 0usize;
+        b.iter(|| {
+            core = (core + 1) % 32;
+            black_box(rsu.start_task(core, core % 3 == 0, f).unwrap());
+            black_box(rsu.end_task(core, f).unwrap());
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, software_path);
+criterion_main!(benches);

@@ -1,0 +1,223 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro table1          Table I (processor configuration)
+//! repro fig4            Figure 4 (FIFO/CATS+BL/CATS+SA/CATA, speedup + EDP)
+//! repro fig5            Figure 5 (CATA/CATA+RSU/TurboMode, speedup + EDP)
+//! repro latency         §V-C reconfiguration latency / lock contention
+//! repro rsu-overhead    §III-B-4 RSU storage/area/power
+//! repro sweep-budget    A1: power-budget sensitivity
+//! repro sweep-latency   A2: DVFS-latency sensitivity
+//! repro sweep-threshold A3: BL threshold sensitivity
+//! repro multilevel      A4: multi-level DVFS extension
+//! repro all             everything above
+//! ```
+//!
+//! Options: `--scale tiny|small|paper` (default `paper`), `--seed N`,
+//! `--csv DIR` (also writes CSV files).
+
+use cata_bench::figures::{
+    fig4_configs, fig5_configs, render_latency_analysis, render_panel, render_rsu_overhead,
+    render_table1, Metric, FAST_CORE_COUNTS,
+};
+use cata_bench::matrix::{run_matrix, DEFAULT_SEED};
+use cata_bench::sweeps;
+use cata_bench::tables::Table;
+use cata_workloads::{Benchmark, Scale};
+use std::time::Instant;
+
+struct Opts {
+    cmd: String,
+    scale: Scale,
+    seed: u64,
+    csv_dir: Option<String>,
+}
+
+fn parse_args() -> Opts {
+    let mut args = std::env::args().skip(1);
+    let mut cmd = None;
+    let mut scale = Scale::Paper;
+    let mut seed = DEFAULT_SEED;
+    let mut csv_dir = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = match args.next().as_deref() {
+                    Some("tiny") => Scale::Tiny,
+                    Some("small") => Scale::Small,
+                    Some("paper") => Scale::Paper,
+                    other => die(&format!("bad --scale {other:?}")),
+                }
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("bad --seed"));
+            }
+            "--csv" => {
+                csv_dir = Some(args.next().unwrap_or_else(|| die("missing --csv dir")));
+            }
+            "--help" | "-h" => {
+                print_help();
+                std::process::exit(0);
+            }
+            other if cmd.is_none() && !other.starts_with('-') => cmd = Some(other.to_string()),
+            other => die(&format!("unknown argument {other}")),
+        }
+    }
+    Opts {
+        cmd: cmd.unwrap_or_else(|| "all".into()),
+        scale,
+        seed,
+        csv_dir,
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}\n");
+    print_help();
+    std::process::exit(2);
+}
+
+fn print_help() {
+    eprintln!(
+        "usage: repro [COMMAND] [--scale tiny|small|paper] [--seed N] [--csv DIR]\n\
+         commands: table1 fig4 fig5 latency rsu-overhead sweep-budget sweep-latency \
+         sweep-threshold multilevel all"
+    );
+}
+
+fn emit(opts: &Opts, name: &str, table: &Table, title: &str) {
+    println!("== {title} ==\n{}", table.render());
+    if let Some(dir) = &opts.csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+        let path = format!("{dir}/{name}.csv");
+        std::fs::write(&path, table.to_csv()).expect("write csv");
+        println!("[wrote {path}]");
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let benches = Benchmark::all();
+    let t0 = Instant::now();
+    let all = opts.cmd == "all";
+
+    if all || opts.cmd == "table1" {
+        println!("== Table I: processor configuration ==\n{}", render_table1());
+    }
+
+    if all || opts.cmd == "fig4" {
+        println!(
+            "[fig4: running 4 configs x 6 benchmarks x {:?} fast cores at {} scale]",
+            FAST_CORE_COUNTS,
+            opts.scale.name()
+        );
+        let m = run_matrix(&benches, &FAST_CORE_COUNTS, fig4_configs, opts.scale, opts.seed);
+        let labels = ["FIFO", "CATS+BL", "CATS+SA", "CATA"];
+        emit(
+            &opts,
+            "fig4_speedup",
+            &render_panel(&m, &benches, &labels, Metric::Speedup),
+            "Figure 4 (top): speedup over FIFO",
+        );
+        emit(
+            &opts,
+            "fig4_edp",
+            &render_panel(&m, &benches, &labels, Metric::Edp),
+            "Figure 4 (bottom): normalized EDP",
+        );
+    }
+
+    if all || opts.cmd == "fig5" || opts.cmd == "latency" {
+        println!(
+            "[fig5: running 4 configs x 6 benchmarks x {:?} fast cores at {} scale]",
+            FAST_CORE_COUNTS,
+            opts.scale.name()
+        );
+        let m = run_matrix(&benches, &FAST_CORE_COUNTS, fig5_configs, opts.scale, opts.seed);
+        if all || opts.cmd == "fig5" {
+            let labels = ["CATA", "CATA+RSU", "TurboMode"];
+            emit(
+                &opts,
+                "fig5_speedup",
+                &render_panel(&m, &benches, &labels, Metric::Speedup),
+                "Figure 5 (top): speedup over FIFO",
+            );
+            emit(
+                &opts,
+                "fig5_edp",
+                &render_panel(&m, &benches, &labels, Metric::Edp),
+                "Figure 5 (bottom): normalized EDP",
+            );
+        }
+        if all || opts.cmd == "latency" {
+            emit(
+                &opts,
+                "latency",
+                &render_latency_analysis(&m, &benches, 16),
+                "Section V-C: software reconfiguration path analysis (16 fast cores)",
+            );
+        }
+    }
+
+    if all || opts.cmd == "rsu-overhead" {
+        println!("== Section III-B-4: RSU overhead ==\n{}", render_rsu_overhead());
+    }
+
+    if all || opts.cmd == "sweep-budget" {
+        emit(
+            &opts,
+            "sweep_budget",
+            &sweeps::budget_sweep(Benchmark::Swaptions, opts.scale, &[4, 8, 12, 16, 20, 24, 28, 32]),
+            "Ablation A1: power-budget sweep (Swaptions, CATA+RSU)",
+        );
+    }
+
+    if all || opts.cmd == "sweep-latency" {
+        emit(
+            &opts,
+            "sweep_latency",
+            &sweeps::latency_sweep(Benchmark::Fluidanimate, opts.scale, &[1, 5, 25, 100, 400, 1000]),
+            "Ablation A2: DVFS transition latency sweep (Fluidanimate, 16 fast)",
+        );
+    }
+
+    if all || opts.cmd == "sweep-threshold" {
+        emit(
+            &opts,
+            "sweep_threshold",
+            &sweeps::threshold_sweep(Benchmark::Bodytrack, opts.scale, &[0.5, 0.6, 0.7, 0.8, 0.9, 1.0]),
+            "Ablation A3: bottom-level criticality threshold sweep (Bodytrack)",
+        );
+    }
+
+    if all || opts.cmd == "multilevel" {
+        emit(
+            &opts,
+            "multilevel",
+            &sweeps::multilevel_sweep(Benchmark::Swaptions, opts.scale),
+            "Ablation A4: multi-level DVFS extension (Swaptions)",
+        );
+    }
+
+    if !all
+        && ![
+            "table1",
+            "fig4",
+            "fig5",
+            "latency",
+            "rsu-overhead",
+            "sweep-budget",
+            "sweep-latency",
+            "sweep-threshold",
+            "multilevel",
+        ]
+        .contains(&opts.cmd.as_str())
+    {
+        die(&format!("unknown command {}", opts.cmd));
+    }
+
+    eprintln!("[done in {:.1}s]", t0.elapsed().as_secs_f64());
+}

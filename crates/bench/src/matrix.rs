@@ -1,0 +1,106 @@
+//! Running experiment matrices.
+
+use cata_core::{RunConfig, RunReport, SimExecutor};
+use cata_workloads::{generate, Benchmark, Scale};
+use std::collections::HashMap;
+
+/// Default workload seed: figures are generated from one fixed input per
+/// benchmark, like the paper's simlarge runs.
+pub const DEFAULT_SEED: u64 = 0x5EED_CA7A;
+
+/// Results of a benchmark × fast-cores × configuration matrix, keyed for
+/// figure assembly.
+#[derive(Debug, Default)]
+pub struct MatrixResult {
+    /// (benchmark, fast_cores, config label) → report.
+    pub reports: HashMap<(Benchmark, usize, String), RunReport>,
+}
+
+impl MatrixResult {
+    /// The report of one cell.
+    pub fn get(&self, b: Benchmark, fast: usize, label: &str) -> &RunReport {
+        self.reports
+            .get(&(b, fast, label.to_string()))
+            .unwrap_or_else(|| panic!("missing cell {b:?}/{fast}/{label}"))
+    }
+
+    /// Speedup of `label` over FIFO for one cell (the Figure 4/5 y-axis).
+    pub fn speedup(&self, b: Benchmark, fast: usize, label: &str) -> f64 {
+        self.get(b, fast, label)
+            .speedup_over(self.get(b, fast, "FIFO"))
+    }
+
+    /// Normalized EDP of `label` over FIFO for one cell.
+    pub fn edp(&self, b: Benchmark, fast: usize, label: &str) -> f64 {
+        self.get(b, fast, label)
+            .edp_normalized_to(self.get(b, fast, "FIFO"))
+    }
+
+    /// Geometric-mean speedup over all benchmarks (the figures' "Average"
+    /// group).
+    pub fn avg_speedup(&self, benches: &[Benchmark], fast: usize, label: &str) -> f64 {
+        let product: f64 = benches
+            .iter()
+            .map(|&b| self.speedup(b, fast, label))
+            .product();
+        product.powf(1.0 / benches.len() as f64)
+    }
+
+    /// Geometric-mean normalized EDP.
+    pub fn avg_edp(&self, benches: &[Benchmark], fast: usize, label: &str) -> f64 {
+        let product: f64 = benches.iter().map(|&b| self.edp(b, fast, label)).product();
+        product.powf(1.0 / benches.len() as f64)
+    }
+}
+
+/// Runs one cell: `config` on `bench` at `scale`.
+pub fn run_one(bench: Benchmark, config: RunConfig, scale: Scale, seed: u64) -> RunReport {
+    let graph = generate(bench, scale, seed);
+    SimExecutor::new(config).run(&graph, bench.name()).0
+}
+
+/// Runs `configs` on every benchmark at every fast-core count.
+///
+/// Graphs are generated once per benchmark and shared across configurations
+/// so every configuration executes the identical task set.
+pub fn run_matrix(
+    benches: &[Benchmark],
+    fast_core_counts: &[usize],
+    configs: impl Fn(usize) -> Vec<RunConfig>,
+    scale: Scale,
+    seed: u64,
+) -> MatrixResult {
+    let mut result = MatrixResult::default();
+    for &bench in benches {
+        let graph = generate(bench, scale, seed);
+        for &fast in fast_core_counts {
+            for cfg in configs(fast) {
+                let label = cfg.label.clone();
+                let report = SimExecutor::new(cfg).run(&graph, bench.name()).0;
+                result.reports.insert((bench, fast, label), report);
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_runs_and_normalizes() {
+        let benches = [Benchmark::Blackscholes];
+        let m = run_matrix(
+            &benches,
+            &[8],
+            |fast| vec![RunConfig::fifo(fast), RunConfig::cata_rsu(fast)],
+            Scale::Tiny,
+            1,
+        );
+        let fifo_speedup = m.speedup(Benchmark::Blackscholes, 8, "FIFO");
+        assert!((fifo_speedup - 1.0).abs() < 1e-12, "FIFO self-normalizes to 1");
+        let edp = m.edp(Benchmark::Blackscholes, 8, "CATA+RSU");
+        assert!(edp > 0.0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Ablation studies (experiment ids A1–A4 in DESIGN.md).
+
+use crate::matrix::DEFAULT_SEED;
+use crate::tables::{r3, Table};
+use cata_core::{EstimatorKind, RunConfig, SimExecutor};
+use cata_sim::machine::PowerLevel;
+use cata_sim::time::{Frequency, SimDuration};
+use cata_workloads::{generate, Benchmark, Scale};
+
+/// A1: sensitivity of CATA+RSU to the power budget, on one benchmark.
+/// Reports speedup over the FIFO baseline with the *same* static fast-core
+/// count as the budget.
+pub fn budget_sweep(bench: Benchmark, scale: Scale, budgets: &[usize]) -> Table {
+    let graph = generate(bench, scale, DEFAULT_SEED);
+    let mut t = Table::new(&["budget", "exec time", "speedup vs FIFO(b)", "norm EDP"]);
+    for &b in budgets {
+        let fifo = SimExecutor::new(RunConfig::fifo(b)).run(&graph, bench.name()).0;
+        let cata = SimExecutor::new(RunConfig::cata_rsu(b)).run(&graph, bench.name()).0;
+        t.row(vec![
+            b.to_string(),
+            cata.exec_time.to_string(),
+            r3(cata.speedup_over(&fifo)),
+            r3(cata.edp_normalized_to(&fifo)),
+        ]);
+    }
+    t
+}
+
+/// A2: sensitivity of software CATA vs CATA+RSU to the DVFS transition
+/// latency — the gap between them should widen as reconfigurations slow
+/// down, because the software path serializes transitions.
+pub fn latency_sweep(bench: Benchmark, scale: Scale, latencies_us: &[u64]) -> Table {
+    let graph = generate(bench, scale, DEFAULT_SEED);
+    let mut t = Table::new(&["reconfig latency", "CATA speedup", "CATA+RSU speedup", "RSU gain"]);
+    for &us in latencies_us {
+        let with_latency = |mut cfg: RunConfig| {
+            cfg.machine.reconfig_latency = SimDuration::from_us(us);
+            cfg
+        };
+        let fifo = SimExecutor::new(with_latency(RunConfig::fifo(16)))
+            .run(&graph, bench.name())
+            .0;
+        let sw = SimExecutor::new(with_latency(RunConfig::cata(16)))
+            .run(&graph, bench.name())
+            .0;
+        let hw = SimExecutor::new(with_latency(RunConfig::cata_rsu(16)))
+            .run(&graph, bench.name())
+            .0;
+        t.row(vec![
+            format!("{}us", us),
+            r3(sw.speedup_over(&fifo)),
+            r3(hw.speedup_over(&fifo)),
+            r3(hw.speedup_over(&sw)),
+        ]);
+    }
+    t
+}
+
+/// A3: sensitivity of CATS+BL to the bottom-level criticality threshold
+/// fraction `alpha`.
+pub fn threshold_sweep(bench: Benchmark, scale: Scale, alphas: &[f64]) -> Table {
+    let graph = generate(bench, scale, DEFAULT_SEED);
+    let fifo = SimExecutor::new(RunConfig::fifo(16)).run(&graph, bench.name()).0;
+    let mut t = Table::new(&["alpha", "CATS+BL speedup", "norm EDP"]);
+    for &a in alphas {
+        let mut cfg = RunConfig::cats_bl(16);
+        cfg.estimator = EstimatorKind::BottomLevel { alpha: a };
+        let r = SimExecutor::new(cfg).run(&graph, bench.name()).0;
+        t.row(vec![
+            format!("{a:.2}"),
+            r3(r.speedup_over(&fifo)),
+            r3(r.edp_normalized_to(&fifo)),
+        ]);
+    }
+    t
+}
+
+/// A4 (paper future work): more than two DVFS levels. The machine's fast
+/// level is raised and the slow level lowered around the paper's pair,
+/// approximating a 3/4-level ladder by its extremes; CATA's budget then
+/// constrains the *top* level.
+pub fn multilevel_sweep(bench: Benchmark, scale: Scale) -> Table {
+    let graph = generate(bench, scale, DEFAULT_SEED);
+    let ladders: [(&str, u32, u32, u32, u32); 3] = [
+        ("2 levels (paper)", 2000, 1000, 1000, 800),
+        ("3-level extremes", 2400, 1000, 900, 750),
+        ("4-level extremes", 2600, 1050, 800, 700),
+    ];
+    let mut t = Table::new(&["ladder", "CATA+RSU speedup", "norm EDP"]);
+    for (name, fast_mhz, fast_mv, slow_mhz, slow_mv) in ladders {
+        let mut fifo_cfg = RunConfig::fifo(16);
+        let mut cfg = RunConfig::cata_rsu(16);
+        for c in [&mut fifo_cfg, &mut cfg] {
+            c.machine.fast_level = PowerLevel {
+                frequency: Frequency::from_mhz(fast_mhz),
+                voltage_mv: fast_mv,
+            };
+            c.machine.slow_level = PowerLevel {
+                frequency: Frequency::from_mhz(slow_mhz),
+                voltage_mv: slow_mv,
+            };
+        }
+        let fifo = SimExecutor::new(fifo_cfg).run(&graph, bench.name()).0;
+        let r = SimExecutor::new(cfg).run(&graph, bench.name()).0;
+        t.row(vec![
+            name.to_string(),
+            r3(r.speedup_over(&fifo)),
+            r3(r.edp_normalized_to(&fifo)),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_sweep_runs() {
+        let t = budget_sweep(Benchmark::Swaptions, Scale::Tiny, &[8, 16]);
+        let s = t.render();
+        assert!(s.contains("8"));
+        assert!(s.contains("16"));
+    }
+
+    #[test]
+    fn latency_sweep_runs() {
+        let t = latency_sweep(Benchmark::Blackscholes, Scale::Tiny, &[5, 100]);
+        assert!(t.render().contains("100us"));
+    }
+
+    #[test]
+    fn threshold_sweep_runs() {
+        let t = threshold_sweep(Benchmark::Bodytrack, Scale::Tiny, &[0.5, 1.0]);
+        assert!(t.render().contains("0.50"));
+    }
+
+    #[test]
+    fn multilevel_sweep_runs() {
+        let t = multilevel_sweep(Benchmark::Dedup, Scale::Tiny);
+        assert!(t.render().contains("paper"));
+    }
+}

@@ -1,0 +1,156 @@
+//! Acceleration managers: who reconfigures the cores, and at what cost.
+//!
+//! All four variants of the paper's comparison share the [`AccelManager`]
+//! interface; the executor invokes it at the four events that can trigger a
+//! reconfiguration — task start, task end, core halt (C1 entry) and core
+//! wake. Each call may charge runtime overhead on the acting core (the
+//! returned `resume_at`) and may begin DVFS transitions on any core (the
+//! returned settle times, which the executor turns into events).
+//!
+//! | Manager | Decision | Cost model |
+//! |---|---|---|
+//! | [`StaticAccel`] | never reconfigures | zero |
+//! | [`SoftwareCata`] | CATA algorithm | RSM lock + cpufreq syscalls, serialized ([`cata_cpufreq::SoftwareDvfsPath`]) |
+//! | [`RsuCata`] | CATA algorithm | one `rsu_*` instruction (tens of cycles), no locks |
+//! | [`TurboModeCtl`] | halt/wake reallocation \[18\] | hardware microcontroller, free |
+
+use cata_sim::machine::{CoreId, Machine};
+use cata_sim::stats::{Counters, LatencySamples};
+use cata_sim::time::{SimDuration, SimTime};
+
+mod rsu;
+mod software;
+mod statics;
+mod turbo;
+
+pub use rsu::RsuCata;
+pub use software::SoftwareCata;
+pub use statics::StaticAccel;
+pub use turbo::TurboModeCtl;
+
+/// What an acceleration event produced.
+#[derive(Debug, Clone, Default)]
+pub struct AccelEffects {
+    /// When the acting core regains control (≥ the event time). The interval
+    /// in between is runtime overhead charged on that core.
+    pub resume_at: Option<SimTime>,
+    /// Completion times of the DVFS transitions this decision started, as
+    /// `(settle_time, core)` — the executor schedules a settle event for
+    /// each.
+    pub settles: Vec<(SimTime, CoreId)>,
+}
+
+impl AccelEffects {
+    /// An effect-free outcome (no overhead, no transitions).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// The acting core's resume time, defaulting to the event time.
+    pub fn resume_or(&self, now: SimTime) -> SimTime {
+        self.resume_at.unwrap_or(now)
+    }
+}
+
+/// Statistics a manager exposes for the §V-C analysis.
+#[derive(Debug, Clone, Default)]
+pub struct ReconfigStats {
+    /// Lock-wait distribution (software path only).
+    pub lock_waits: LatencySamples,
+    /// End-to-end reconfiguration latency distribution.
+    pub latencies: LatencySamples,
+    /// Total runtime overhead charged on cores by the manager.
+    pub overhead_total: SimDuration,
+}
+
+/// A hardware/runtime reconfiguration policy.
+pub trait AccelManager: Send {
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Called once before the simulation starts (e.g. TurboMode accelerates
+    /// the initially active cores).
+    fn on_init(&mut self, _machine: &mut Machine, _now: SimTime) -> AccelEffects {
+        AccelEffects::none()
+    }
+
+    /// A task of the given criticality is about to start on `core`. The task
+    /// body begins at the returned `resume_at`.
+    fn on_task_start(
+        &mut self,
+        core: CoreId,
+        critical: bool,
+        now: SimTime,
+        machine: &mut Machine,
+        counters: &mut Counters,
+    ) -> AccelEffects;
+
+    /// The task on `core` finished; the core requests its next task at the
+    /// returned `resume_at`.
+    fn on_task_end(
+        &mut self,
+        core: CoreId,
+        now: SimTime,
+        machine: &mut Machine,
+        counters: &mut Counters,
+    ) -> AccelEffects;
+
+    /// `core` found no ready task and entered the runtime idle loop. CATA
+    /// decelerates accelerated idle cores here (§V-B), releasing budget.
+    fn on_core_idle(
+        &mut self,
+        _core: CoreId,
+        _now: SimTime,
+        _machine: &mut Machine,
+        _counters: &mut Counters,
+    ) -> AccelEffects {
+        AccelEffects::none()
+    }
+
+    /// `core` entered the halted (C1) state — a blocked task or a halted
+    /// idle loop. CATA variants deliberately ignore this (§V-D).
+    fn on_core_halt(
+        &mut self,
+        _core: CoreId,
+        _now: SimTime,
+        _machine: &mut Machine,
+        _counters: &mut Counters,
+    ) -> AccelEffects {
+        AccelEffects::none()
+    }
+
+    /// `core` left the halted state.
+    fn on_core_wake(
+        &mut self,
+        _core: CoreId,
+        _now: SimTime,
+        _machine: &mut Machine,
+        _counters: &mut Counters,
+    ) -> AccelEffects {
+        AccelEffects::none()
+    }
+
+    /// §V-C statistics collected so far.
+    fn stats(&self) -> ReconfigStats {
+        ReconfigStats::default()
+    }
+}
+
+/// Applies a transition on `machine` and records it into `effects`/`counters`.
+pub(crate) fn apply_transition(
+    machine: &mut Machine,
+    core: CoreId,
+    target: cata_sim::machine::PowerLevel,
+    at: SimTime,
+    effects: &mut AccelEffects,
+    counters: &mut Counters,
+) {
+    counters.reconfigs_requested += 1;
+    match machine.begin_transition(core, target, at) {
+        Some(settle) => {
+            counters.reconfigs_applied += 1;
+            effects.settles.push((settle, core));
+        }
+        None => counters.reconfigs_noop += 1,
+    }
+}

@@ -1,0 +1,250 @@
+//! The TurboMode controller (§V-D; dynamic TurboMode \[18\]).
+//!
+//! Criticality-blind, C-state-driven budget reallocation: every core in C0
+//! is presumed to be doing useful (critical) work. When a core executes
+//! `hlt` (C0 → C1) the hardware microcontroller lowers its frequency and
+//! hands the freed budget to a *randomly chosen* active core; when the OS
+//! wakes a sleeping core, it is accelerated only if budget remains. Task
+//! boundaries are invisible to the controller — which is exactly why it can
+//! keep accelerating runtime idle loops and lose to CATA on pipeline
+//! applications, while beating CATA at reclaiming the budget of
+//! blocked-but-accelerated tasks (the paper's §V-D discussion).
+
+use super::{apply_transition, AccelEffects, AccelManager, ReconfigStats};
+use cata_sim::machine::{CoreId, Machine, PowerLevel};
+use cata_sim::stats::Counters;
+use cata_sim::time::SimTime;
+
+/// The TurboMode hardware controller.
+#[derive(Debug)]
+pub struct TurboModeCtl {
+    accel: Vec<bool>,
+    halted: Vec<bool>,
+    budget: usize,
+    accel_count: usize,
+    fast: PowerLevel,
+    slow: PowerLevel,
+    rng: u64,
+}
+
+impl TurboModeCtl {
+    /// Creates the controller for `machine` with the given power budget and
+    /// a deterministic seed for the random active-core selection.
+    pub fn new(machine: &Machine, budget: usize, seed: u64) -> Self {
+        let cfg = machine.config();
+        assert!(budget <= cfg.num_cores);
+        TurboModeCtl {
+            accel: vec![false; cfg.num_cores],
+            halted: vec![false; cfg.num_cores],
+            budget,
+            accel_count: 0,
+            fast: cfg.fast_level,
+            slow: cfg.slow_level,
+            rng: seed | 1,
+        }
+    }
+
+    /// Cores currently accelerated.
+    pub fn accelerated_count(&self) -> usize {
+        self.accel_count
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        // xorshift64: deterministic, no external dependency.
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x
+    }
+
+    /// Picks a random active (C0), non-accelerated core.
+    fn pick_random_active(&mut self) -> Option<usize> {
+        let candidates: Vec<usize> = (0..self.accel.len())
+            .filter(|&c| !self.halted[c] && !self.accel[c])
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let r = self.next_rand() as usize % candidates.len();
+        Some(candidates[r])
+    }
+}
+
+impl AccelManager for TurboModeCtl {
+    fn name(&self) -> &'static str {
+        "TurboMode"
+    }
+
+    fn on_init(&mut self, machine: &mut Machine, now: SimTime) -> AccelEffects {
+        // All cores boot active (the runtime's idle loops are C0): the
+        // controller hands the budget to the first `budget` cores.
+        let mut effects = AccelEffects::none();
+        let mut counters = Counters::default();
+        for core in 0..self.budget {
+            self.accel[core] = true;
+            self.accel_count += 1;
+            apply_transition(
+                machine,
+                CoreId(core as u32),
+                self.fast,
+                now,
+                &mut effects,
+                &mut counters,
+            );
+        }
+        effects
+    }
+
+    fn on_task_start(
+        &mut self,
+        _core: CoreId,
+        _critical: bool,
+        _now: SimTime,
+        _machine: &mut Machine,
+        _counters: &mut Counters,
+    ) -> AccelEffects {
+        // Task boundaries are invisible to TurboMode.
+        AccelEffects::none()
+    }
+
+    fn on_task_end(
+        &mut self,
+        _core: CoreId,
+        _now: SimTime,
+        _machine: &mut Machine,
+        _counters: &mut Counters,
+    ) -> AccelEffects {
+        AccelEffects::none()
+    }
+
+    fn on_core_halt(
+        &mut self,
+        core: CoreId,
+        now: SimTime,
+        machine: &mut Machine,
+        counters: &mut Counters,
+    ) -> AccelEffects {
+        let c = core.index();
+        self.halted[c] = true;
+        let mut effects = AccelEffects::none();
+        if self.accel[c] {
+            self.accel[c] = false;
+            apply_transition(machine, core, self.slow, now, &mut effects, counters);
+            if let Some(lucky) = self.pick_random_active() {
+                self.accel[lucky] = true;
+                apply_transition(
+                    machine,
+                    CoreId(lucky as u32),
+                    self.fast,
+                    now,
+                    &mut effects,
+                    counters,
+                );
+            } else {
+                self.accel_count -= 1;
+            }
+        }
+        effects
+    }
+
+    fn on_core_wake(
+        &mut self,
+        core: CoreId,
+        now: SimTime,
+        machine: &mut Machine,
+        counters: &mut Counters,
+    ) -> AccelEffects {
+        let c = core.index();
+        self.halted[c] = false;
+        let mut effects = AccelEffects::none();
+        if !self.accel[c] && self.accel_count < self.budget {
+            self.accel[c] = true;
+            self.accel_count += 1;
+            apply_transition(machine, core, self.fast, now, &mut effects, counters);
+        }
+        effects
+    }
+
+    fn stats(&self) -> ReconfigStats {
+        ReconfigStats::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cata_sim::machine::MachineConfig;
+
+    fn setup(budget: usize) -> (Machine, TurboModeCtl) {
+        let mut m = Machine::new(MachineConfig::small_test(4));
+        let mut t = TurboModeCtl::new(&m, budget, 42);
+        t.on_init(&mut m, SimTime::ZERO);
+        (m, t)
+    }
+
+    #[test]
+    fn init_accelerates_budget_cores() {
+        let (m, t) = setup(2);
+        assert_eq!(t.accelerated_count(), 2);
+        assert_eq!(m.accelerated_count(), 2);
+    }
+
+    #[test]
+    fn halt_reallocates_to_an_active_core() {
+        let (mut m, mut t) = setup(2);
+        let mut c = Counters::default();
+        let e = t.on_core_halt(CoreId(0), SimTime::from_us(50), &mut m, &mut c);
+        // Core 0 decelerates, some active core (2 or 3; 1 is already fast)
+        // accelerates.
+        assert_eq!(e.settles.len(), 2);
+        assert_eq!(t.accelerated_count(), 2);
+        assert!(!t.accel[0]);
+        assert!(t.accel[2] || t.accel[3]);
+    }
+
+    #[test]
+    fn halt_with_no_candidate_frees_budget() {
+        let (mut m, mut t) = setup(4); // everyone accelerated
+        let mut c = Counters::default();
+        t.on_core_halt(CoreId(0), SimTime::from_us(1), &mut m, &mut c);
+        assert_eq!(t.accelerated_count(), 3);
+        // Waking re-claims the free slot.
+        t.on_core_wake(CoreId(0), SimTime::from_us(2), &mut m, &mut c);
+        assert_eq!(t.accelerated_count(), 4);
+    }
+
+    #[test]
+    fn wake_without_budget_stays_slow() {
+        let (mut m, mut t) = setup(2);
+        let mut c = Counters::default();
+        t.on_core_halt(CoreId(0), SimTime::from_us(1), &mut m, &mut c); // budget moves on
+        let e = t.on_core_wake(CoreId(0), SimTime::from_us(2), &mut m, &mut c);
+        assert!(e.settles.is_empty(), "no budget left for the waking core");
+        assert!(!t.accel[0]);
+    }
+
+    #[test]
+    fn task_events_are_ignored() {
+        let (mut m, mut t) = setup(1);
+        let mut c = Counters::default();
+        let e = t.on_task_start(CoreId(3), true, SimTime::ZERO, &mut m, &mut c);
+        assert!(e.settles.is_empty());
+        let e = t.on_task_end(CoreId(3), SimTime::from_us(9), &mut m, &mut c);
+        assert!(e.settles.is_empty());
+    }
+
+    #[test]
+    fn reallocation_is_deterministic_per_seed() {
+        let picks_with = |seed| {
+            let mut m = Machine::new(MachineConfig::small_test(4));
+            let mut t = TurboModeCtl::new(&m, 1, seed);
+            t.on_init(&mut m, SimTime::ZERO);
+            let mut c = Counters::default();
+            t.on_core_halt(CoreId(0), SimTime::from_us(1), &mut m, &mut c);
+            (0..4).find(|&i| t.accel[i]).unwrap()
+        };
+        assert_eq!(picks_with(7), picks_with(7));
+    }
+}

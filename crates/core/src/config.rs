@@ -1,0 +1,240 @@
+//! Run configuration: the six experimental configurations of the paper plus
+//! every knob the ablations sweep.
+
+use cata_cpufreq::software_path::SoftwarePathParams;
+use cata_power::PowerParams;
+use cata_sim::machine::MachineConfig;
+use cata_sim::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Which ready-queue policy to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// Single blind FIFO queue.
+    Fifo,
+    /// CATS dual queues (HPRQ/LPRQ) over static fast/slow cores.
+    CatsHetero,
+    /// CATS dual queues with all cores equivalent (the CATA setting).
+    CatsHomogeneous,
+}
+
+/// Which criticality estimator classifies ready tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EstimatorKind {
+    /// Everything non-critical (FIFO / TurboMode).
+    NoneAllNonCritical,
+    /// Static `criticality(c)` annotations on task types.
+    StaticAnnotations,
+    /// Dynamic bottom-level with threshold fraction `alpha` (1.0 = CATS).
+    BottomLevel {
+        /// Criticality threshold as a fraction of the max pending BL.
+        alpha: f64,
+    },
+}
+
+/// Which acceleration manager reconfigures cores.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AccelKind {
+    /// Static heterogeneous cores, no reconfiguration (FIFO, CATS).
+    StaticHetero,
+    /// Software CATA: RSM + serialized cpufreq path.
+    SoftwareCata {
+        /// Latency parameters of the software path.
+        params: SoftwarePathParams,
+    },
+    /// Hardware CATA: the Runtime Support Unit.
+    HardwareRsu,
+    /// The TurboMode controller (criticality-blind).
+    TurboMode,
+}
+
+/// Runtime cost constants (Nanos++-scale).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeCosts {
+    /// Master-thread cost of creating/submitting one task (dependence
+    /// registration, allocation).
+    pub task_creation: SimDuration,
+    /// Extra creation cost per TDG node visited by the bottom-level
+    /// estimator's ancestor walk (the CATS+BL overhead, §V-A).
+    pub per_bl_visit: SimDuration,
+    /// Worker-side cost of dequeuing a task (scheduler critical section).
+    pub dispatch: SimDuration,
+}
+
+impl Default for RuntimeCosts {
+    fn default() -> Self {
+        RuntimeCosts {
+            task_creation: SimDuration::from_ns(800),
+            per_bl_visit: SimDuration::from_ns(250),
+            dispatch: SimDuration::from_ns(300),
+        }
+    }
+}
+
+/// Complete configuration of one simulated run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// A label for reports ("FIFO", "CATS+SA", …).
+    pub label: String,
+    /// The machine (Table I by default).
+    pub machine: MachineConfig,
+    /// Static fast-core count *and* dynamic power budget — the paper uses
+    /// the same number (8, 16 or 24) for both roles.
+    pub fast_cores: usize,
+    /// Ready-queue policy.
+    pub scheduler: SchedulerKind,
+    /// Criticality estimator.
+    pub estimator: EstimatorKind,
+    /// Acceleration manager.
+    pub accel: AccelKind,
+    /// Runtime cost constants.
+    pub costs: RuntimeCosts,
+    /// If set, an idle core halts (C1) after this long — the OS idle loop.
+    /// The paper's Nanos++ workers busy-wait, so only the TurboMode
+    /// configuration sets this.
+    pub idle_to_halt: Option<SimDuration>,
+    /// How long a core must stay idle before CATA decelerates it (§V-B:
+    /// deceleration happens when "there are no other tasks ready", which a
+    /// real runtime only concludes after spinning a while — transient queue
+    /// emptiness between dependent tasks must not trigger a reconfiguration
+    /// pair).
+    pub idle_decel_delay: SimDuration,
+    /// Latency of waking a halted core (C1 exit).
+    pub wake_latency: SimDuration,
+    /// Power model calibration.
+    pub power: PowerParams,
+    /// Record a full event trace (tests/examples only; costs memory).
+    pub trace: bool,
+    /// Seed for the deterministic RNG (TurboMode's random victim pick).
+    pub seed: u64,
+}
+
+impl RunConfig {
+    fn base(label: &str, fast_cores: usize) -> Self {
+        RunConfig {
+            label: label.into(),
+            machine: MachineConfig::paper_table1(),
+            fast_cores,
+            scheduler: SchedulerKind::Fifo,
+            estimator: EstimatorKind::NoneAllNonCritical,
+            accel: AccelKind::StaticHetero,
+            costs: RuntimeCosts::default(),
+            idle_to_halt: None,
+            idle_decel_delay: SimDuration::from_us(25),
+            wake_latency: SimDuration::from_us(1),
+            power: PowerParams::mcpat_22nm(),
+            trace: false,
+            seed: 0xCA7A_2016,
+        }
+    }
+
+    /// The paper's `FIFO` baseline: blind queue on static fast/slow cores.
+    pub fn fifo(fast_cores: usize) -> Self {
+        Self::base("FIFO", fast_cores)
+    }
+
+    /// `CATS+BL`: dual queues, bottom-level criticality, static cores.
+    pub fn cats_bl(fast_cores: usize) -> Self {
+        RunConfig {
+            scheduler: SchedulerKind::CatsHetero,
+            estimator: EstimatorKind::BottomLevel { alpha: 1.0 },
+            ..Self::base("CATS+BL", fast_cores)
+        }
+    }
+
+    /// `CATS+SA`: dual queues, static annotations, static cores.
+    pub fn cats_sa(fast_cores: usize) -> Self {
+        RunConfig {
+            scheduler: SchedulerKind::CatsHetero,
+            estimator: EstimatorKind::StaticAnnotations,
+            ..Self::base("CATS+SA", fast_cores)
+        }
+    }
+
+    /// `CATA`: dual queues, static annotations, software-driven DVFS with
+    /// the power budget set to `fast_cores`.
+    pub fn cata(fast_cores: usize) -> Self {
+        RunConfig {
+            scheduler: SchedulerKind::CatsHomogeneous,
+            estimator: EstimatorKind::StaticAnnotations,
+            accel: AccelKind::SoftwareCata {
+                params: SoftwarePathParams::paper_calibrated(),
+            },
+            ..Self::base("CATA", fast_cores)
+        }
+    }
+
+    /// `CATA+RSU`: as [`cata`](Self::cata) but reconfiguring through the
+    /// hardware Runtime Support Unit.
+    pub fn cata_rsu(fast_cores: usize) -> Self {
+        RunConfig {
+            scheduler: SchedulerKind::CatsHomogeneous,
+            estimator: EstimatorKind::StaticAnnotations,
+            accel: AccelKind::HardwareRsu,
+            ..Self::base("CATA+RSU", fast_cores)
+        }
+    }
+
+    /// `TurboMode`: blind FIFO queue plus the halt-driven controller.
+    pub fn turbo(fast_cores: usize) -> Self {
+        RunConfig {
+            accel: AccelKind::TurboMode,
+            // Nanos++ workers busy-wait in user space; only after the spin
+            // phase do they block on a futex, letting the OS idle task run
+            // `hlt` (C0 → C1). Until then the core spins — possibly at the
+            // accelerated level, which is the energy waste §V-D attributes
+            // to TurboMode ("it may accelerate … runtime idle-loops").
+            idle_to_halt: Some(SimDuration::from_us(40)),
+            ..Self::base("TurboMode", fast_cores)
+        }
+    }
+
+    /// All six paper configurations at one fast-core count, in figure order.
+    pub fn paper_matrix(fast_cores: usize) -> Vec<RunConfig> {
+        vec![
+            Self::fifo(fast_cores),
+            Self::cats_bl(fast_cores),
+            Self::cats_sa(fast_cores),
+            Self::cata(fast_cores),
+            Self::cata_rsu(fast_cores),
+            Self::turbo(fast_cores),
+        ]
+    }
+
+    /// Shrinks the machine for unit tests (`n` cores, `fast` fast/budget).
+    pub fn with_small_machine(mut self, n: usize, fast: usize) -> Self {
+        self.machine = MachineConfig::small_test(n);
+        self.fast_cores = fast;
+        self
+    }
+
+    /// Enables event tracing.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_settings() {
+        let m = RunConfig::paper_matrix(16);
+        assert_eq!(m.len(), 6);
+        assert_eq!(m[0].label, "FIFO");
+        assert!(matches!(m[1].estimator, EstimatorKind::BottomLevel { .. }));
+        assert!(matches!(m[2].estimator, EstimatorKind::StaticAnnotations));
+        assert!(matches!(m[3].accel, AccelKind::SoftwareCata { .. }));
+        assert!(matches!(m[4].accel, AccelKind::HardwareRsu));
+        assert!(matches!(m[5].accel, AccelKind::TurboMode));
+        for c in &m {
+            assert_eq!(c.machine.num_cores, 32);
+            assert_eq!(c.fast_cores, 16);
+        }
+        // Only TurboMode halts idle cores (Nanos++ busy-waits).
+        assert!(m[5].idle_to_halt.is_some());
+        assert!(m[3].idle_to_halt.is_none());
+    }
+}

@@ -1,0 +1,632 @@
+//! A real thread-pool CATA runtime.
+//!
+//! Everything else in this crate *simulates* the paper's system; this module
+//! *is* one: a task runtime executing actual closures on actual threads,
+//! with
+//!
+//! - OmpSs-style dependence tracking (explicit handles or declared
+//!   `in`/`out` region accesses),
+//! - the CATS dual ready queues (critical vs. non-critical),
+//! - the CATA acceleration algorithm (shared [`ReconfigEngine`]) applied at
+//!   task start/end, driving a pluggable [`DvfsBackend`] — the real sysfs
+//!   cpufreq interface on a Linux host with the `userspace` governor, or a
+//!   mock elsewhere,
+//! - both reconfiguration disciplines of the paper: [`RsmMode::Software`]
+//!   holds the RSM lock across the backend writes (serialized, like the
+//!   cpufreq path), while [`RsmMode::RsuEmulated`] holds it only for the
+//!   decision and issues writes outside (the RSU's behaviour).
+//!
+//! This is the "rayon tasks plus sysfs DVFS control" configuration the
+//! reproduction brief calls for; on hosts without cpufreq permissions the
+//! mock backend records the decisions instead.
+
+use cata_cpufreq::backend::DvfsBackend;
+use cata_rsu::engine::{Cmd, ReconfigEngine};
+use cata_tdg::deps::{AccessMode, DepTracker, RegionId};
+use cata_tdg::TaskId;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// How the native RSM applies reconfigurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RsmMode {
+    /// Software CATA: backend writes happen *inside* the RSM critical
+    /// section, serializing all reconfigurations (the paper's §III-A path).
+    Software,
+    /// RSU-emulated: the critical section covers only the decision; backend
+    /// writes are issued after unlocking and may overlap (§III-B).
+    RsuEmulated,
+}
+
+/// A handle to a spawned task, usable as a dependence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaskHandle(usize);
+
+/// Runtime counters (all monotonic).
+#[derive(Debug, Default)]
+pub struct NativeMetrics {
+    /// Tasks executed to completion.
+    pub tasks_run: AtomicU64,
+    /// Backend frequency writes issued.
+    pub reconfigs: AtomicU64,
+    /// Backend writes that failed (e.g. no cpufreq permission); the runtime
+    /// degrades to scheduling-only.
+    pub reconfig_failures: AtomicU64,
+    /// Critical tasks that could not be accelerated (no budget).
+    pub accel_denied: AtomicU64,
+    /// Nanoseconds spent holding the RSM lock.
+    pub rsm_lock_ns: AtomicU64,
+}
+
+impl NativeMetrics {
+    fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            tasks_run: self.tasks_run.load(Ordering::Relaxed),
+            reconfigs: self.reconfigs.load(Ordering::Relaxed),
+            reconfig_failures: self.reconfig_failures.load(Ordering::Relaxed),
+            accel_denied: self.accel_denied.load(Ordering::Relaxed),
+            rsm_lock_ns: self.rsm_lock_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of the runtime counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Tasks executed to completion.
+    pub tasks_run: u64,
+    /// Backend frequency writes issued.
+    pub reconfigs: u64,
+    /// Failed backend writes.
+    pub reconfig_failures: u64,
+    /// Denied accelerations of critical tasks.
+    pub accel_denied: u64,
+    /// Nanoseconds spent holding the RSM lock.
+    pub rsm_lock_ns: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TaskState {
+    Waiting,
+    Ready,
+    Running,
+    Done,
+}
+
+struct TaskEntry {
+    func: Option<Box<dyn FnOnce() + Send + 'static>>,
+    unfinished_preds: usize,
+    succs: Vec<usize>,
+    critical: bool,
+    state: TaskState,
+}
+
+struct SchedState {
+    tasks: Vec<TaskEntry>,
+    hprq: VecDeque<usize>,
+    lprq: VecDeque<usize>,
+    outstanding: usize,
+    shutdown: bool,
+}
+
+struct Inner {
+    sched: Mutex<SchedState>,
+    work: Condvar,
+    drained: Condvar,
+    rsm: Mutex<ReconfigEngine>,
+    rsm_mode: RsmMode,
+    backend: Arc<dyn DvfsBackend>,
+    fast_khz: u32,
+    slow_khz: u32,
+    metrics: NativeMetrics,
+    regions: Mutex<DepTracker>,
+}
+
+impl Inner {
+    fn apply_cmds(&self, cmds: &[Cmd]) {
+        for cmd in cmds {
+            let (cpu, khz) = match *cmd {
+                Cmd::Accelerate(c) => (c, self.fast_khz),
+                Cmd::Decelerate(c) => (c, self.slow_khz),
+            };
+            self.metrics.reconfigs.fetch_add(1, Ordering::Relaxed);
+            if self.backend.set_speed(cpu, khz).is_err() {
+                self.metrics
+                    .reconfig_failures
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Runs the RSM transaction for a task event. `decide` produces the
+    /// commands under the engine lock.
+    fn rsm_event(&self, decide: impl FnOnce(&mut ReconfigEngine) -> Vec<Cmd>) {
+        let t0 = Instant::now();
+        let mut engine = self.rsm.lock();
+        let cmds = decide(&mut engine);
+        match self.rsm_mode {
+            RsmMode::Software => {
+                // Paper §III-A: the whole reconfiguration is serialized.
+                self.apply_cmds(&cmds);
+                let held = t0.elapsed().as_nanos() as u64;
+                drop(engine);
+                self.metrics.rsm_lock_ns.fetch_add(held, Ordering::Relaxed);
+            }
+            RsmMode::RsuEmulated => {
+                let held = t0.elapsed().as_nanos() as u64;
+                drop(engine);
+                self.metrics.rsm_lock_ns.fetch_add(held, Ordering::Relaxed);
+                // §III-B: the unit drives the controller; writes overlap.
+                self.apply_cmds(&cmds);
+            }
+        }
+    }
+}
+
+/// Builder for [`NativeRuntime`].
+pub struct NativeRuntimeBuilder {
+    workers: usize,
+    budget: usize,
+    fast_khz: u32,
+    slow_khz: u32,
+    rsm_mode: RsmMode,
+    backend: Option<Arc<dyn DvfsBackend>>,
+}
+
+impl NativeRuntimeBuilder {
+    /// Starts a builder for `workers` worker threads.
+    pub fn new(workers: usize) -> Self {
+        NativeRuntimeBuilder {
+            workers,
+            budget: workers / 2,
+            fast_khz: 2_000_000,
+            slow_khz: 1_000_000,
+            rsm_mode: RsmMode::RsuEmulated,
+            backend: None,
+        }
+    }
+
+    /// Sets the power budget (max simultaneously accelerated workers).
+    pub fn budget(mut self, budget: usize) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the fast/slow frequencies in kHz (cpufreq units).
+    pub fn frequencies_khz(mut self, fast: u32, slow: u32) -> Self {
+        self.fast_khz = fast;
+        self.slow_khz = slow;
+        self
+    }
+
+    /// Selects the reconfiguration discipline.
+    pub fn rsm_mode(mut self, mode: RsmMode) -> Self {
+        self.rsm_mode = mode;
+        self
+    }
+
+    /// Sets the DVFS backend (sysfs, mock, null).
+    pub fn backend(mut self, backend: Arc<dyn DvfsBackend>) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Builds and starts the runtime.
+    ///
+    /// # Panics
+    /// Panics if `workers == 0` or `budget > workers`.
+    pub fn build(self) -> NativeRuntime {
+        assert!(self.workers > 0, "need at least one worker");
+        assert!(
+            self.budget <= self.workers,
+            "budget {} exceeds workers {}",
+            self.budget,
+            self.workers
+        );
+        let backend = self.backend.unwrap_or_else(|| {
+            Arc::new(cata_cpufreq::backend::NullDvfs::new(self.workers))
+        });
+        let inner = Arc::new(Inner {
+            sched: Mutex::new(SchedState {
+                tasks: Vec::new(),
+                hprq: VecDeque::new(),
+                lprq: VecDeque::new(),
+                outstanding: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            drained: Condvar::new(),
+            rsm: Mutex::new(ReconfigEngine::new(self.workers, self.budget)),
+            rsm_mode: self.rsm_mode,
+            backend,
+            fast_khz: self.fast_khz,
+            slow_khz: self.slow_khz,
+            metrics: NativeMetrics::default(),
+            regions: Mutex::new(DepTracker::new()),
+        });
+
+        let handles = (0..self.workers)
+            .map(|wid| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("cata-worker-{wid}"))
+                    .spawn(move || worker_loop(wid, inner))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        NativeRuntime {
+            inner,
+            workers: handles,
+        }
+    }
+}
+
+fn worker_loop(wid: usize, inner: Arc<Inner>) {
+    loop {
+        // Acquire work (CATS order: HPRQ first, then LPRQ).
+        let (id, critical, func) = {
+            let mut s = inner.sched.lock();
+            let mut idle_reported = false;
+            let id = loop {
+                if let Some(id) = s.hprq.pop_front().or_else(|| s.lprq.pop_front()) {
+                    break id;
+                }
+                if s.shutdown {
+                    return;
+                }
+                if !idle_reported {
+                    // §V-B: an accelerated worker with nothing to run
+                    // releases its budget before sleeping.
+                    idle_reported = true;
+                    parking_lot::MutexGuard::unlocked(&mut s, || {
+                        inner.rsm_event(|e| e.on_core_idle(wid));
+                    });
+                    continue; // re-check the queues after dropping the lock
+                }
+                inner.work.wait(&mut s);
+            };
+            let entry = &mut s.tasks[id];
+            debug_assert_eq!(entry.state, TaskState::Ready);
+            entry.state = TaskState::Running;
+            let func = entry.func.take().expect("task body taken twice");
+            (id, entry.critical, func)
+        };
+
+        // CATA prologue: accelerate if possible.
+        inner.rsm_event(|e| {
+            let cmds = e.on_task_start(wid, critical);
+            if critical && cmds.is_empty() && !e.is_accelerated(wid) {
+                inner.metrics.accel_denied.fetch_add(1, Ordering::Relaxed);
+            }
+            cmds
+        });
+
+        func();
+
+        // CATA epilogue: decelerate, hand budget on.
+        inner.rsm_event(|e| e.on_task_end(wid));
+        inner.metrics.tasks_run.fetch_add(1, Ordering::Relaxed);
+
+        // Retire: release successors.
+        let mut s = inner.sched.lock();
+        s.tasks[id].state = TaskState::Done;
+        let succs = std::mem::take(&mut s.tasks[id].succs);
+        let mut woke = 0usize;
+        for succ in succs {
+            let e = &mut s.tasks[succ];
+            e.unfinished_preds -= 1;
+            if e.unfinished_preds == 0 && e.state == TaskState::Waiting {
+                e.state = TaskState::Ready;
+                if e.critical {
+                    s.hprq.push_back(succ);
+                } else {
+                    s.lprq.push_back(succ);
+                }
+                woke += 1;
+            }
+        }
+        s.outstanding -= 1;
+        if s.outstanding == 0 {
+            inner.drained.notify_all();
+        }
+        for _ in 0..woke {
+            inner.work.notify_one();
+        }
+    }
+}
+
+/// The native CATA runtime. Spawn tasks with [`spawn`](Self::spawn) or
+/// [`spawn_with_accesses`](Self::spawn_with_accesses); wait with
+/// [`wait_all`](Self::wait_all). Dropping the runtime waits for queued work
+/// and joins the workers.
+pub struct NativeRuntime {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl NativeRuntime {
+    /// Shorthand for [`NativeRuntimeBuilder::new`].
+    pub fn builder(workers: usize) -> NativeRuntimeBuilder {
+        NativeRuntimeBuilder::new(workers)
+    }
+
+    /// Spawns a task depending on explicit `deps`. `critical` routes it to
+    /// the HPRQ and makes it eligible for acceleration under contention.
+    pub fn spawn(
+        &self,
+        critical: bool,
+        deps: &[TaskHandle],
+        f: impl FnOnce() + Send + 'static,
+    ) -> TaskHandle {
+        let mut s = self.inner.sched.lock();
+        let id = s.tasks.len();
+        let mut unfinished = 0usize;
+
+        // Collect the dependencies that are still live first, then register
+        // this task with each of them.
+        let live: Vec<usize> = deps
+            .iter()
+            .filter(|h| s.tasks[h.0].state != TaskState::Done)
+            .map(|h| h.0)
+            .collect();
+        for &d in &live {
+            s.tasks[d].succs.push(id);
+            unfinished += 1;
+        }
+
+        let ready = unfinished == 0;
+        s.tasks.push(TaskEntry {
+            func: Some(Box::new(f)),
+            unfinished_preds: unfinished,
+            succs: Vec::new(),
+            critical,
+            state: if ready { TaskState::Ready } else { TaskState::Waiting },
+        });
+        s.outstanding += 1;
+        if ready {
+            if critical {
+                s.hprq.push_back(id);
+            } else {
+                s.lprq.push_back(id);
+            }
+            drop(s);
+            self.inner.work.notify_one();
+        }
+        TaskHandle(id)
+    }
+
+    /// Spawns a task whose dependences are derived from declared data-region
+    /// accesses, OmpSs style (`in`/`out`/`inout`).
+    pub fn spawn_with_accesses(
+        &self,
+        critical: bool,
+        accesses: &[(RegionId, AccessMode)],
+        f: impl FnOnce() + Send + 'static,
+    ) -> TaskHandle {
+        // Reserve the id under the scheduler lock via a two-phase protocol:
+        // region tracking keys tasks by their future id.
+        let deps: Vec<TaskHandle> = {
+            let s = self.inner.sched.lock();
+            let next_id = s.tasks.len() as u32;
+            drop(s);
+            let mut regions = self.inner.regions.lock();
+            regions
+                .deps_for(TaskId(next_id), accesses)
+                .into_iter()
+                .map(|t| TaskHandle(t.index()))
+                .collect()
+        };
+        self.spawn(critical, &deps, f)
+    }
+
+    /// Blocks until every spawned task has completed.
+    pub fn wait_all(&self) {
+        let mut s = self.inner.sched.lock();
+        while s.outstanding > 0 {
+            self.inner.drained.wait(&mut s);
+        }
+    }
+
+    /// Current counter values.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.metrics.snapshot()
+    }
+
+    /// Number of worker threads.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The configured power budget.
+    pub fn budget(&self) -> usize {
+        self.inner.rsm.lock().budget()
+    }
+}
+
+impl Drop for NativeRuntime {
+    fn drop(&mut self) {
+        self.wait_all();
+        {
+            let mut s = self.inner.sched.lock();
+            s.shutdown = true;
+        }
+        self.inner.work.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cata_cpufreq::backend::MockDvfs;
+    use std::sync::atomic::AtomicUsize;
+
+    fn runtime(workers: usize, budget: usize, mode: RsmMode) -> (NativeRuntime, Arc<MockDvfs>) {
+        let mock = Arc::new(MockDvfs::new(workers, 1_000_000));
+        let rt = NativeRuntime::builder(workers)
+            .budget(budget)
+            .rsm_mode(mode)
+            .backend(mock.clone() as Arc<dyn DvfsBackend>)
+            .build();
+        (rt, mock)
+    }
+
+    #[test]
+    fn runs_every_task_exactly_once() {
+        let (rt, _) = runtime(4, 2, RsmMode::RsuEmulated);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for i in 0..100 {
+            let c = Arc::clone(&counter);
+            rt.spawn(i % 4 == 0, &[], move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        rt.wait_all();
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+        assert_eq!(rt.metrics().tasks_run, 100);
+    }
+
+    #[test]
+    fn dependences_order_execution() {
+        let (rt, _) = runtime(4, 2, RsmMode::Software);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let l1 = Arc::clone(&log);
+        let a = rt.spawn(false, &[], move || l1.lock().push("a"));
+        let l2 = Arc::clone(&log);
+        let b = rt.spawn(false, &[a], move || l2.lock().push("b"));
+        let l3 = Arc::clone(&log);
+        rt.spawn(true, &[a, b], move || l3.lock().push("c"));
+        rt.wait_all();
+        assert_eq!(*log.lock(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn diamond_joins_both_branches() {
+        let (rt, _) = runtime(4, 4, RsmMode::RsuEmulated);
+        let sum = Arc::new(AtomicUsize::new(0));
+        let s1 = Arc::clone(&sum);
+        let root = rt.spawn(false, &[], move || {
+            s1.fetch_add(1, Ordering::Relaxed);
+        });
+        let mut branches = Vec::new();
+        for _ in 0..2 {
+            let s = Arc::clone(&sum);
+            branches.push(rt.spawn(false, &[root], move || {
+                s.fetch_add(10, Ordering::Relaxed);
+            }));
+        }
+        let s2 = Arc::clone(&sum);
+        rt.spawn(true, &branches, move || {
+            // Both branches must have run.
+            assert_eq!(s2.load(Ordering::Relaxed), 21);
+            s2.fetch_add(100, Ordering::Relaxed);
+        });
+        rt.wait_all();
+        assert_eq!(sum.load(Ordering::Relaxed), 121);
+    }
+
+    #[test]
+    fn region_accesses_derive_dependences() {
+        let (rt, _) = runtime(2, 1, RsmMode::RsuEmulated);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let r = RegionId(7);
+        let l1 = Arc::clone(&log);
+        rt.spawn_with_accesses(false, &[(r, AccessMode::Out)], move || {
+            l1.lock().push("writer");
+        });
+        let l2 = Arc::clone(&log);
+        rt.spawn_with_accesses(false, &[(r, AccessMode::In)], move || {
+            l2.lock().push("reader");
+        });
+        rt.wait_all();
+        assert_eq!(*log.lock(), vec!["writer", "reader"]);
+    }
+
+    #[test]
+    fn backend_receives_reconfigurations() {
+        let (rt, mock) = runtime(2, 1, RsmMode::Software);
+        for _ in 0..10 {
+            rt.spawn(true, &[], || {});
+        }
+        rt.wait_all();
+        assert!(mock.call_count() > 0, "no DVFS writes recorded");
+        // Every write targets a valid worker at a known frequency.
+        for (cpu, khz) in mock.calls() {
+            assert!(cpu < 2);
+            assert!(khz == 2_000_000 || khz == 1_000_000);
+        }
+    }
+
+    #[test]
+    fn backend_failures_degrade_gracefully() {
+        let mock = Arc::new(MockDvfs::new(2, 1_000_000));
+        mock.fail_after(0);
+        let rt = NativeRuntime::builder(2)
+            .budget(1)
+            .backend(mock.clone() as Arc<dyn DvfsBackend>)
+            .build();
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..20 {
+            let c = Arc::clone(&counter);
+            rt.spawn(true, &[], move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        rt.wait_all();
+        assert_eq!(counter.load(Ordering::Relaxed), 20);
+        assert!(rt.metrics().reconfig_failures > 0);
+    }
+
+    #[test]
+    fn completed_dependences_do_not_block() {
+        let (rt, _) = runtime(2, 1, RsmMode::RsuEmulated);
+        let a = rt.spawn(false, &[], || {});
+        rt.wait_all(); // `a` is done
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r = Arc::clone(&ran);
+        rt.spawn(false, &[a], move || {
+            r.fetch_add(1, Ordering::Relaxed);
+        });
+        rt.wait_all();
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn both_rsm_modes_account_lock_time() {
+        for mode in [RsmMode::Software, RsmMode::RsuEmulated] {
+            let (rt, _) = runtime(4, 2, mode);
+            for _ in 0..50 {
+                rt.spawn(true, &[], || {});
+            }
+            rt.wait_all();
+            let m = rt.metrics();
+            assert!(m.reconfigs > 0, "{mode:?} never reconfigured");
+        }
+    }
+
+    #[test]
+    fn stress_many_tasks_many_workers() {
+        let (rt, _) = runtime(8, 4, RsmMode::RsuEmulated);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut last: Option<TaskHandle> = None;
+        for i in 0..500 {
+            let c = Arc::clone(&counter);
+            let deps: Vec<TaskHandle> = last.into_iter().collect();
+            let h = rt.spawn(i % 7 == 0, &deps, move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+            if i % 3 == 0 {
+                last = Some(h);
+            }
+        }
+        rt.wait_all();
+        assert_eq!(counter.load(Ordering::Relaxed), 500);
+    }
+}

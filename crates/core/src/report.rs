@@ -1,0 +1,124 @@
+//! Run reports: the measurements every figure/table is built from.
+
+use cata_power::EnergyReport;
+use cata_sim::stats::{Counters, LatencySamples};
+use cata_sim::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// The result of one simulated execution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Configuration label ("FIFO", "CATA+RSU", …).
+    pub label: String,
+    /// Workload name.
+    pub workload: String,
+    /// Fast-core count / power budget of the run.
+    pub fast_cores: usize,
+    /// Parallel-section execution time.
+    pub exec_time: SimDuration,
+    /// Energy/EDP from the power model.
+    pub energy: EnergyReport,
+    /// Event counters.
+    pub counters: Counters,
+    /// Lock-wait distribution of the software reconfiguration path.
+    pub lock_waits: LatencySamples,
+    /// Reconfiguration latency distribution.
+    pub reconfig_latencies: LatencySamples,
+    /// Total runtime overhead charged by the acceleration manager.
+    pub reconfig_overhead: SimDuration,
+    /// Share of aggregate core time spent in the reconfiguration path
+    /// (paper §V-C: 0.03 %–3.49 % for CATA).
+    pub reconfig_time_share: f64,
+    /// Per-core busy fraction.
+    pub core_utilization: Vec<f64>,
+    /// Number of tasks executed.
+    pub tasks: usize,
+}
+
+impl RunReport {
+    /// Speedup over a baseline run (paper figures: normalized to FIFO).
+    pub fn speedup_over(&self, baseline: &RunReport) -> f64 {
+        if self.exec_time.is_zero() {
+            return 0.0;
+        }
+        baseline.exec_time.as_ps() as f64 / self.exec_time.as_ps() as f64
+    }
+
+    /// EDP normalized to a baseline run (lower is better).
+    pub fn edp_normalized_to(&self, baseline: &RunReport) -> f64 {
+        self.energy.edp_normalized_to(&baseline.energy)
+    }
+
+    /// Mean core utilization.
+    pub fn avg_utilization(&self) -> f64 {
+        if self.core_utilization.is_empty() {
+            return 0.0;
+        }
+        self.core_utilization.iter().sum::<f64>() / self.core_utilization.len() as f64
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<10} {:<14} fast={:<2} time={:<12} energy={:.4}J edp={:.6} tasks={} reconfigs={} (overhead {:.2}%)",
+            self.label,
+            self.workload,
+            self.fast_cores,
+            self.exec_time.to_string(),
+            self.energy.energy_j,
+            self.energy.edp,
+            self.tasks,
+            self.counters.reconfigs_applied,
+            self.reconfig_time_share * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cata_power::EnergyBreakdown;
+
+    fn report(time_us: u64, energy_j: f64) -> RunReport {
+        let t = SimDuration::from_us(time_us);
+        RunReport {
+            label: "X".into(),
+            workload: "w".into(),
+            fast_cores: 8,
+            exec_time: t,
+            energy: EnergyReport::from_parts(
+                t.as_secs_f64(),
+                EnergyBreakdown {
+                    core_busy_j: energy_j,
+                    ..Default::default()
+                },
+            ),
+            counters: Counters::default(),
+            lock_waits: LatencySamples::new(),
+            reconfig_latencies: LatencySamples::new(),
+            reconfig_overhead: SimDuration::ZERO,
+            reconfig_time_share: 0.0,
+            core_utilization: vec![0.5, 1.0],
+            tasks: 10,
+        }
+    }
+
+    #[test]
+    fn normalization_math() {
+        let base = report(200, 10.0);
+        let fast = report(100, 8.0);
+        assert!((fast.speedup_over(&base) - 2.0).abs() < 1e-12);
+        // EDP: (8 × 100µs) / (10 × 200µs) = 0.4.
+        assert!((fast.edp_normalized_to(&base) - 0.4).abs() < 1e-12);
+        assert!((fast.avg_utilization() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_contains_key_fields() {
+        let r = report(100, 1.0);
+        let s = r.summary();
+        assert!(s.contains("X"));
+        assert!(s.contains("fast=8"));
+        assert!(s.contains("tasks=10"));
+    }
+}

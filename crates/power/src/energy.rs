@@ -1,0 +1,180 @@
+//! Energy integration over activity timelines.
+
+use crate::params::PowerParams;
+use cata_sim::activity::Activity;
+use cata_sim::machine::Machine;
+use cata_sim::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Energy attributed to each component, in joules.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Core dynamic energy while busy.
+    pub core_busy_j: f64,
+    /// Core dynamic energy in the runtime idle loop.
+    pub core_idle_j: f64,
+    /// Core dynamic energy while halted (clock-gating residue).
+    pub core_halt_j: f64,
+    /// Core leakage energy.
+    pub core_static_j: f64,
+    /// Uncore (L2/directory/NoC) energy.
+    pub uncore_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy across all components.
+    pub fn total_j(&self) -> f64 {
+        self.core_busy_j + self.core_idle_j + self.core_halt_j + self.core_static_j + self.uncore_j
+    }
+}
+
+/// The energy/EDP result of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Wall-clock execution time of the run, in seconds.
+    pub time_s: f64,
+    /// Total energy, in joules.
+    pub energy_j: f64,
+    /// Energy-Delay Product, in joule-seconds.
+    pub edp: f64,
+    /// Average power over the run, in watts.
+    pub avg_power_w: f64,
+    /// Per-component energy attribution.
+    pub breakdown: EnergyBreakdown,
+}
+
+impl EnergyReport {
+    /// Builds a report from a total energy and run time.
+    pub fn from_parts(time_s: f64, breakdown: EnergyBreakdown) -> Self {
+        let energy_j = breakdown.total_j();
+        EnergyReport {
+            time_s,
+            energy_j,
+            edp: energy_j * time_s,
+            avg_power_w: if time_s > 0.0 { energy_j / time_s } else { 0.0 },
+            breakdown,
+        }
+    }
+
+    /// This report's EDP normalized to a baseline report (paper Figures 4–5
+    /// plot exactly this quantity).
+    pub fn edp_normalized_to(&self, baseline: &EnergyReport) -> f64 {
+        if baseline.edp == 0.0 {
+            0.0
+        } else {
+            self.edp / baseline.edp
+        }
+    }
+
+    /// Speedup of this run relative to a baseline (baseline time / our time).
+    pub fn speedup_over(&self, baseline: &EnergyReport) -> f64 {
+        if self.time_s == 0.0 {
+            0.0
+        } else {
+            baseline.time_s / self.time_s
+        }
+    }
+}
+
+/// Integrates the activity timelines of a finished machine into an energy
+/// report.
+///
+/// The machine must have been closed with [`Machine::finish`] so every
+/// timeline covers `[0, end]`; `run_time` is that same end instant.
+pub fn integrate_machine(machine: &Machine, run_time: SimDuration, params: &PowerParams) -> EnergyReport {
+    let mut b = EnergyBreakdown::default();
+    for core in machine.cores() {
+        for seg in core.timeline().segments() {
+            let dt = seg.duration.as_secs_f64();
+            let dyn_j = params.dynamic_w(seg.level, seg.activity) * dt;
+            match seg.activity {
+                Activity::Busy => b.core_busy_j += dyn_j,
+                Activity::Idle => b.core_idle_j += dyn_j,
+                Activity::Halted => b.core_halt_j += dyn_j,
+            }
+            b.core_static_j += params.static_w(seg.level) * dt;
+        }
+    }
+    b.uncore_j = params.uncore_w * run_time.as_secs_f64();
+    EnergyReport::from_parts(run_time.as_secs_f64(), b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cata_sim::machine::{CoreId, MachineConfig, PowerLevel};
+    use cata_sim::time::SimTime;
+
+    #[test]
+    fn idle_machine_consumes_static_idle_and_uncore() {
+        let cfg = MachineConfig::small_test(2);
+        let mut m = Machine::new(cfg);
+        let end = SimTime::from_ms(1);
+        m.finish(end);
+        let p = PowerParams::mcpat_22nm();
+        let r = integrate_machine(&m, SimDuration::from_ms(1), &p);
+
+        let dt = 1e-3;
+        let expect_static = 2.0 * p.static_w(PowerLevel::paper_slow()) * dt;
+        let expect_idle = 2.0 * p.dynamic_w(PowerLevel::paper_slow(), Activity::Idle) * dt;
+        let expect_uncore = p.uncore_w * dt;
+        assert!((r.breakdown.core_static_j - expect_static).abs() < 1e-12);
+        assert!((r.breakdown.core_idle_j - expect_idle).abs() < 1e-12);
+        assert!((r.breakdown.uncore_j - expect_uncore).abs() < 1e-12);
+        assert_eq!(r.breakdown.core_busy_j, 0.0);
+        assert!((r.energy_j - r.breakdown.total_j()).abs() < 1e-15);
+        assert!((r.edp - r.energy_j * dt).abs() < 1e-18);
+    }
+
+    #[test]
+    fn busy_fast_core_dominates_energy() {
+        let cfg = MachineConfig::small_test(1);
+        let mut m = Machine::new_static_hetero(cfg, 1);
+        m.set_activity(CoreId(0), SimTime::ZERO, Activity::Busy);
+        m.finish(SimTime::from_ms(10));
+        let p = PowerParams::mcpat_22nm();
+        let r = integrate_machine(&m, SimDuration::from_ms(10), &p);
+        // 2 W dynamic × 10 ms = 20 mJ busy energy.
+        assert!((r.breakdown.core_busy_j - 0.02).abs() < 1e-9);
+        assert!(r.breakdown.core_busy_j > r.breakdown.core_static_j);
+    }
+
+    #[test]
+    fn normalization_helpers() {
+        let base = EnergyReport::from_parts(
+            2.0,
+            EnergyBreakdown {
+                core_busy_j: 10.0,
+                ..Default::default()
+            },
+        );
+        let faster = EnergyReport::from_parts(
+            1.0,
+            EnergyBreakdown {
+                core_busy_j: 8.0,
+                ..Default::default()
+            },
+        );
+        assert!((faster.speedup_over(&base) - 2.0).abs() < 1e-12);
+        // EDP: 8 J·1 s vs 10 J·2 s → 0.4.
+        assert!((faster.edp_normalized_to(&base) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn halted_core_saves_energy_vs_idle() {
+        let cfg = MachineConfig::small_test(1);
+        let p = PowerParams::mcpat_22nm();
+        let run = SimDuration::from_ms(5);
+
+        let mut idle = Machine::new(cfg.clone());
+        idle.finish(SimTime::ZERO + run);
+        let r_idle = integrate_machine(&idle, run, &p);
+
+        let mut halted = Machine::new(cfg);
+        halted.set_activity(CoreId(0), SimTime::ZERO, Activity::Halted);
+        halted.finish(SimTime::ZERO + run);
+        let r_halt = integrate_machine(&halted, run, &p);
+
+        assert!(r_halt.energy_j < r_idle.energy_j);
+    }
+}

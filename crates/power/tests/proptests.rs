@@ -1,0 +1,101 @@
+//! Property tests for the power model: the CMOS relations and the energy
+//! integrator's accounting identities.
+
+use cata_power::{integrate_machine, PowerParams};
+use cata_sim::activity::Activity;
+use cata_sim::machine::{CoreId, Machine, MachineConfig, PowerLevel};
+use cata_sim::time::{Frequency, SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Dynamic power is monotone in frequency and voltage, and linear in
+    /// frequency at fixed voltage (P = α·C·V²·f).
+    #[test]
+    fn dynamic_power_relations(f in 100u32..4000, v in 500u32..1300) {
+        let p = PowerParams::mcpat_22nm();
+        let lvl = |f, v| PowerLevel { frequency: Frequency::from_mhz(f), voltage_mv: v };
+        let base = p.dynamic_w(lvl(f, v), Activity::Busy);
+        prop_assert!(base > 0.0);
+        // Monotone in f and in V.
+        prop_assert!(p.dynamic_w(lvl(f * 2, v), Activity::Busy) > base);
+        prop_assert!(p.dynamic_w(lvl(f, v + 100), Activity::Busy) > base);
+        // Linear in f: doubling f doubles dynamic power exactly.
+        let double = p.dynamic_w(lvl(f * 2, v), Activity::Busy);
+        prop_assert!((double / base - 2.0).abs() < 1e-9);
+        // Quadratic in V: P(2V)/P(V) == 4.
+        let quad = p.dynamic_w(lvl(f, v * 2), Activity::Busy);
+        prop_assert!((quad / base - 4.0).abs() < 1e-9);
+    }
+
+    /// Energy accounting identity: total == sum of the breakdown, and the
+    /// report's average power times time equals the energy.
+    #[test]
+    fn energy_identities(
+        busy_ms in 1u64..50,
+        idle_ms in 1u64..50,
+    ) {
+        let p = PowerParams::mcpat_22nm();
+        let mut m = Machine::new(MachineConfig::small_test(2));
+        m.set_activity(CoreId(0), SimTime::ZERO, Activity::Busy);
+        m.set_activity(CoreId(0), SimTime::from_ms(busy_ms), Activity::Idle);
+        let end = SimTime::from_ms(busy_ms + idle_ms);
+        m.finish(end);
+        let r = integrate_machine(&m, end.since(SimTime::ZERO), &p);
+        let b = r.breakdown;
+        let sum = b.core_busy_j + b.core_idle_j + b.core_halt_j + b.core_static_j + b.uncore_j;
+        prop_assert!((r.energy_j - sum).abs() < 1e-12);
+        prop_assert!((r.avg_power_w * r.time_s - r.energy_j).abs() < 1e-9);
+        prop_assert!((r.edp - r.energy_j * r.time_s).abs() < 1e-12);
+    }
+
+    /// Splitting a busy interval across many activity records does not
+    /// change the integrated energy (the integral is additive).
+    #[test]
+    fn integration_is_additive_over_splits(splits in 1usize..20) {
+        let p = PowerParams::mcpat_22nm();
+        let total = SimDuration::from_ms(10);
+
+        let energy_with_splits = |k: usize| {
+            let mut m = Machine::new(MachineConfig::small_test(1));
+            m.set_activity(CoreId(0), SimTime::ZERO, Activity::Busy);
+            // Re-record the same state k times mid-interval.
+            for i in 1..k {
+                let t = SimTime::from_ps(total.as_ps() * i as u64 / k as u64);
+                m.set_activity(CoreId(0), t, Activity::Busy);
+            }
+            let end = SimTime::ZERO + total;
+            m.finish(end);
+            integrate_machine(&m, total, &p).energy_j
+        };
+
+        let once = energy_with_splits(1);
+        let many = energy_with_splits(splits);
+        prop_assert!((once - many).abs() < 1e-12);
+    }
+
+    /// Running the same work at the slow level uses strictly less *dynamic*
+    /// energy per unit time but takes longer: the DVFS race-to-idle
+    /// trade-off the paper's EDP metric captures.
+    #[test]
+    fn slow_level_trades_power_for_time(ms in 1u64..100) {
+        let p = PowerParams::mcpat_22nm();
+        let dur = SimDuration::from_ms(ms);
+        let run_at = |fast: bool| {
+            let cfg = MachineConfig::small_test(1);
+            let mut m = if fast {
+                Machine::new_static_hetero(cfg, 1)
+            } else {
+                Machine::new(cfg)
+            };
+            m.set_activity(CoreId(0), SimTime::ZERO, Activity::Busy);
+            m.finish(SimTime::ZERO + dur);
+            integrate_machine(&m, dur, &p)
+        };
+        let fast = run_at(true);
+        let slow = run_at(false);
+        prop_assert!(slow.breakdown.core_busy_j < fast.breakdown.core_busy_j);
+        prop_assert!(slow.breakdown.core_static_j < fast.breakdown.core_static_j);
+    }
+}

@@ -1,0 +1,159 @@
+//! Property tests for the reconfiguration engine and the RSU, including the
+//! OS virtualization path interleaved with task events.
+
+use cata_rsu::engine::{Cmd, ReconfigEngine, TaskCrit};
+use cata_rsu::overhead::{estimate, storage_bits, TechParams};
+use cata_rsu::unit::{Rsu, RsuConfig};
+use cata_rsu::virt::{preempt, resume, ThreadStruct};
+use cata_sim::time::Frequency;
+use proptest::prelude::*;
+
+const F: Frequency = Frequency::from_ghz(1);
+
+fn apply_cmds(fast: &mut [bool], cmds: &[Cmd]) {
+    for c in cmds {
+        match *c {
+            Cmd::Accelerate(i) => fast[i] = true,
+            Cmd::Decelerate(i) => fast[i] = false,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Under arbitrary start/end/idle streams the engine's commands, replayed
+    /// onto a fast-flag array, always agree with the engine's own view and
+    /// never exceed the budget.
+    #[test]
+    fn engine_commands_replay_consistently(
+        events in prop::collection::vec((0usize..6, 0u8..3, any::<bool>()), 0..300),
+        budget in 0usize..=6,
+    ) {
+        let mut e = ReconfigEngine::new(6, budget);
+        let mut fast = [false; 6];
+        let mut running = [false; 6];
+        for (core, op, critical) in events {
+            let cmds = match op {
+                0 if !running[core] => {
+                    running[core] = true;
+                    e.on_task_start(core, critical)
+                }
+                1 if running[core] => {
+                    running[core] = false;
+                    e.on_task_end(core)
+                }
+                2 if !running[core] => e.on_core_idle(core),
+                _ => continue,
+            };
+            apply_cmds(&mut fast, &cmds);
+            // Replayed state matches the engine's bookkeeping exactly.
+            for i in 0..6 {
+                prop_assert_eq!(fast[i], e.is_accelerated(i), "core {} diverged", i);
+            }
+            prop_assert!(fast.iter().filter(|&&f| f).count() <= budget);
+            // Within a decision, decelerations come first.
+            let first_accel = cmds.iter().position(|c| matches!(c, Cmd::Accelerate(_)));
+            let last_decel = cmds.iter().rposition(|c| matches!(c, Cmd::Decelerate(_)));
+            if let (Some(a), Some(d)) = (first_accel, last_decel) {
+                prop_assert!(d < a, "acceleration before deceleration in {:?}", cmds);
+            }
+        }
+    }
+
+    /// A critical task start is never left unaccelerated while a
+    /// non-critical task holds budget (the anti-priority-inversion property).
+    #[test]
+    fn critical_start_displaces_when_possible(
+        setup in prop::collection::vec(any::<bool>(), 4),
+        budget in 1usize..=4,
+    ) {
+        let mut e = ReconfigEngine::new(5, budget);
+        for (core, crit) in setup.iter().enumerate() {
+            e.on_task_start(core, *crit);
+        }
+        e.on_task_start(4, true);
+        if !e.is_accelerated(4) {
+            // Then every accelerated core must be running a critical task.
+            for core in 0..4 {
+                if e.is_accelerated(core) {
+                    prop_assert_eq!(e.crit(core), TaskCrit::Critical);
+                }
+            }
+        }
+        prop_assert!(e.check_invariants().is_ok());
+    }
+
+    /// Preempt/resume round trips preserve the engine's budget invariant and
+    /// restore criticality faithfully.
+    #[test]
+    fn virtualization_round_trips(
+        ops in prop::collection::vec((0usize..4, 0u8..4, any::<bool>()), 0..120),
+    ) {
+        let mut rsu = Rsu::init(RsuConfig {
+            num_cores: 4,
+            budget: 2,
+            ..RsuConfig::paper_default(2)
+        });
+        let mut threads: [ThreadStruct; 4] = Default::default();
+        let mut on_core: [bool; 4] = [true; 4]; // thread i resident on core i
+        let mut running: [bool; 4] = [false; 4];
+        for (core, op, crit) in ops {
+            match op {
+                0 if on_core[core] && !running[core] => {
+                    rsu.start_task(core, crit, F).unwrap();
+                    running[core] = true;
+                }
+                1 if on_core[core] && running[core] => {
+                    rsu.end_task(core, F).unwrap();
+                    running[core] = false;
+                }
+                2 if on_core[core] => {
+                    let before = rsu.read_critic(core).unwrap();
+                    preempt(&mut rsu, core, &mut threads[core], F).unwrap();
+                    on_core[core] = false;
+                    // Saved value faithfully encodes what was running.
+                    let saved_some = threads[core].saved_crit.is_some();
+                    prop_assert_eq!(saved_some, before != TaskCrit::NoTask);
+                    prop_assert_eq!(rsu.read_critic(core).unwrap(), TaskCrit::NoTask);
+                }
+                3 if !on_core[core] => {
+                    resume(&mut rsu, core, &threads[core], F).unwrap();
+                    on_core[core] = true;
+                }
+                _ => {}
+            }
+            prop_assert!(rsu.engine().check_invariants().is_ok());
+            prop_assert!(rsu.engine().accelerated_count() <= 2);
+        }
+    }
+
+    /// The storage formula is exact and monotone; the overhead estimate
+    /// stays "negligible" over four orders of magnitude of core counts.
+    #[test]
+    fn overhead_monotone_and_negligible(cores in 2usize..2048, states in 2usize..16) {
+        let bits = storage_bits(cores, states);
+        prop_assert!(bits >= 3 * cores as u64);
+        prop_assert!(storage_bits(cores + 1, states) > bits);
+        let o = estimate(cores, states, &TechParams::nm22());
+        prop_assert!(o.area_fraction < 0.001);
+        prop_assert!(o.power_uw < 100.0);
+    }
+
+    /// Disabled units reject all task operations but re-enable cleanly.
+    #[test]
+    fn disable_enable_cycle(ops in prop::collection::vec(0usize..4, 0..20)) {
+        let mut rsu = Rsu::init(RsuConfig {
+            num_cores: 4,
+            budget: 2,
+            ..RsuConfig::paper_default(2)
+        });
+        rsu.disable();
+        for core in ops {
+            prop_assert!(rsu.start_task(core, true, F).is_err());
+        }
+        rsu.enable();
+        rsu.reset();
+        prop_assert!(rsu.start_task(0, true, F).is_ok());
+    }
+}

@@ -1,0 +1,197 @@
+//! Per-core activity timelines.
+//!
+//! Every core records a sequence of homogeneous segments — (duration, power
+//! level, activity) — that the `cata-power` crate integrates into energy.
+//! Segments are appended whenever the core's activity or settled power level
+//! changes, so the timeline is an exact piece-wise-constant description of
+//! the core's power-relevant state over the whole simulation.
+
+use crate::machine::PowerLevel;
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// What a core is doing, from the power model's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Activity {
+    /// Executing task (or runtime) instructions: full dynamic power.
+    Busy,
+    /// Spinning in the runtime's idle loop waiting for work: reduced dynamic
+    /// power (the idle loop keeps the pipeline lightly active).
+    Idle,
+    /// Halted in the ACPI C1 state (after executing `hlt`): clock gated,
+    /// near-zero dynamic power. Entered by blocked tasks and by TurboMode's
+    /// idle detection.
+    Halted,
+}
+
+/// One homogeneous stretch of a core's existence.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// When the segment started.
+    pub start: SimTime,
+    /// How long it lasted.
+    pub duration: SimDuration,
+    /// Operating point during the segment.
+    pub level: PowerLevel,
+    /// Activity during the segment.
+    pub activity: Activity,
+}
+
+/// An append-only piece-wise-constant activity record for one core.
+#[derive(Debug, Clone)]
+pub struct ActivityTimeline {
+    segments: Vec<Segment>,
+    // Open segment state.
+    open_since: SimTime,
+    level: PowerLevel,
+    activity: Activity,
+    closed: bool,
+}
+
+impl ActivityTimeline {
+    /// Starts a timeline at t = 0 in the given state.
+    pub fn new(level: PowerLevel, activity: Activity) -> Self {
+        ActivityTimeline {
+            segments: Vec::new(),
+            open_since: SimTime::ZERO,
+            level,
+            activity,
+            closed: false,
+        }
+    }
+
+    /// Records an activity change at `now` (level unchanged).
+    pub fn record(&mut self, now: SimTime, level: PowerLevel, activity: Activity) {
+        debug_assert!(!self.closed, "timeline already closed");
+        if level == self.level && activity == self.activity {
+            return; // No state change; keep the open segment running.
+        }
+        self.flush(now);
+        self.level = level;
+        self.activity = activity;
+    }
+
+    /// Records a settled DVFS level change at `now` (activity unchanged).
+    pub fn record_level_change(&mut self, now: SimTime, level: PowerLevel) {
+        let activity = self.activity;
+        self.record(now, level, activity);
+    }
+
+    /// Closes the timeline at simulation end, flushing the open segment.
+    pub fn close(&mut self, end: SimTime) {
+        if self.closed {
+            return;
+        }
+        self.flush(end);
+        self.closed = true;
+    }
+
+    fn flush(&mut self, now: SimTime) {
+        let duration = now.saturating_since(self.open_since);
+        if !duration.is_zero() {
+            self.segments.push(Segment {
+                start: self.open_since,
+                duration,
+                level: self.level,
+                activity: self.activity,
+            });
+        }
+        self.open_since = now;
+    }
+
+    /// The recorded segments. Only complete after [`close`](Self::close).
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Total time spent in a given activity (over closed segments).
+    pub fn time_in(&self, activity: Activity) -> SimDuration {
+        self.segments
+            .iter()
+            .filter(|s| s.activity == activity)
+            .map(|s| s.duration)
+            .sum()
+    }
+
+    /// Total time covered by closed segments.
+    pub fn total(&self) -> SimDuration {
+        self.segments.iter().map(|s| s.duration).sum()
+    }
+
+    /// Fraction of closed time spent busy (utilization).
+    pub fn utilization(&self) -> f64 {
+        self.time_in(Activity::Busy).ratio(self.total())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slow() -> PowerLevel {
+        PowerLevel::paper_slow()
+    }
+    fn fast() -> PowerLevel {
+        PowerLevel::paper_fast()
+    }
+
+    #[test]
+    fn segments_cover_timeline_without_gaps() {
+        let mut tl = ActivityTimeline::new(slow(), Activity::Idle);
+        tl.record(SimTime::from_us(10), slow(), Activity::Busy);
+        tl.record_level_change(SimTime::from_us(30), fast());
+        tl.record(SimTime::from_us(50), fast(), Activity::Idle);
+        tl.close(SimTime::from_us(60));
+
+        let segs = tl.segments();
+        assert_eq!(segs.len(), 4);
+        // Contiguity.
+        let mut t = SimTime::ZERO;
+        for s in segs {
+            assert_eq!(s.start, t);
+            t = t + s.duration;
+        }
+        assert_eq!(t, SimTime::from_us(60));
+        assert_eq!(tl.total(), SimDuration::from_us(60));
+    }
+
+    #[test]
+    fn redundant_records_are_coalesced() {
+        let mut tl = ActivityTimeline::new(slow(), Activity::Idle);
+        tl.record(SimTime::from_us(5), slow(), Activity::Idle);
+        tl.record(SimTime::from_us(9), slow(), Activity::Idle);
+        tl.close(SimTime::from_us(10));
+        assert_eq!(tl.segments().len(), 1);
+        assert_eq!(tl.segments()[0].duration, SimDuration::from_us(10));
+    }
+
+    #[test]
+    fn zero_length_segments_are_dropped() {
+        let mut tl = ActivityTimeline::new(slow(), Activity::Idle);
+        tl.record(SimTime::ZERO, slow(), Activity::Busy);
+        tl.record(SimTime::ZERO, fast(), Activity::Busy);
+        tl.close(SimTime::from_us(1));
+        assert_eq!(tl.segments().len(), 1);
+        assert_eq!(tl.segments()[0].level, fast());
+    }
+
+    #[test]
+    fn time_accounting_per_activity() {
+        let mut tl = ActivityTimeline::new(slow(), Activity::Idle);
+        tl.record(SimTime::from_us(2), slow(), Activity::Busy);
+        tl.record(SimTime::from_us(7), slow(), Activity::Halted);
+        tl.close(SimTime::from_us(10));
+        assert_eq!(tl.time_in(Activity::Idle), SimDuration::from_us(2));
+        assert_eq!(tl.time_in(Activity::Busy), SimDuration::from_us(5));
+        assert_eq!(tl.time_in(Activity::Halted), SimDuration::from_us(3));
+        assert!((tl.utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn close_is_idempotent() {
+        let mut tl = ActivityTimeline::new(slow(), Activity::Busy);
+        tl.close(SimTime::from_us(4));
+        tl.close(SimTime::from_us(9));
+        assert_eq!(tl.total(), SimDuration::from_us(4));
+    }
+}

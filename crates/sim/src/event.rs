@@ -1,0 +1,222 @@
+//! Deterministic discrete-event queue.
+//!
+//! The simulation advances by popping the earliest pending event. Two events
+//! scheduled for the same instant are delivered in the order they were pushed
+//! (FIFO tie-break via a monotonically increasing sequence number), which
+//! makes every simulation bit-for-bit reproducible — a property the test
+//! suite relies on.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event queue over user-defined payloads `E`.
+///
+/// ```
+/// use cata_sim::event::EventQueue;
+/// use cata_sim::time::SimTime;
+///
+/// let mut q: EventQueue<&str> = EventQueue::new();
+/// q.push(SimTime::from_ns(20), "late");
+/// q.push(SimTime::from_ns(10), "early");
+/// q.push(SimTime::from_ns(10), "early-second");
+///
+/// assert_eq!(q.pop(), Some((SimTime::from_ns(10), "early")));
+/// assert_eq!(q.pop(), Some((SimTime::from_ns(10), "early-second")));
+/// assert_eq!(q.pop(), Some((SimTime::from_ns(20), "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    /// Time of the last popped event; used to detect causality violations.
+    now: SimTime,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+// BinaryHeap is a max-heap; invert the ordering to pop the earliest
+// (time, seq) first.
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Creates an empty queue with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Schedules `payload` for delivery at `time`.
+    ///
+    /// # Panics
+    /// Panics if `time` is earlier than the time of the last popped event:
+    /// scheduling into the past is always a simulator bug.
+    pub fn push(&mut self, time: SimTime, payload: E) {
+        assert!(
+            time >= self.now,
+            "event scheduled in the past: {time} < now {now}",
+            now = self.now
+        );
+        let entry = Entry {
+            time,
+            seq: self.seq,
+            payload,
+        };
+        self.seq += 1;
+        self.heap.push(entry);
+    }
+
+    /// Removes and returns the earliest pending event, advancing the clock.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.time >= self.now, "heap returned a past event");
+        self.now = entry.time;
+        Some((entry.time, entry.payload))
+    }
+
+    /// The delivery time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// The time of the last popped event (the current simulation instant).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever pushed (diagnostic).
+    pub fn pushed_total(&self) -> u64 {
+        self.seq
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ns(30), 3u32);
+        q.push(SimTime::from_ns(10), 1);
+        q.push(SimTime::from_ns(20), 2);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fifo_tie_break_at_same_instant() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ns(5);
+        for i in 0..100u32 {
+            q.push(t, i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ns(10), ());
+        q.push(SimTime::from_ns(10), ());
+        q.push(SimTime::from_ns(40), ());
+        let mut last = SimTime::ZERO;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= last);
+            last = t;
+        }
+        assert_eq!(q.now(), SimTime::from_ns(40));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ns(10), ());
+        q.pop();
+        q.push(SimTime::from_ns(5), ());
+    }
+
+    #[test]
+    fn push_at_now_is_allowed() {
+        // An event handler may schedule follow-up work at the current instant
+        // (zero-latency causality); it must be delivered after already-queued
+        // same-instant events.
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ns(10), 1u32);
+        q.push(SimTime::from_ns(10), 2);
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(e, 1);
+        q.push(t + SimDuration::ZERO, 3);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_ns(7), ());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(SimTime::from_ns(7)));
+        assert_eq!(q.pushed_total(), 1);
+    }
+}

@@ -1,0 +1,202 @@
+//! Counters and latency histograms for the evaluation.
+//!
+//! Section V-C of the paper reports reconfiguration-latency distributions
+//! (averages of 11–65 µs, maxima of several milliseconds under lock
+//! contention) and the share of execution time spent reconfiguring
+//! (0.03 %–3.49 %). [`LatencySamples`] collects exactly those statistics.
+
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An online collection of duration samples with summary statistics.
+///
+/// Stores every sample (experiments record at most tens of thousands of
+/// reconfigurations) so exact percentiles can be reported.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LatencySamples {
+    samples_ps: Vec<u64>,
+    sorted: bool,
+}
+
+impl LatencySamples {
+    /// Creates an empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, d: SimDuration) {
+        self.samples_ps.push(d.as_ps());
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples_ps.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples_ps.is_empty()
+    }
+
+    /// Sum of all samples.
+    pub fn total(&self) -> SimDuration {
+        SimDuration::from_ps(self.samples_ps.iter().sum())
+    }
+
+    /// Arithmetic mean, or zero if empty.
+    pub fn mean(&self) -> SimDuration {
+        if self.samples_ps.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let sum: u128 = self.samples_ps.iter().map(|&x| x as u128).sum();
+        SimDuration::from_ps((sum / self.samples_ps.len() as u128) as u64)
+    }
+
+    /// Largest sample, or zero if empty.
+    pub fn max(&self) -> SimDuration {
+        SimDuration::from_ps(self.samples_ps.iter().copied().max().unwrap_or(0))
+    }
+
+    /// Smallest sample, or zero if empty.
+    pub fn min(&self) -> SimDuration {
+        SimDuration::from_ps(self.samples_ps.iter().copied().min().unwrap_or(0))
+    }
+
+    /// The `q`-quantile (q in [0, 1]) by nearest-rank, or zero if empty.
+    pub fn quantile(&mut self, q: f64) -> SimDuration {
+        if self.samples_ps.is_empty() {
+            return SimDuration::ZERO;
+        }
+        if !self.sorted {
+            self.samples_ps.sort_unstable();
+            self.sorted = true;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((self.samples_ps.len() as f64 - 1.0) * q).round() as usize;
+        SimDuration::from_ps(self.samples_ps[rank])
+    }
+
+    /// Merges another collection into this one.
+    pub fn merge(&mut self, other: &LatencySamples) {
+        self.samples_ps.extend_from_slice(&other.samples_ps);
+        self.sorted = false;
+    }
+}
+
+impl fmt::Display for LatencySamples {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={} min={} max={}",
+            self.count(),
+            self.mean(),
+            self.min(),
+            self.max()
+        )
+    }
+}
+
+/// A named set of monotonically increasing event counters.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Counters {
+    /// Tasks that completed execution.
+    pub tasks_completed: u64,
+    /// DVFS reconfigurations requested.
+    pub reconfigs_requested: u64,
+    /// DVFS reconfigurations that actually changed a core's level.
+    pub reconfigs_applied: u64,
+    /// Reconfigurations skipped because the target level was already set.
+    pub reconfigs_noop: u64,
+    /// Times a critical task could not be accelerated (no budget, all
+    /// accelerated cores running critical tasks) — the residual priority
+    /// inversion CATA cannot fix.
+    pub accel_denied: u64,
+    /// Times an accelerated non-critical task was decelerated to make room
+    /// for a critical one (the CATA "swap").
+    pub accel_swaps: u64,
+    /// Tasks that were stolen across the HPRQ/LPRQ boundary.
+    pub cross_queue_steals: u64,
+    /// Core halt (C1 entry) events.
+    pub halts: u64,
+}
+
+impl Counters {
+    /// Adds another counter set into this one.
+    pub fn merge(&mut self, o: &Counters) {
+        self.tasks_completed += o.tasks_completed;
+        self.reconfigs_requested += o.reconfigs_requested;
+        self.reconfigs_applied += o.reconfigs_applied;
+        self.reconfigs_noop += o.reconfigs_noop;
+        self.accel_denied += o.accel_denied;
+        self.accel_swaps += o.accel_swaps;
+        self.cross_queue_steals += o.cross_queue_steals;
+        self.halts += o.halts;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let mut s = LatencySamples::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), SimDuration::ZERO);
+        assert_eq!(s.max(), SimDuration::ZERO);
+        assert_eq!(s.quantile(0.5), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let mut s = LatencySamples::new();
+        for us in [10u64, 20, 30, 40, 100] {
+            s.record(SimDuration::from_us(us));
+        }
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.mean(), SimDuration::from_us(40));
+        assert_eq!(s.min(), SimDuration::from_us(10));
+        assert_eq!(s.max(), SimDuration::from_us(100));
+        assert_eq!(s.quantile(0.5), SimDuration::from_us(30));
+        assert_eq!(s.quantile(0.0), SimDuration::from_us(10));
+        assert_eq!(s.quantile(1.0), SimDuration::from_us(100));
+        assert_eq!(s.total(), SimDuration::from_us(200));
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = LatencySamples::new();
+        a.record(SimDuration::from_us(1));
+        let mut b = LatencySamples::new();
+        b.record(SimDuration::from_us(3));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean(), SimDuration::from_us(2));
+    }
+
+    #[test]
+    fn quantile_after_record_resorts() {
+        let mut s = LatencySamples::new();
+        s.record(SimDuration::from_us(10));
+        assert_eq!(s.quantile(1.0), SimDuration::from_us(10));
+        s.record(SimDuration::from_us(5));
+        assert_eq!(s.quantile(0.0), SimDuration::from_us(5));
+    }
+
+    #[test]
+    fn counters_merge() {
+        let mut a = Counters::default();
+        a.tasks_completed = 3;
+        a.accel_swaps = 1;
+        let mut b = Counters::default();
+        b.tasks_completed = 2;
+        b.halts = 7;
+        a.merge(&b);
+        assert_eq!(a.tasks_completed, 5);
+        assert_eq!(a.accel_swaps, 1);
+        assert_eq!(a.halts, 7);
+    }
+}

@@ -1,0 +1,215 @@
+//! Structured simulation traces.
+//!
+//! Traces are the simulator's equivalent of the paper's Paraver timelines:
+//! an ordered record of scheduling and reconfiguration events used by tests
+//! (to assert causality and budget invariants at every instant) and by the
+//! examples (to visualize schedules). Tracing is off by default and costs
+//! nothing when disabled.
+
+use crate::machine::{CoreId, PowerLevel};
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One traced simulation event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A task started executing on a core. The `bool` is its criticality.
+    TaskStart {
+        /// Executing core.
+        core: CoreId,
+        /// Task identifier (runtime-assigned).
+        task: u32,
+        /// Whether the runtime considers the task critical.
+        critical: bool,
+    },
+    /// A task finished.
+    TaskEnd {
+        /// Executing core.
+        core: CoreId,
+        /// Task identifier.
+        task: u32,
+    },
+    /// A DVFS transition was requested for a core.
+    ReconfigRequest {
+        /// Target core.
+        core: CoreId,
+        /// Requested level.
+        target: PowerLevel,
+    },
+    /// A DVFS transition settled and the new level took effect.
+    ReconfigApplied {
+        /// Target core.
+        core: CoreId,
+        /// Applied level.
+        level: PowerLevel,
+    },
+    /// A core entered the halted (C1) state.
+    Halt {
+        /// Halting core.
+        core: CoreId,
+    },
+    /// A core left the halted state.
+    Wake {
+        /// Waking core.
+        core: CoreId,
+    },
+}
+
+/// A time-stamped trace entry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// When the event occurred.
+    pub time: SimTime,
+    /// What happened.
+    pub event: TraceEvent,
+}
+
+/// An event trace. Construct with [`Trace::enabled`] or [`Trace::disabled`];
+/// a disabled trace drops all records.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    records: Vec<TraceRecord>,
+    enabled: bool,
+}
+
+impl Trace {
+    /// A trace that records events.
+    pub fn enabled() -> Self {
+        Trace {
+            records: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// A trace that drops events (zero cost).
+    pub fn disabled() -> Self {
+        Trace::default()
+    }
+
+    /// Whether recording is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records `event` at `time` if enabled.
+    #[inline]
+    pub fn record(&mut self, time: SimTime, event: TraceEvent) {
+        if self.enabled {
+            self.records.push(TraceRecord { time, event });
+        }
+    }
+
+    /// All recorded entries, in emission order (non-decreasing time).
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Iterates entries matching a predicate.
+    pub fn filter<'a>(
+        &'a self,
+        mut pred: impl FnMut(&TraceEvent) -> bool + 'a,
+    ) -> impl Iterator<Item = &'a TraceRecord> + 'a {
+        self.records.iter().filter(move |r| pred(&r.event))
+    }
+
+    /// Renders a compact human-readable listing (for examples/debugging).
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for r in &self.records {
+            let _ = match r.event {
+                TraceEvent::TaskStart { core, task, critical } => writeln!(
+                    out,
+                    "{:>14}  {core}: start task {task}{}",
+                    r.time.to_string(),
+                    if critical { " [critical]" } else { "" }
+                ),
+                TraceEvent::TaskEnd { core, task } => {
+                    writeln!(out, "{:>14}  {core}: end task {task}", r.time.to_string())
+                }
+                TraceEvent::ReconfigRequest { core, target } => writeln!(
+                    out,
+                    "{:>14}  {core}: reconfig -> {target}",
+                    r.time.to_string()
+                ),
+                TraceEvent::ReconfigApplied { core, level } => writeln!(
+                    out,
+                    "{:>14}  {core}: settled at {level}",
+                    r.time.to_string()
+                ),
+                TraceEvent::Halt { core } => {
+                    writeln!(out, "{:>14}  {core}: halt (C1)", r.time.to_string())
+                }
+                TraceEvent::Wake { core } => {
+                    writeln!(out, "{:>14}  {core}: wake (C0)", r.time.to_string())
+                }
+            };
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.record(
+            SimTime::ZERO,
+            TraceEvent::Halt { core: CoreId(0) },
+        );
+        assert!(t.records().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn enabled_trace_preserves_order() {
+        let mut t = Trace::enabled();
+        t.record(
+            SimTime::from_us(1),
+            TraceEvent::TaskStart {
+                core: CoreId(0),
+                task: 7,
+                critical: true,
+            },
+        );
+        t.record(
+            SimTime::from_us(2),
+            TraceEvent::TaskEnd {
+                core: CoreId(0),
+                task: 7,
+            },
+        );
+        assert_eq!(t.records().len(), 2);
+        assert!(t.records()[0].time < t.records()[1].time);
+    }
+
+    #[test]
+    fn filter_selects_events() {
+        let mut t = Trace::enabled();
+        t.record(SimTime::ZERO, TraceEvent::Halt { core: CoreId(1) });
+        t.record(SimTime::from_us(1), TraceEvent::Wake { core: CoreId(1) });
+        t.record(SimTime::from_us(2), TraceEvent::Halt { core: CoreId(2) });
+        let halts: Vec<_> = t
+            .filter(|e| matches!(e, TraceEvent::Halt { .. }))
+            .collect();
+        assert_eq!(halts.len(), 2);
+    }
+
+    #[test]
+    fn render_contains_core_names() {
+        let mut t = Trace::enabled();
+        t.record(
+            SimTime::from_us(3),
+            TraceEvent::ReconfigApplied {
+                core: CoreId(5),
+                level: PowerLevel::paper_fast(),
+            },
+        );
+        let s = t.render();
+        assert!(s.contains("core5"));
+        assert!(s.contains("2GHz"));
+    }
+}

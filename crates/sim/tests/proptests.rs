@@ -1,0 +1,143 @@
+//! Property tests for the DES substrate: clock arithmetic, event ordering,
+//! timeline coverage and the progress model.
+
+use cata_sim::activity::{Activity, ActivityTimeline};
+use cata_sim::event::EventQueue;
+use cata_sim::machine::{CoreId, Machine, MachineConfig, PowerLevel};
+use cata_sim::progress::{ExecProfile, RunningTask};
+use cata_sim::time::{Frequency, SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The event queue is a stable priority queue: pops are sorted by time,
+    /// and equal-time events preserve push order.
+    #[test]
+    fn event_queue_is_stable_and_sorted(times in prop::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_ns(t), i);
+        }
+        let mut popped = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            popped.push((t, i));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO tie-break violated");
+            }
+        }
+    }
+
+    /// Duration addition is associative and commutative under saturation
+    /// (all realistic magnitudes).
+    #[test]
+    fn duration_algebra(a in 0u64..1u64<<40, b in 0u64..1u64<<40, c in 0u64..1u64<<40) {
+        let (da, db, dc) = (
+            SimDuration::from_ps(a),
+            SimDuration::from_ps(b),
+            SimDuration::from_ps(c),
+        );
+        prop_assert_eq!(da + db, db + da);
+        prop_assert_eq!((da + db) + dc, da + (db + dc));
+        prop_assert_eq!((SimTime::ZERO + da + db).since(SimTime::ZERO), da + db);
+    }
+
+    /// A task's duration at a higher frequency is never longer, and the
+    /// memory component is invariant.
+    #[test]
+    fn duration_monotone_in_frequency(
+        cycles in 0u64..1u64<<40,
+        mem in 0u64..1u64<<40,
+        f1 in 1u32..4000,
+        f2 in 1u32..4000,
+    ) {
+        let p = ExecProfile::new(cycles, mem);
+        let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+        let slow = p.duration_at(Frequency::from_mhz(lo));
+        let fast = p.duration_at(Frequency::from_mhz(hi));
+        prop_assert!(fast <= slow);
+        prop_assert!(fast >= SimDuration::from_ps(mem));
+    }
+
+    /// A run with any single mid-task frequency change finishes at exactly
+    /// the analytic time: t_switch + (1 - p) * duration(f2).
+    #[test]
+    fn single_switch_finish_time_is_analytic(
+        cycles in 1_000u64..100_000_000,
+        switch_fraction in 0.01f64..0.99,
+    ) {
+        let f1 = Frequency::from_ghz(1);
+        let f2 = Frequency::from_ghz(2);
+        let p = ExecProfile::new(cycles, 0);
+        let d1 = p.duration_at(f1);
+        let switch_at = SimTime::ZERO + d1.mul_f64(switch_fraction);
+
+        let mut rt = RunningTask::start(p.clone(), SimTime::ZERO, f1);
+        rt.advance_to(switch_at);
+        rt.set_frequency(switch_at, f2);
+        let finish = rt.next_milestone().unwrap().time();
+
+        let progress = switch_at.since(SimTime::ZERO).ratio(d1);
+        let expect = switch_at + p.duration_at(f2).mul_f64(1.0 - progress);
+        let err = finish.as_ps().abs_diff(expect.as_ps());
+        prop_assert!(err <= 2, "finish {} vs analytic {} (err {err} ps)", finish, expect);
+    }
+
+    /// Activity timelines cover the whole run with no gaps and no overlap,
+    /// whatever the record sequence.
+    #[test]
+    fn timeline_partitions_time(
+        events in prop::collection::vec((1u64..1000, 0u8..3), 0..50),
+        tail in 1u64..1000,
+    ) {
+        let mut tl = ActivityTimeline::new(PowerLevel::paper_slow(), Activity::Idle);
+        let mut t = 0u64;
+        for (dt, act) in &events {
+            t += dt;
+            let act = match act { 0 => Activity::Busy, 1 => Activity::Idle, _ => Activity::Halted };
+            tl.record(SimTime::from_ns(t), PowerLevel::paper_slow(), act);
+        }
+        t += tail;
+        tl.close(SimTime::from_ns(t));
+        let mut cursor = SimTime::ZERO;
+        for seg in tl.segments() {
+            prop_assert_eq!(seg.start, cursor, "gap/overlap at {}", cursor);
+            cursor = cursor + seg.duration;
+        }
+        prop_assert_eq!(cursor, SimTime::from_ns(t));
+        prop_assert_eq!(tl.total(), SimDuration::from_ns(t));
+    }
+
+    /// Machine transitions: after settling, the core is at the target; a
+    /// superseded transition's stale settle is ignored.
+    #[test]
+    fn machine_transitions_converge(targets in prop::collection::vec(any::<bool>(), 1..20)) {
+        let cfg = MachineConfig::small_test(1);
+        let latency = cfg.reconfig_latency;
+        let mut m = Machine::new(cfg);
+        let core = CoreId(0);
+        let mut now = SimTime::ZERO;
+        let mut settles: Vec<SimTime> = Vec::new();
+        for fast in &targets {
+            let level = if *fast { PowerLevel::paper_fast() } else { PowerLevel::paper_slow() };
+            if let Some(s) = m.begin_transition(core, level, now) {
+                settles.push(s);
+            }
+            now = now + SimDuration::from_ns(100);
+        }
+        // Deliver all settle events in order.
+        settles.sort();
+        for s in settles {
+            m.settle(core, s.max(now));
+        }
+        let last = if *targets.last().unwrap() { PowerLevel::paper_fast() } else { PowerLevel::paper_slow() };
+        // After enough time every transition has settled at the last target.
+        m.settle(core, now + latency);
+        prop_assert_eq!(m.core(core).level(), last);
+        prop_assert!(m.core(core).pending_transition().is_none());
+    }
+}

@@ -1,0 +1,290 @@
+//! Criticality estimators: static annotations vs. dynamic bottom-level.
+//!
+//! The paper compares two ways of deciding which tasks are critical (§II-B):
+//!
+//! - **Static annotations** ([`StaticAnnotations`], the `+SA` configurations):
+//!   the programmer annotates each task *type* with `criticality(c)`; a task
+//!   is critical iff its type has `c > 0`. Zero runtime overhead.
+//! - **Bottom-level** ([`BottomLevelEstimator`], the `+BL` configurations):
+//!   the runtime maintains bottom levels over the partial TDG and marks a
+//!   task critical when its BL is (close to) the maximum BL among tasks that
+//!   are still pending. This adapts dynamically but (i) costs an ancestor
+//!   walk per submission, (ii) ignores task durations, and (iii) sees only
+//!   the submitted sub-graph — the three limitations §II-B lists.
+
+use crate::bottom_level::BottomLevels;
+use crate::graph::TaskGraph;
+use crate::task::TaskId;
+use std::collections::BTreeMap;
+
+/// A pluggable criticality estimation policy.
+///
+/// Lifecycle: the runtime calls [`on_submit`](Self::on_submit) once per task
+/// at creation (in submission order), [`classify`](Self::classify) when the
+/// task is enqueued in a ready queue, and [`on_complete`](Self::on_complete)
+/// when it finishes.
+pub trait CriticalityEstimator: Send {
+    /// A short name for reports ("SA", "BL").
+    fn name(&self) -> &'static str;
+
+    /// Integrates a newly submitted task. Returns the number of TDG node
+    /// visits performed; the simulation charges these as runtime overhead on
+    /// the submitting thread.
+    fn on_submit(&mut self, _graph: &TaskGraph, _task: TaskId) -> u64 {
+        0
+    }
+
+    /// Decides whether `task` is critical, at ready-queue insertion time.
+    fn classify(&mut self, graph: &TaskGraph, task: TaskId) -> bool;
+
+    /// The task's criticality *level* (the `c` of `criticality(c)`): 0 for
+    /// non-critical, higher values rank more-critical work. The default
+    /// collapses to the binary [`classify`](Self::classify); estimators with
+    /// richer information (static annotations) override it.
+    fn classify_level(&mut self, graph: &TaskGraph, task: TaskId) -> u8 {
+        u8::from(self.classify(graph, task))
+    }
+
+    /// Retires a completed task (pending-set maintenance).
+    fn on_complete(&mut self, _graph: &TaskGraph, _task: TaskId) {}
+}
+
+/// Criticality from the `criticality(c)` clause on the task type.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StaticAnnotations;
+
+impl CriticalityEstimator for StaticAnnotations {
+    fn name(&self) -> &'static str {
+        "SA"
+    }
+
+    fn classify(&mut self, graph: &TaskGraph, task: TaskId) -> bool {
+        graph.type_of(task).criticality > 0
+    }
+
+    fn classify_level(&mut self, graph: &TaskGraph, task: TaskId) -> u8 {
+        graph.type_of(task).criticality
+    }
+}
+
+/// Criticality from dynamically maintained bottom levels over the partial
+/// TDG (the CATS \[24\] estimator).
+///
+/// A task is classified critical when `BL(task) ≥ alpha · max_pending_BL`,
+/// where `max_pending_BL` is the largest BL among submitted-but-incomplete
+/// tasks. `alpha = 1.0` reproduces CATS's "longest path only" rule; smaller
+/// values widen the critical set (ablation A3 sweeps this).
+#[derive(Debug, Clone)]
+pub struct BottomLevelEstimator {
+    levels: BottomLevels,
+    /// Multiset of *live* BLs of pending tasks: BL → count. Kept coherent
+    /// with `levels` through the change callback of
+    /// [`BottomLevels::on_submit_with`].
+    pending: BTreeMap<u32, u32>,
+    /// `pending_flag[t]` is true between `on_submit(t)` and `on_complete(t)`.
+    pending_flag: Vec<bool>,
+    alpha: f64,
+}
+
+impl BottomLevelEstimator {
+    /// Creates the estimator with the CATS rule (`alpha = 1.0`).
+    pub fn new() -> Self {
+        Self::with_alpha(1.0)
+    }
+
+    /// Creates the estimator with a custom criticality threshold fraction.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 < alpha <= 1.0`.
+    pub fn with_alpha(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        BottomLevelEstimator {
+            levels: BottomLevels::new(),
+            pending: BTreeMap::new(),
+            pending_flag: Vec::new(),
+            alpha,
+        }
+    }
+
+    /// The underlying bottom levels (for reports/tests).
+    pub fn levels(&self) -> &BottomLevels {
+        &self.levels
+    }
+
+    /// The largest BL among pending tasks, or `None` when drained.
+    pub fn max_pending_bl(&self) -> Option<u32> {
+        self.pending.keys().next_back().copied()
+    }
+
+    fn remove_pending(&mut self, bl: u32) {
+        if let Some(c) = self.pending.get_mut(&bl) {
+            *c -= 1;
+            if *c == 0 {
+                self.pending.remove(&bl);
+            }
+        }
+    }
+}
+
+impl Default for BottomLevelEstimator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CriticalityEstimator for BottomLevelEstimator {
+    fn name(&self) -> &'static str {
+        "BL"
+    }
+
+    fn on_submit(&mut self, graph: &TaskGraph, task: TaskId) -> u64 {
+        debug_assert_eq!(self.pending_flag.len(), task.index());
+        self.pending_flag.push(true);
+        // A submission may raise ancestor BLs; mirror every change into the
+        // pending multiset so the max is always live. Completed ancestors
+        // are skipped — their BL is irrelevant to scheduling.
+        let pending = &mut self.pending;
+        let flags = &self.pending_flag;
+        let visits = self.levels.on_submit_with(graph, task, |t, old, new| {
+            if !flags[t.index()] {
+                return;
+            }
+            if old != new {
+                if let Some(c) = pending.get_mut(&old) {
+                    *c -= 1;
+                    if *c == 0 {
+                        pending.remove(&old);
+                    }
+                }
+            }
+            *pending.entry(new).or_insert(0) += 1;
+        });
+        visits
+    }
+
+    fn classify(&mut self, graph: &TaskGraph, task: TaskId) -> bool {
+        debug_assert!(task.index() < graph.num_tasks());
+        let bl = self.levels.bl(task);
+        let max_pending = self.max_pending_bl().unwrap_or(0);
+        let threshold = (self.alpha * max_pending as f64).ceil() as u32;
+        bl >= threshold
+    }
+
+    fn on_complete(&mut self, _graph: &TaskGraph, task: TaskId) {
+        if std::mem::replace(&mut self.pending_flag[task.index()], false) {
+            let bl = self.levels.bl(task);
+            self.remove_pending(bl);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cata_sim::progress::ExecProfile;
+
+    fn p() -> ExecProfile {
+        ExecProfile::new(1, 0)
+    }
+
+    #[test]
+    fn static_annotations_follow_type() {
+        let mut g = TaskGraph::new();
+        let hot = g.add_type("hot", 1);
+        let cold = g.add_type("cold", 0);
+        let a = g.add_task(hot, p(), &[]);
+        let b = g.add_task(cold, p(), &[]);
+        let mut sa = StaticAnnotations;
+        assert!(sa.classify(&g, a));
+        assert!(!sa.classify(&g, b));
+        assert_eq!(sa.on_submit(&g, a), 0, "SA must be overhead-free");
+        assert_eq!(sa.name(), "SA");
+    }
+
+    #[test]
+    fn bl_marks_longest_path_critical() {
+        // Chain 0<-1<-2 plus isolated 3: chain head has max BL.
+        let mut g = TaskGraph::new();
+        let ty = g.add_type("t", 0);
+        let mut bl = BottomLevelEstimator::new();
+        let t0 = g.add_task(ty, p(), &[]);
+        bl.on_submit(&g, t0);
+        let t1 = g.add_task(ty, p(), &[t0]);
+        bl.on_submit(&g, t1);
+        let t2 = g.add_task(ty, p(), &[t1]);
+        bl.on_submit(&g, t2);
+        let t3 = g.add_task(ty, p(), &[]);
+        bl.on_submit(&g, t3);
+
+        assert!(bl.classify(&g, t0), "chain head is on the longest path");
+        assert!(!bl.classify(&g, t3), "isolated leaf is not critical");
+        assert_eq!(bl.max_pending_bl(), Some(2));
+    }
+
+    #[test]
+    fn completion_lowers_the_pending_max() {
+        let mut g = TaskGraph::new();
+        let ty = g.add_type("t", 0);
+        let mut bl = BottomLevelEstimator::new();
+        let t0 = g.add_task(ty, p(), &[]);
+        bl.on_submit(&g, t0);
+        let t1 = g.add_task(ty, p(), &[t0]);
+        bl.on_submit(&g, t1);
+        let t2 = g.add_task(ty, p(), &[]);
+        bl.on_submit(&g, t2);
+
+        // BLs: t0=1, t1=0, t2=0; max pending = 1, so only t0 is critical.
+        assert!(bl.classify(&g, t0));
+        assert!(!bl.classify(&g, t2));
+        bl.on_complete(&g, t0);
+        // Now everything pending has BL 0 — all tasks tie on the "longest"
+        // path and classify as critical.
+        assert_eq!(bl.max_pending_bl(), Some(0));
+        assert!(bl.classify(&g, t2));
+    }
+
+    #[test]
+    fn alpha_widens_the_critical_set() {
+        // Chain of 4 + isolated task: with alpha=0.5 the mid-chain tasks
+        // also classify as critical.
+        let mut g = TaskGraph::new();
+        let ty = g.add_type("t", 0);
+        let mut strict = BottomLevelEstimator::new();
+        let mut loose = BottomLevelEstimator::with_alpha(0.5);
+        let mut prev: Option<TaskId> = None;
+        let mut ids = Vec::new();
+        for _ in 0..4 {
+            let deps: Vec<TaskId> = prev.into_iter().collect();
+            let id = g.add_task(ty, p(), &deps);
+            strict.on_submit(&g, id);
+            loose.on_submit(&g, id);
+            prev = Some(id);
+            ids.push(id);
+        }
+        // BLs: 3,2,1,0. Strict: only BL 3. Loose (ceil(0.5*3)=2): BL >= 2.
+        assert!(strict.classify(&g, ids[0]));
+        assert!(!strict.classify(&g, ids[1]));
+        assert!(loose.classify(&g, ids[1]));
+        assert!(!loose.classify(&g, ids[2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0, 1]")]
+    fn zero_alpha_rejected() {
+        let _ = BottomLevelEstimator::with_alpha(0.0);
+    }
+
+    #[test]
+    fn bl_reports_submission_overhead() {
+        let mut g = TaskGraph::new();
+        let ty = g.add_type("t", 0);
+        let mut bl = BottomLevelEstimator::new();
+        let t0 = g.add_task(ty, p(), &[]);
+        let v0 = bl.on_submit(&g, t0);
+        let t1 = g.add_task(ty, p(), &[t0]);
+        let v1 = bl.on_submit(&g, t1);
+        assert!(v0 >= 1);
+        assert!(v1 > v0, "a dependent submission must walk ancestors");
+        assert_eq!(bl.levels().total_visits(), v0 + v1);
+    }
+}

@@ -1,0 +1,341 @@
+//! The task dependence graph.
+
+use crate::task::{Task, TaskId, TaskType, TypeId};
+use cata_sim::progress::ExecProfile;
+use cata_sim::time::{Frequency, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// A task dependence graph built incrementally in submission order.
+///
+/// Dependences may only reference already-submitted tasks, which guarantees
+/// acyclicity by construction and makes `0..n` a valid topological order —
+/// the same invariant a real task runtime enjoys (a task cannot depend on a
+/// task that has not been created yet).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TaskGraph {
+    types: Vec<TaskType>,
+    tasks: Vec<Task>,
+}
+
+/// Shape statistics of a TDG, used by workload validation and reports.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Number of task instances.
+    pub tasks: usize,
+    /// Number of dependence edges.
+    pub edges: usize,
+    /// Longest dependency chain, in tasks.
+    pub depth: u32,
+    /// Largest number of direct predecessors of any task (Fluidanimate
+    /// reaches 9 in the paper — the source of the CATS+BL overhead).
+    pub max_preds: usize,
+    /// Mean number of direct predecessors.
+    pub avg_preds: f64,
+    /// Number of source tasks (no predecessors).
+    pub sources: usize,
+}
+
+impl TaskGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty graph with task capacity pre-allocated.
+    pub fn with_capacity(tasks: usize) -> Self {
+        TaskGraph {
+            types: Vec::new(),
+            tasks: Vec::with_capacity(tasks),
+        }
+    }
+
+    /// Registers a task type with a static criticality annotation
+    /// (`#pragma omp task criticality(c)`).
+    pub fn add_type(&mut self, name: impl Into<String>, criticality: u8) -> TypeId {
+        let id = TypeId(self.types.len() as u32);
+        self.types.push(TaskType {
+            name: name.into(),
+            criticality,
+        });
+        id
+    }
+
+    /// Submits a task instance of type `ty` depending on `deps`.
+    ///
+    /// # Panics
+    /// Panics if `ty` is unregistered or any dependence is not an
+    /// already-submitted task — both are runtime-usage bugs, matching the
+    /// aborts a real runtime would raise.
+    pub fn add_task(&mut self, ty: TypeId, profile: ExecProfile, deps: &[TaskId]) -> TaskId {
+        assert!(ty.index() < self.types.len(), "unregistered task type {ty:?}");
+        let id = TaskId(self.tasks.len() as u32);
+        let mut preds = Vec::with_capacity(deps.len());
+        for &d in deps {
+            assert!(
+                d.index() < self.tasks.len(),
+                "dependence {d} of {id} not yet submitted"
+            );
+            if !preds.contains(&d) {
+                preds.push(d);
+                self.tasks[d.index()].succs.push(id);
+            }
+        }
+        self.tasks.push(Task {
+            id,
+            ty,
+            profile,
+            preds,
+            succs: Vec::new(),
+        });
+        id
+    }
+
+    /// Number of task instances.
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of task types.
+    pub fn num_types(&self) -> usize {
+        self.types.len()
+    }
+
+    /// True if no tasks have been submitted.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// One task instance.
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.index()]
+    }
+
+    /// One task type.
+    pub fn task_type(&self, id: TypeId) -> &TaskType {
+        &self.types[id.index()]
+    }
+
+    /// The type record of a task instance.
+    pub fn type_of(&self, id: TaskId) -> &TaskType {
+        self.task_type(self.tasks[id.index()].ty)
+    }
+
+    /// Iterates all tasks in submission (= topological) order.
+    pub fn tasks(&self) -> impl Iterator<Item = &Task> {
+        self.tasks.iter()
+    }
+
+    /// Iterates all task ids in submission (= topological) order.
+    pub fn task_ids(&self) -> impl Iterator<Item = TaskId> {
+        (0..self.tasks.len() as u32).map(TaskId)
+    }
+
+    /// Direct predecessors of `id`.
+    pub fn preds(&self, id: TaskId) -> &[TaskId] {
+        &self.tasks[id.index()].preds
+    }
+
+    /// Direct successors of `id`.
+    pub fn succs(&self, id: TaskId) -> &[TaskId] {
+        &self.tasks[id.index()].succs
+    }
+
+    /// Total number of dependence edges.
+    pub fn num_edges(&self) -> usize {
+        self.tasks.iter().map(|t| t.preds.len()).sum()
+    }
+
+    /// Shape statistics.
+    pub fn stats(&self) -> GraphStats {
+        let tasks = self.tasks.len();
+        let edges = self.num_edges();
+        let max_preds = self.tasks.iter().map(|t| t.preds.len()).max().unwrap_or(0);
+        let sources = self.tasks.iter().filter(|t| t.preds.is_empty()).count();
+        // Depth via the topological construction order.
+        let mut depth_of = vec![0u32; tasks];
+        let mut depth = 0;
+        for t in &self.tasks {
+            let d = t
+                .preds
+                .iter()
+                .map(|p| depth_of[p.index()] + 1)
+                .max()
+                .unwrap_or(1)
+                .max(1);
+            depth_of[t.id.index()] = d;
+            depth = depth.max(d);
+        }
+        GraphStats {
+            tasks,
+            edges,
+            depth,
+            max_preds,
+            avg_preds: if tasks == 0 { 0.0 } else { edges as f64 / tasks as f64 },
+            sources,
+        }
+    }
+
+    /// Sum of all task durations at `freq` — the serial execution time, and
+    /// the numerator of the ideal-speedup bound.
+    pub fn total_work_at(&self, freq: Frequency) -> SimDuration {
+        self.tasks
+            .iter()
+            .map(|t| t.profile.duration_at(freq) + t.profile.total_block_time())
+            .sum()
+    }
+
+    /// Length of the weighted critical path at `freq`: the minimum possible
+    /// execution time with unlimited cores at that frequency.
+    pub fn critical_path_at(&self, freq: Frequency) -> SimDuration {
+        let mut finish = vec![SimDuration::ZERO; self.tasks.len()];
+        let mut best = SimDuration::ZERO;
+        for t in &self.tasks {
+            let ready: SimDuration = t
+                .preds
+                .iter()
+                .map(|p| finish[p.index()])
+                .max()
+                .unwrap_or(SimDuration::ZERO);
+            let dur = t.profile.duration_at(freq) + t.profile.total_block_time();
+            finish[t.id.index()] = ready + dur;
+            best = best.max(finish[t.id.index()]);
+        }
+        best
+    }
+
+    /// Checks structural invariants (id density, edge symmetry, topological
+    /// dependences). Cheap enough for tests; not called on hot paths.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, t) in self.tasks.iter().enumerate() {
+            if t.id.index() != i {
+                return Err(format!("task {i} has id {}", t.id));
+            }
+            for &p in &t.preds {
+                if p.index() >= i {
+                    return Err(format!("{} depends on non-earlier {p}", t.id));
+                }
+                if !self.tasks[p.index()].succs.contains(&t.id) {
+                    return Err(format!("missing reverse edge {p} -> {}", t.id));
+                }
+            }
+            for &s in &t.succs {
+                if s.index() <= i {
+                    return Err(format!("{} has non-later successor {s}", t.id));
+                }
+                if !self.tasks[s.index()].preds.contains(&t.id) {
+                    return Err(format!("missing forward edge {} -> {s}", t.id));
+                }
+            }
+            if t.ty.index() >= self.types.len() {
+                return Err(format!("{} has unregistered type", t.id));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(cycles: u64) -> ExecProfile {
+        ExecProfile::new(cycles, 0)
+    }
+
+    fn diamond() -> TaskGraph {
+        // a -> {b, c} -> d
+        let mut g = TaskGraph::new();
+        let ty = g.add_type("t", 0);
+        let a = g.add_task(ty, profile(100), &[]);
+        let b = g.add_task(ty, profile(200), &[a]);
+        let c = g.add_task(ty, profile(300), &[a]);
+        let _d = g.add_task(ty, profile(100), &[b, c]);
+        g
+    }
+
+    #[test]
+    fn construction_and_edges() {
+        let g = diamond();
+        assert_eq!(g.num_tasks(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.preds(TaskId(3)), &[TaskId(1), TaskId(2)]);
+        assert_eq!(g.succs(TaskId(0)), &[TaskId(1), TaskId(2)]);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn duplicate_deps_are_coalesced() {
+        let mut g = TaskGraph::new();
+        let ty = g.add_type("t", 0);
+        let a = g.add_task(ty, profile(1), &[]);
+        let b = g.add_task(ty, profile(1), &[a, a, a]);
+        assert_eq!(g.preds(b).len(), 1);
+        assert_eq!(g.succs(a).len(), 1);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "not yet submitted")]
+    fn forward_dependence_rejected() {
+        let mut g = TaskGraph::new();
+        let ty = g.add_type("t", 0);
+        let _ = g.add_task(ty, profile(1), &[TaskId(5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered task type")]
+    fn unknown_type_rejected() {
+        let mut g = TaskGraph::new();
+        let _ = g.add_task(TypeId(0), profile(1), &[]);
+    }
+
+    #[test]
+    fn stats_of_diamond() {
+        let s = diamond().stats();
+        assert_eq!(s.tasks, 4);
+        assert_eq!(s.edges, 4);
+        assert_eq!(s.depth, 3);
+        assert_eq!(s.max_preds, 2);
+        assert_eq!(s.sources, 1);
+        assert!((s.avg_preds - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critical_path_takes_heavier_branch() {
+        let g = diamond();
+        let f = Frequency::from_ghz(1);
+        // a(100) -> c(300) -> d(100) = 500 cycles = 500 ns at 1 GHz.
+        assert_eq!(g.critical_path_at(f), SimDuration::from_ns(500));
+        assert_eq!(g.total_work_at(f), SimDuration::from_ns(700));
+    }
+
+    #[test]
+    fn critical_path_counts_block_time() {
+        let mut g = TaskGraph::new();
+        let ty = g.add_type("io", 0);
+        let p = ExecProfile::new(1000, 0).with_block(0.5, SimDuration::from_ns(400));
+        g.add_task(ty, p, &[]);
+        let f = Frequency::from_ghz(1);
+        assert_eq!(g.critical_path_at(f), SimDuration::from_ns(1400));
+    }
+
+    #[test]
+    fn type_lookup() {
+        let mut g = TaskGraph::new();
+        let hi = g.add_type("critical-kernel", 2);
+        let t = g.add_task(hi, profile(1), &[]);
+        assert_eq!(g.type_of(t).criticality, 2);
+        assert_eq!(g.type_of(t).name, "critical-kernel");
+        assert_eq!(g.num_types(), 1);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = TaskGraph::new();
+        let s = g.stats();
+        assert_eq!(s.tasks, 0);
+        assert_eq!(s.depth, 0);
+        assert!(g.is_empty());
+        g.validate().unwrap();
+    }
+}

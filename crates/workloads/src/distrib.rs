@@ -1,0 +1,112 @@
+//! Duration sampling helpers.
+//!
+//! Task durations in real applications are right-skewed; we use a lognormal
+//! sampler built on Box–Muller (the `rand` crate alone is available offline;
+//! `rand_distr` is not, so the transform is implemented here).
+
+use cata_sim::progress::ExecProfile;
+use rand::Rng;
+
+/// Samples a standard normal via Box–Muller.
+pub fn standard_normal(rng: &mut impl Rng) -> f64 {
+    // Avoid ln(0).
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Samples a lognormal duration with the given *mean* and coefficient of
+/// variation (σ/μ of the resulting distribution).
+///
+/// # Panics
+/// Panics if `mean_us <= 0` or `cv < 0`.
+pub fn lognormal_us(rng: &mut impl Rng, mean_us: f64, cv: f64) -> f64 {
+    assert!(mean_us > 0.0, "mean must be positive");
+    assert!(cv >= 0.0, "cv must be non-negative");
+    if cv == 0.0 {
+        return mean_us;
+    }
+    // For lognormal: mean = exp(µ + σ²/2), cv² = exp(σ²) − 1.
+    let sigma2 = (1.0 + cv * cv).ln();
+    let mu = mean_us.ln() - sigma2 / 2.0;
+    let z = standard_normal(rng);
+    (mu + sigma2.sqrt() * z).exp()
+}
+
+/// Builds an [`ExecProfile`] for a task of roughly `total_us` microseconds
+/// (measured at the 1 GHz slow level) of which `mem_fraction` is
+/// frequency-invariant memory time.
+///
+/// At 1 GHz one cycle is 1 ns, so the CPU part converts to cycles 1:1 with
+/// nanoseconds.
+pub fn profile_us(total_us: f64, mem_fraction: f64) -> ExecProfile {
+    let total_us = total_us.max(0.1); // clamp degenerate samples to 100 ns
+    let mem_fraction = mem_fraction.clamp(0.0, 1.0);
+    let total_ns = total_us * 1000.0;
+    let mem_ns = total_ns * mem_fraction;
+    let cpu_cycles = (total_ns - mem_ns).round() as u64;
+    ExecProfile::new(cpu_cycles, (mem_ns * 1000.0).round() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cata_sim::time::{Frequency, SimDuration};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lognormal_matches_requested_mean() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| lognormal_us(&mut rng, 500.0, 0.4)).sum::<f64>() / n as f64;
+        assert!((mean - 500.0).abs() / 500.0 < 0.03, "sample mean {mean}");
+    }
+
+    #[test]
+    fn lognormal_cv_scales_spread() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let n = 20_000;
+        let sample = |rng: &mut StdRng, cv: f64| -> f64 {
+            let xs: Vec<f64> = (0..n).map(|_| lognormal_us(rng, 100.0, cv)).collect();
+            let m = xs.iter().sum::<f64>() / n as f64;
+            let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / n as f64;
+            var.sqrt() / m
+        };
+        let tight = sample(&mut rng, 0.1);
+        let wide = sample(&mut rng, 0.8);
+        assert!(tight < 0.15, "tight cv {tight}");
+        assert!(wide > 0.6, "wide cv {wide}");
+    }
+
+    #[test]
+    fn zero_cv_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert_eq!(lognormal_us(&mut rng, 123.0, 0.0), 123.0);
+    }
+
+    #[test]
+    fn profile_splits_cpu_and_memory() {
+        let p = profile_us(1000.0, 0.3);
+        // 1 ms total at 1 GHz: 700 µs CPU (700k cycles) + 300 µs memory.
+        assert_eq!(p.cpu_cycles, 700_000);
+        assert_eq!(p.mem_ps, SimDuration::from_us(300).as_ps());
+        assert_eq!(p.duration_at(Frequency::from_ghz(1)), SimDuration::from_us(1000));
+        // At 2 GHz only the CPU part halves: 350 + 300 = 650 µs.
+        assert_eq!(p.duration_at(Frequency::from_ghz(2)), SimDuration::from_us(650));
+    }
+
+    #[test]
+    fn pure_compute_profile_scales_perfectly() {
+        let p = profile_us(200.0, 0.0);
+        let slow = p.duration_at(Frequency::from_ghz(1));
+        let fast = p.duration_at(Frequency::from_ghz(2));
+        assert_eq!(slow.as_ps(), 2 * fast.as_ps());
+    }
+
+    #[test]
+    fn degenerate_samples_are_clamped() {
+        let p = profile_us(0.0, 0.5);
+        assert!(p.duration_at(Frequency::from_ghz(1)) > SimDuration::ZERO);
+    }
+}

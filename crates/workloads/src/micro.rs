@@ -1,0 +1,124 @@
+//! Minimal graphs for unit tests, property tests and examples.
+
+use cata_sim::progress::ExecProfile;
+use cata_tdg::{TaskGraph, TaskId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A serial chain of `n` tasks of `cycles` CPU cycles each.
+pub fn chain(n: usize, cycles: u64) -> TaskGraph {
+    let mut g = TaskGraph::new();
+    let ty = g.add_type("link", 1);
+    let mut prev: Option<TaskId> = None;
+    for _ in 0..n {
+        let deps: Vec<TaskId> = prev.into_iter().collect();
+        prev = Some(g.add_task(ty, ExecProfile::new(cycles, 0), &deps));
+    }
+    g
+}
+
+/// `waves` fork-join waves of `width` independent tasks each, separated by
+/// barrier tasks.
+pub fn fork_join(waves: usize, width: usize, cycles: u64) -> TaskGraph {
+    let mut g = TaskGraph::new();
+    let barrier_ty = g.add_type("barrier", 0);
+    let work_ty = g.add_type("work", 0);
+    let mut barrier: Option<TaskId> = None;
+    for _ in 0..waves {
+        let deps: Vec<TaskId> = barrier.into_iter().collect();
+        let wave: Vec<TaskId> = (0..width)
+            .map(|_| g.add_task(work_ty, ExecProfile::new(cycles, 0), &deps))
+            .collect();
+        barrier = Some(g.add_task(barrier_ty, ExecProfile::new(1000, 0), &wave));
+    }
+    g
+}
+
+/// A diamond of `width` parallel branches between a source and a sink,
+/// where one branch (the first) is `skew`× longer — the canonical
+/// criticality example from the paper's Figure 1.
+pub fn skewed_diamond(width: usize, cycles: u64, skew: u64) -> TaskGraph {
+    let mut g = TaskGraph::new();
+    let hub_ty = g.add_type("hub", 0);
+    let crit_ty = g.add_type("critical-branch", 1);
+    let norm_ty = g.add_type("branch", 0);
+    let src = g.add_task(hub_ty, ExecProfile::new(1000, 0), &[]);
+    let mut branches = Vec::with_capacity(width);
+    for i in 0..width {
+        let (ty, c) = if i == 0 {
+            (crit_ty, cycles * skew)
+        } else {
+            (norm_ty, cycles)
+        };
+        branches.push(g.add_task(ty, ExecProfile::new(c, 0), &[src]));
+    }
+    g.add_task(hub_ty, ExecProfile::new(1000, 0), &branches);
+    g
+}
+
+/// A random DAG of `n` tasks where each prior task becomes a dependence with
+/// probability `edge_p`; durations uniform in `[min_cycles, max_cycles]`.
+pub fn random_dag(n: usize, edge_p: f64, min_cycles: u64, max_cycles: u64, seed: u64) -> TaskGraph {
+    assert!(min_cycles <= max_cycles);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = TaskGraph::new();
+    let ty_c = g.add_type("rand-crit", 1);
+    let ty_n = g.add_type("rand", 0);
+    for i in 0..n {
+        let mut deps = Vec::new();
+        for j in 0..i {
+            if rng.gen_bool(edge_p) {
+                deps.push(TaskId(j as u32));
+            }
+        }
+        let cycles = rng.gen_range(min_cycles..=max_cycles);
+        let ty = if rng.gen_bool(0.25) { ty_c } else { ty_n };
+        g.add_task(ty, ExecProfile::new(cycles, 0), &deps);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cata_sim::time::Frequency;
+
+    #[test]
+    fn chain_depth_equals_length() {
+        let g = chain(10, 100);
+        assert_eq!(g.num_tasks(), 10);
+        assert_eq!(g.stats().depth, 10);
+        assert_eq!(g.num_edges(), 9);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn fork_join_shape() {
+        let g = fork_join(3, 8, 100);
+        assert_eq!(g.num_tasks(), 3 * 9);
+        // Depth: (work + barrier) × 3.
+        assert_eq!(g.stats().depth, 6);
+        assert_eq!(g.stats().max_preds, 8);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn skewed_diamond_critical_path_is_the_long_branch() {
+        let g = skewed_diamond(4, 1000, 10);
+        let f = Frequency::from_ghz(1);
+        // src(1k) + long branch(10k) + sink(1k) = 12 µs at 1 GHz.
+        assert_eq!(g.critical_path_at(f).as_ns(), 12_000);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn random_dag_is_valid_and_deterministic() {
+        let a = random_dag(50, 0.1, 100, 1000, 42);
+        let b = random_dag(50, 0.1, 100, 1000, 42);
+        a.validate().unwrap();
+        assert_eq!(a.num_edges(), b.num_edges());
+        let c = random_dag(50, 0.1, 100, 1000, 43);
+        // Overwhelmingly likely to differ.
+        assert!(a.num_edges() != c.num_edges() || a != c);
+    }
+}

@@ -1,0 +1,52 @@
+//! Workload scales.
+
+use serde::{Deserialize, Serialize};
+
+/// How big a generated workload is.
+///
+/// Scale only multiplies the number of task instances (frames/waves); task
+/// durations, type mixes and topology — the things the scheduling behaviour
+/// depends on — are identical across scales, so shapes measured at `Small`
+/// match `Paper` runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// A handful of tasks; unit tests.
+    Tiny,
+    /// Hundreds of tasks; fast benches and CI.
+    Small,
+    /// Thousands of tasks; the figure-regeneration runs (a few seconds of
+    /// simulated parallel section, like the paper's simlarge regions).
+    Paper,
+}
+
+impl Scale {
+    /// Multiplier applied to a generator's repetition counts.
+    pub fn factor(self) -> usize {
+        match self {
+            Scale::Tiny => 1,
+            Scale::Small => 4,
+            Scale::Paper => 16,
+        }
+    }
+
+    /// Name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Paper => "paper",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factors_are_ordered() {
+        assert!(Scale::Tiny.factor() < Scale::Small.factor());
+        assert!(Scale::Small.factor() < Scale::Paper.factor());
+        assert_eq!(Scale::Paper.name(), "paper");
+    }
+}

@@ -1,0 +1,77 @@
+//! RSU virtualization (§III-B-3): two applications sharing the unit across
+//! OS context switches.
+//!
+//! The OS saves the outgoing thread's criticality from the RSU into its
+//! `thread_struct`, writes NoTask so the budget can be re-distributed, and
+//! restores the value when the thread is rescheduled — so a critical task
+//! keeps winning the budget wherever it lands.
+//!
+//! ```text
+//! cargo run --release --example rsu_virtualization
+//! ```
+
+use cata_rsu::engine::TaskCrit;
+use cata_rsu::unit::{Rsu, RsuConfig};
+use cata_rsu::virt::{preempt, resume, ThreadStruct};
+use cata_sim::time::Frequency;
+
+fn show(rsu: &Rsu, what: &str) {
+    let e = rsu.engine();
+    let states: Vec<String> = (0..4)
+        .map(|c| {
+            let crit = match e.crit(c) {
+                TaskCrit::NoTask => "-",
+                TaskCrit::NonCritical => "n",
+                TaskCrit::Critical => "C",
+            };
+            let acc = if e.is_accelerated(c) { "fast" } else { "slow" };
+            format!("core{c}[{crit},{acc}]")
+        })
+        .collect();
+    println!("{what:<42} {}", states.join(" "));
+}
+
+fn main() {
+    let f = Frequency::from_ghz(1);
+    // A 4-core machine with budget for a single fast core.
+    let mut rsu = Rsu::init(RsuConfig {
+        num_cores: 4,
+        budget: 1,
+        ..RsuConfig::paper_default(1)
+    });
+
+    println!("RSU with 4 cores, power budget 1\n");
+
+    // Application A runs a critical task on core 0; it wins the budget.
+    rsu.start_task(0, true, f).unwrap();
+    show(&rsu, "A: critical task starts on core 0");
+
+    // Application B runs a non-critical task on core 1; no budget left.
+    rsu.start_task(1, false, f).unwrap();
+    show(&rsu, "B: non-critical task starts on core 1");
+
+    // The OS preempts A's thread (timeslice). Criticality is saved.
+    let mut thread_a = ThreadStruct::default();
+    let cmds = preempt(&mut rsu, 0, &mut thread_a, f).unwrap();
+    show(&rsu, &format!("OS preempts A (cmds: {cmds:?})"));
+
+    // With A off-core, core 0 still holds the budget marked NoTask; when B
+    // spawns another worker on core 2, the engine can displace it…
+    rsu.start_task(2, false, f).unwrap();
+    show(&rsu, "B: second non-critical task on core 2");
+
+    // …but when A's thread resumes on core 3, its restored criticality
+    // reclaims the fast rail immediately.
+    let cmds = resume(&mut rsu, 3, &thread_a, f).unwrap();
+    show(&rsu, &format!("OS resumes A on core 3 (cmds: {cmds:?})"));
+
+    // A's task completes; the budget is free for whoever needs it next.
+    rsu.end_task(3, f).unwrap();
+    rsu.core_idle(3, f).unwrap();
+    show(&rsu, "A: task ends, core 3 idles");
+
+    println!(
+        "\nRSU storage for this unit: {} bits",
+        cata_rsu::overhead::storage_bits(4, 2)
+    );
+}
