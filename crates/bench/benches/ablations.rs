@@ -29,7 +29,13 @@ fn ablations(c: &mut Criterion) {
     );
 
     group.bench_function("budget_sweep", |b| {
-        b.iter(|| black_box(sweeps::budget_sweep(Benchmark::Swaptions, Scale::Tiny, &[8, 24])));
+        b.iter(|| {
+            black_box(sweeps::budget_sweep(
+                Benchmark::Swaptions,
+                Scale::Tiny,
+                &[8, 24],
+            ))
+        });
     });
     group.bench_function("latency_sweep", |b| {
         b.iter(|| {

@@ -31,13 +31,9 @@ fn fig4(c: &mut Criterion) {
                 r.speedup_over(&fifo),
                 r.edp_normalized_to(&fifo)
             );
-            group.bench_with_input(
-                BenchmarkId::new(label, bench.name()),
-                &cfg,
-                |b, cfg| {
-                    b.iter(|| run_one(bench, cfg.clone(), Scale::Tiny, DEFAULT_SEED));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, bench.name()), &cfg, |b, cfg| {
+                b.iter(|| run_one(bench, cfg.clone(), Scale::Tiny, DEFAULT_SEED));
+            });
         }
     }
     group.finish();

@@ -13,13 +13,19 @@ fn software_path(c: &mut Criterion) {
     let mut group = c.benchmark_group("reconfig_latency");
 
     // Print the modelled latencies once (the paper's §V-C numbers).
-    let mut p = SoftwareDvfsPath::new(SoftwarePathParams::paper_calibrated(), SimDuration::from_us(25));
+    let mut p = SoftwareDvfsPath::new(
+        SoftwarePathParams::paper_calibrated(),
+        SimDuration::from_us(25),
+    );
     let g = p.request(SimTime::ZERO);
     println!(
         "software path uncontended: total {} (paper: 11-65us averages)",
         g.total_latency(SimTime::ZERO)
     );
-    let mut p = SoftwareDvfsPath::new(SoftwarePathParams::paper_calibrated(), SimDuration::from_us(25));
+    let mut p = SoftwareDvfsPath::new(
+        SoftwarePathParams::paper_calibrated(),
+        SimDuration::from_us(25),
+    );
     let mut worst = SimDuration::ZERO;
     for _ in 0..32 {
         let g = p.request(SimTime::ZERO);
@@ -28,8 +34,10 @@ fn software_path(c: &mut Criterion) {
     println!("software path 32-burst worst lock wait: {worst} (paper: 4.8-15ms maxima)");
 
     group.bench_function("software_path_request", |b| {
-        let mut path =
-            SoftwareDvfsPath::new(SoftwarePathParams::paper_calibrated(), SimDuration::from_us(25));
+        let mut path = SoftwareDvfsPath::new(
+            SoftwarePathParams::paper_calibrated(),
+            SimDuration::from_us(25),
+        );
         let mut t = 0u64;
         b.iter(|| {
             t += 100;
@@ -43,7 +51,7 @@ fn software_path(c: &mut Criterion) {
         let mut core = 0usize;
         b.iter(|| {
             core = (core + 1) % 32;
-            black_box(rsu.start_task(core, core % 3 == 0, f).unwrap());
+            black_box(rsu.start_task(core, core.is_multiple_of(3), f).unwrap());
             black_box(rsu.end_task(core, f).unwrap());
         });
     });

@@ -81,5 +81,11 @@ fn native_runtime(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, event_queue, bottom_level, progress_model, native_runtime);
+criterion_group!(
+    benches,
+    event_queue,
+    bottom_level,
+    progress_model,
+    native_runtime
+);
 criterion_main!(benches);

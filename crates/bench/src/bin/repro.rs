@@ -1,4 +1,5 @@
-//! `repro` — regenerates every table and figure of the paper.
+//! `repro` — regenerates every table and figure of the paper, and runs
+//! arbitrary `ScenarioSpec` files, through the `exp` facade.
 //!
 //! ```text
 //! repro table1          Table I (processor configuration)
@@ -11,10 +12,16 @@
 //! repro sweep-threshold A3: BL threshold sensitivity
 //! repro multilevel      A4: multi-level DVFS extension
 //! repro all             everything above
+//! repro run SPEC...     run scenario spec files (.json/.toml) as a suite
+//! repro preset NAME...  run paper presets by label (FIFO, CATA, ...)
+//! repro spec NAME       print a preset's spec as JSON (edit → `repro run`)
 //! ```
 //!
 //! Options: `--scale tiny|small|paper` (default `paper`), `--seed N`,
-//! `--csv DIR` (also writes CSV files).
+//! `--csv DIR` (also writes CSV files), `--jobs N` (parallel suite
+//! workers; 0 = all host cores, default 0), `--bench NAME` (workload for
+//! `preset`/`spec`), `--fast N` (fast cores for `preset`/`spec`),
+//! `--toml` (emit TOML from `spec`).
 
 use cata_bench::figures::{
     fig4_configs, fig5_configs, render_latency_analysis, render_panel, render_rsu_overhead,
@@ -23,22 +30,35 @@ use cata_bench::figures::{
 use cata_bench::matrix::{run_matrix, DEFAULT_SEED};
 use cata_bench::sweeps;
 use cata_bench::tables::Table;
+use cata_core::exp::{ScenarioSpec, Suite, WorkloadSpec};
+use cata_core::SimExecutor;
 use cata_workloads::{Benchmark, Scale};
 use std::time::Instant;
 
 struct Opts {
     cmd: String,
+    /// Spec files (`run`) or preset labels (`preset`/`spec`).
+    args: Vec<String>,
     scale: Scale,
     seed: u64,
     csv_dir: Option<String>,
+    jobs: usize,
+    bench: Benchmark,
+    fast: usize,
+    emit_toml: bool,
 }
 
 fn parse_args() -> Opts {
     let mut args = std::env::args().skip(1);
     let mut cmd = None;
+    let mut rest = Vec::new();
     let mut scale = Scale::Paper;
     let mut seed = DEFAULT_SEED;
     let mut csv_dir = None;
+    let mut jobs = 0usize;
+    let mut bench = Benchmark::Dedup;
+    let mut fast = 16usize;
+    let mut emit_toml = false;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--scale" => {
@@ -58,19 +78,50 @@ fn parse_args() -> Opts {
             "--csv" => {
                 csv_dir = Some(args.next().unwrap_or_else(|| die("missing --csv dir")));
             }
+            "--jobs" => {
+                jobs = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("bad --jobs"));
+            }
+            "--fast" => {
+                fast = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("bad --fast"));
+            }
+            "--bench" => {
+                let name = args.next().unwrap_or_else(|| die("missing --bench name"));
+                bench = Benchmark::all()
+                    .into_iter()
+                    .find(|b| b.name().eq_ignore_ascii_case(&name))
+                    .unwrap_or_else(|| die(&format!("unknown benchmark {name}")));
+            }
+            "--toml" => emit_toml = true,
             "--help" | "-h" => {
                 print_help();
                 std::process::exit(0);
             }
             other if cmd.is_none() && !other.starts_with('-') => cmd = Some(other.to_string()),
+            other
+                if matches!(cmd.as_deref(), Some("run" | "preset" | "spec"))
+                    && !other.starts_with('-') =>
+            {
+                rest.push(other.to_string())
+            }
             other => die(&format!("unknown argument {other}")),
         }
     }
     Opts {
         cmd: cmd.unwrap_or_else(|| "all".into()),
+        args: rest,
         scale,
         seed,
         csv_dir,
+        jobs,
+        bench,
+        fast,
+        emit_toml,
     }
 }
 
@@ -82,9 +133,11 @@ fn die(msg: &str) -> ! {
 
 fn print_help() {
     eprintln!(
-        "usage: repro [COMMAND] [--scale tiny|small|paper] [--seed N] [--csv DIR]\n\
-         commands: table1 fig4 fig5 latency rsu-overhead sweep-budget sweep-latency \
-         sweep-threshold multilevel all"
+        "usage: repro [COMMAND] [ARGS] [--scale tiny|small|paper] [--seed N] [--csv DIR]\n\
+         \x20             [--jobs N] [--bench NAME] [--fast N] [--toml]\n\
+         commands: table1 fig4 fig5 latency rsu-overhead sweep-budget sweep-latency\n\
+         \x20         sweep-threshold multilevel all\n\
+         \x20         run SPEC.json|SPEC.toml...   preset LABEL...   spec LABEL"
     );
 }
 
@@ -98,23 +151,145 @@ fn emit(opts: &Opts, name: &str, table: &Table, title: &str) {
     }
 }
 
+fn load_spec(path: &str) -> ScenarioSpec {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    let parsed = if path.ends_with(".toml") {
+        ScenarioSpec::from_toml(&text)
+    } else {
+        ScenarioSpec::from_json(&text)
+    };
+    parsed.unwrap_or_else(|e| die(&format!("{path}: {e}")))
+}
+
+/// `repro run a.json b.toml …`: parse specs, fan them across the suite,
+/// print one summary line per run.
+fn run_specs(opts: &Opts, specs: Vec<ScenarioSpec>) {
+    if specs.is_empty() {
+        die("no specs given");
+    }
+    let suite = Suite::from_specs(specs).jobs(opts.jobs);
+    let results = suite.run(&SimExecutor::default());
+    let mut table = Table::new(&[
+        "config",
+        "workload",
+        "fast",
+        "time",
+        "energy J",
+        "EDP",
+        "tasks",
+        "reconfigs",
+    ]);
+    let mut failed = 0;
+    for result in results {
+        match result {
+            Ok(report) => {
+                println!("{}", report.summary());
+                table.row(vec![
+                    report.label.clone(),
+                    report.workload.clone(),
+                    report.fast_cores.to_string(),
+                    report.exec_time.to_string(),
+                    format!("{:.6}", report.energy.energy_j),
+                    format!("{:.6}", report.energy.edp),
+                    report.tasks.to_string(),
+                    report.counters.reconfigs_applied.to_string(),
+                ]);
+            }
+            Err(e) => {
+                failed += 1;
+                eprintln!("error: {e}");
+            }
+        }
+    }
+    if let Some(dir) = &opts.csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+        let path = format!("{dir}/runs.csv");
+        std::fs::write(&path, table.to_csv()).expect("write csv");
+        println!("[wrote {path}]");
+    }
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let opts = parse_args();
     let benches = Benchmark::all();
     let t0 = Instant::now();
     let all = opts.cmd == "all";
 
+    match opts.cmd.as_str() {
+        "run" => {
+            let specs = opts.args.iter().map(|p| load_spec(p)).collect();
+            run_specs(&opts, specs);
+            eprintln!("[done in {:.1}s]", t0.elapsed().as_secs_f64());
+            return;
+        }
+        "preset" => {
+            let workload = WorkloadSpec::parsec(opts.bench, opts.scale, opts.seed);
+            let labels: Vec<String> = if opts.args.is_empty() {
+                [
+                    "FIFO",
+                    "CATS+BL",
+                    "CATS+SA",
+                    "CATA",
+                    "CATA+RSU",
+                    "TurboMode",
+                ]
+                .map(String::from)
+                .to_vec()
+            } else {
+                opts.args.clone()
+            };
+            let specs = labels
+                .iter()
+                .map(|label| {
+                    ScenarioSpec::preset(label, opts.fast, workload.clone())
+                        .unwrap_or_else(|e| die(&e.to_string()))
+                })
+                .collect();
+            run_specs(&opts, specs);
+            eprintln!("[done in {:.1}s]", t0.elapsed().as_secs_f64());
+            return;
+        }
+        "spec" => {
+            let label = opts.args.first().map(String::as_str).unwrap_or("CATA");
+            let workload = WorkloadSpec::parsec(opts.bench, opts.scale, opts.seed);
+            let spec = ScenarioSpec::preset(label, opts.fast, workload)
+                .unwrap_or_else(|e| die(&e.to_string()));
+            if opts.emit_toml {
+                println!("{}", spec.to_toml());
+            } else {
+                println!("{}", spec.to_json_pretty());
+            }
+            return;
+        }
+        _ => {}
+    }
+
     if all || opts.cmd == "table1" {
-        println!("== Table I: processor configuration ==\n{}", render_table1());
+        println!(
+            "== Table I: processor configuration ==\n{}",
+            render_table1()
+        );
     }
 
     if all || opts.cmd == "fig4" {
         println!(
-            "[fig4: running 4 configs x 6 benchmarks x {:?} fast cores at {} scale]",
+            "[fig4: running 4 configs x 6 benchmarks x {:?} fast cores at {} scale, jobs={}]",
             FAST_CORE_COUNTS,
-            opts.scale.name()
+            opts.scale.name(),
+            opts.jobs
         );
-        let m = run_matrix(&benches, &FAST_CORE_COUNTS, fig4_configs, opts.scale, opts.seed);
+        let m = run_matrix(
+            &benches,
+            &FAST_CORE_COUNTS,
+            fig4_configs,
+            opts.scale,
+            opts.seed,
+            opts.jobs,
+        );
         let labels = ["FIFO", "CATS+BL", "CATS+SA", "CATA"];
         emit(
             &opts,
@@ -132,11 +307,19 @@ fn main() {
 
     if all || opts.cmd == "fig5" || opts.cmd == "latency" {
         println!(
-            "[fig5: running 4 configs x 6 benchmarks x {:?} fast cores at {} scale]",
+            "[fig5: running 4 configs x 6 benchmarks x {:?} fast cores at {} scale, jobs={}]",
             FAST_CORE_COUNTS,
-            opts.scale.name()
+            opts.scale.name(),
+            opts.jobs
         );
-        let m = run_matrix(&benches, &FAST_CORE_COUNTS, fig5_configs, opts.scale, opts.seed);
+        let m = run_matrix(
+            &benches,
+            &FAST_CORE_COUNTS,
+            fig5_configs,
+            opts.scale,
+            opts.seed,
+            opts.jobs,
+        );
         if all || opts.cmd == "fig5" {
             let labels = ["CATA", "CATA+RSU", "TurboMode"];
             emit(
@@ -163,14 +346,21 @@ fn main() {
     }
 
     if all || opts.cmd == "rsu-overhead" {
-        println!("== Section III-B-4: RSU overhead ==\n{}", render_rsu_overhead());
+        println!(
+            "== Section III-B-4: RSU overhead ==\n{}",
+            render_rsu_overhead()
+        );
     }
 
     if all || opts.cmd == "sweep-budget" {
         emit(
             &opts,
             "sweep_budget",
-            &sweeps::budget_sweep(Benchmark::Swaptions, opts.scale, &[4, 8, 12, 16, 20, 24, 28, 32]),
+            &sweeps::budget_sweep(
+                Benchmark::Swaptions,
+                opts.scale,
+                &[4, 8, 12, 16, 20, 24, 28, 32],
+            ),
             "Ablation A1: power-budget sweep (Swaptions, CATA+RSU)",
         );
     }
@@ -179,7 +369,11 @@ fn main() {
         emit(
             &opts,
             "sweep_latency",
-            &sweeps::latency_sweep(Benchmark::Fluidanimate, opts.scale, &[1, 5, 25, 100, 400, 1000]),
+            &sweeps::latency_sweep(
+                Benchmark::Fluidanimate,
+                opts.scale,
+                &[1, 5, 25, 100, 400, 1000],
+            ),
             "Ablation A2: DVFS transition latency sweep (Fluidanimate, 16 fast)",
         );
     }
@@ -188,7 +382,11 @@ fn main() {
         emit(
             &opts,
             "sweep_threshold",
-            &sweeps::threshold_sweep(Benchmark::Bodytrack, opts.scale, &[0.5, 0.6, 0.7, 0.8, 0.9, 1.0]),
+            &sweeps::threshold_sweep(
+                Benchmark::Bodytrack,
+                opts.scale,
+                &[0.5, 0.6, 0.7, 0.8, 0.9, 1.0],
+            ),
             "Ablation A3: bottom-level criticality threshold sweep (Bodytrack)",
         );
     }

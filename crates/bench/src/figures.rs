@@ -3,7 +3,7 @@
 
 use crate::matrix::MatrixResult;
 use crate::tables::{r3, Table};
-use cata_core::RunConfig;
+use cata_core::{ScenarioSpec, WorkloadSpec};
 use cata_rsu::overhead::{estimate, TechParams};
 use cata_sim::machine::MachineConfig;
 use cata_workloads::Benchmark;
@@ -11,25 +11,24 @@ use cata_workloads::Benchmark;
 /// The fast-core counts of the paper's heterogeneous configurations.
 pub const FAST_CORE_COUNTS: [usize; 3] = [8, 16, 24];
 
-/// The configurations of Figure 4, in plot order.
-pub fn fig4_configs(fast: usize) -> Vec<RunConfig> {
-    vec![
-        RunConfig::fifo(fast),
-        RunConfig::cats_bl(fast),
-        RunConfig::cats_sa(fast),
-        RunConfig::cata(fast),
-    ]
+fn presets(labels: &[&str], fast: usize, workload: WorkloadSpec) -> Vec<ScenarioSpec> {
+    labels
+        .iter()
+        .map(|label| {
+            ScenarioSpec::preset(label, fast, workload.clone()).expect("paper preset exists")
+        })
+        .collect()
 }
 
-/// The configurations of Figure 5, in plot order (FIFO is included as the
-/// normalization baseline).
-pub fn fig5_configs(fast: usize) -> Vec<RunConfig> {
-    vec![
-        RunConfig::fifo(fast),
-        RunConfig::cata(fast),
-        RunConfig::cata_rsu(fast),
-        RunConfig::turbo(fast),
-    ]
+/// The configurations of Figure 4 on `workload`, in plot order.
+pub fn fig4_configs(fast: usize, workload: WorkloadSpec) -> Vec<ScenarioSpec> {
+    presets(&["FIFO", "CATS+BL", "CATS+SA", "CATA"], fast, workload)
+}
+
+/// The configurations of Figure 5 on `workload`, in plot order (FIFO is
+/// included as the normalization baseline).
+pub fn fig5_configs(fast: usize, workload: WorkloadSpec) -> Vec<ScenarioSpec> {
+    presets(&["FIFO", "CATA", "CATA+RSU", "TurboMode"], fast, workload)
 }
 
 /// Renders one speedup or EDP panel: rows = benchmark × fast-cores, columns
@@ -92,7 +91,14 @@ pub fn render_table1() -> String {
 
 /// Renders the §III-B-4 RSU overhead analysis.
 pub fn render_rsu_overhead() -> String {
-    let mut t = Table::new(&["cores", "power states", "storage bits", "area mm^2", "area frac", "power uW"]);
+    let mut t = Table::new(&[
+        "cores",
+        "power states",
+        "storage bits",
+        "area mm^2",
+        "area frac",
+        "power uW",
+    ]);
     for (cores, states) in [(32usize, 2usize), (32, 4), (64, 2), (128, 2), (1024, 2)] {
         let o = estimate(cores, states, &TechParams::nm22());
         t.row(vec![
@@ -149,7 +155,7 @@ mod tests {
     #[test]
     fn panels_render_for_a_small_matrix() {
         let benches = [Benchmark::Dedup];
-        let m = run_matrix(&benches, &[8, 16, 24], fig4_configs, Scale::Tiny, 1);
+        let m = run_matrix(&benches, &[8, 16, 24], fig4_configs, Scale::Tiny, 1, 2);
         let t = render_panel(&m, &benches, &["CATS+SA", "CATA"], Metric::Speedup);
         let s = t.render();
         assert!(s.contains("Dedup"));

@@ -22,4 +22,4 @@ pub mod matrix;
 pub mod sweeps;
 pub mod tables;
 
-pub use matrix::{run_matrix, run_one, MatrixResult};
+pub use matrix::{cell_spec, run_matrix, run_matrix_on, run_one, run_spec, MatrixResult};

@@ -1,7 +1,14 @@
-//! Running experiment matrices.
+//! Running experiment matrices through the `exp` facade.
+//!
+//! Every cell is a [`ScenarioSpec`] executed on the shared
+//! [`SimExecutor`] backend via the parallel [`Suite`] runner — no direct
+//! engine construction here; custom policies registered in
+//! [`PolicyRegistries`](cata_core::PolicyRegistries) work matrix-wide for
+//! free.
 
-use cata_core::{RunConfig, RunReport, SimExecutor};
-use cata_workloads::{generate, Benchmark, Scale};
+use cata_core::exp::{Executor, Scenario, Suite};
+use cata_core::{RunConfig, RunReport, ScenarioSpec, SimExecutor, WorkloadSpec};
+use cata_workloads::{Benchmark, Scale};
 use std::collections::HashMap;
 
 /// Default workload seed: figures are generated from one fixed input per
@@ -53,54 +60,107 @@ impl MatrixResult {
     }
 }
 
-/// Runs one cell: `config` on `bench` at `scale`.
-pub fn run_one(bench: Benchmark, config: RunConfig, scale: Scale, seed: u64) -> RunReport {
-    let graph = generate(bench, scale, seed);
-    SimExecutor::new(config).run(&graph, bench.name()).0
+/// The spec of one matrix cell: `config` on `bench` at `scale`.
+pub fn cell_spec(bench: Benchmark, config: &RunConfig, scale: Scale, seed: u64) -> ScenarioSpec {
+    config.to_spec(WorkloadSpec::parsec(bench, scale, seed))
 }
 
-/// Runs `configs` on every benchmark at every fast-core count.
-///
-/// Graphs are generated once per benchmark and shared across configurations
-/// so every configuration executes the identical task set.
-pub fn run_matrix(
+/// Runs one spec on the simulator backend.
+pub fn run_spec(spec: ScenarioSpec) -> RunReport {
+    Scenario::from_spec(spec)
+        .run(&SimExecutor::default())
+        .unwrap_or_else(|e| panic!("scenario failed: {e}"))
+}
+
+/// Runs one cell: `config` on `bench` at `scale`.
+pub fn run_one(bench: Benchmark, config: RunConfig, scale: Scale, seed: u64) -> RunReport {
+    run_spec(cell_spec(bench, &config, scale, seed))
+}
+
+/// Runs `configs` on every benchmark at every fast-core count, fanning the
+/// whole matrix across `jobs` worker threads (`0` ⇒ host parallelism,
+/// `1` ⇒ serial). Each cell's spec pins its workload seed, so results are
+/// identical at any parallelism.
+pub fn run_matrix_on<E: Executor + ?Sized>(
+    executor: &E,
     benches: &[Benchmark],
     fast_core_counts: &[usize],
-    configs: impl Fn(usize) -> Vec<RunConfig>,
+    configs: impl Fn(usize, WorkloadSpec) -> Vec<ScenarioSpec>,
     scale: Scale,
     seed: u64,
+    jobs: usize,
 ) -> MatrixResult {
-    let mut result = MatrixResult::default();
+    let mut keys = Vec::new();
+    let mut specs = Vec::new();
     for &bench in benches {
-        let graph = generate(bench, scale, seed);
         for &fast in fast_core_counts {
-            for cfg in configs(fast) {
-                let label = cfg.label.clone();
-                let report = SimExecutor::new(cfg).run(&graph, bench.name()).0;
-                result.reports.insert((bench, fast, label), report);
+            for spec in configs(fast, WorkloadSpec::parsec(bench, scale, seed)) {
+                keys.push((bench, fast, spec.name.clone()));
+                specs.push(spec);
             }
         }
     }
+    let reports = Suite::from_specs(specs).jobs(jobs).run_all(executor);
+    let mut result = MatrixResult::default();
+    for (key, report) in keys.into_iter().zip(reports) {
+        result.reports.insert(key, report);
+    }
     result
+}
+
+/// [`run_matrix_on`] with the simulator backend.
+pub fn run_matrix(
+    benches: &[Benchmark],
+    fast_core_counts: &[usize],
+    configs: impl Fn(usize, WorkloadSpec) -> Vec<ScenarioSpec>,
+    scale: Scale,
+    seed: u64,
+    jobs: usize,
+) -> MatrixResult {
+    run_matrix_on(
+        &SimExecutor::default(),
+        benches,
+        fast_core_counts,
+        configs,
+        scale,
+        seed,
+        jobs,
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn two_configs(fast: usize, w: WorkloadSpec) -> Vec<ScenarioSpec> {
+        vec![
+            ScenarioSpec::preset("FIFO", fast, w.clone()).unwrap(),
+            ScenarioSpec::preset("CATA+RSU", fast, w).unwrap(),
+        ]
+    }
+
     #[test]
     fn matrix_runs_and_normalizes() {
         let benches = [Benchmark::Blackscholes];
-        let m = run_matrix(
-            &benches,
-            &[8],
-            |fast| vec![RunConfig::fifo(fast), RunConfig::cata_rsu(fast)],
-            Scale::Tiny,
-            1,
-        );
+        let m = run_matrix(&benches, &[8], two_configs, Scale::Tiny, 1, 1);
         let fifo_speedup = m.speedup(Benchmark::Blackscholes, 8, "FIFO");
-        assert!((fifo_speedup - 1.0).abs() < 1e-12, "FIFO self-normalizes to 1");
+        assert!(
+            (fifo_speedup - 1.0).abs() < 1e-12,
+            "FIFO self-normalizes to 1"
+        );
         let edp = m.edp(Benchmark::Blackscholes, 8, "CATA+RSU");
         assert!(edp > 0.0);
+    }
+
+    #[test]
+    fn parallel_matrix_matches_serial() {
+        let benches = [Benchmark::Blackscholes];
+        let serial = run_matrix(&benches, &[8], two_configs, Scale::Tiny, 1, 1);
+        let parallel = run_matrix(&benches, &[8], two_configs, Scale::Tiny, 1, 4);
+        for (key, a) in &serial.reports {
+            let b = &parallel.reports[key];
+            assert_eq!(a.exec_time, b.exec_time, "{key:?} diverged");
+            assert_eq!(a.energy.energy_j, b.energy.energy_j);
+        }
     }
 }

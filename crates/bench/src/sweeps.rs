@@ -1,21 +1,31 @@
-//! Ablation studies (experiment ids A1–A4 in DESIGN.md).
+//! Ablation studies (experiment ids A1–A4 in DESIGN.md), driven through
+//! the `exp` facade: every run is a [`ScenarioSpec`] executed by the
+//! shared suite machinery.
 
-use crate::matrix::DEFAULT_SEED;
+use crate::matrix::{run_spec, DEFAULT_SEED};
 use crate::tables::{r3, Table};
-use cata_core::{EstimatorKind, RunConfig, SimExecutor};
+use cata_core::{ScenarioSpec, WorkloadSpec};
 use cata_sim::machine::PowerLevel;
 use cata_sim::time::{Frequency, SimDuration};
-use cata_workloads::{generate, Benchmark, Scale};
+use cata_workloads::{Benchmark, Scale};
+
+fn preset(label: &str, fast: usize, bench: Benchmark, scale: Scale) -> ScenarioSpec {
+    ScenarioSpec::preset(
+        label,
+        fast,
+        WorkloadSpec::parsec(bench, scale, DEFAULT_SEED),
+    )
+    .expect("paper preset exists")
+}
 
 /// A1: sensitivity of CATA+RSU to the power budget, on one benchmark.
 /// Reports speedup over the FIFO baseline with the *same* static fast-core
 /// count as the budget.
 pub fn budget_sweep(bench: Benchmark, scale: Scale, budgets: &[usize]) -> Table {
-    let graph = generate(bench, scale, DEFAULT_SEED);
     let mut t = Table::new(&["budget", "exec time", "speedup vs FIFO(b)", "norm EDP"]);
     for &b in budgets {
-        let fifo = SimExecutor::new(RunConfig::fifo(b)).run(&graph, bench.name()).0;
-        let cata = SimExecutor::new(RunConfig::cata_rsu(b)).run(&graph, bench.name()).0;
+        let fifo = run_spec(preset("FIFO", b, bench, scale));
+        let cata = run_spec(preset("CATA+RSU", b, bench, scale));
         t.row(vec![
             b.to_string(),
             cata.exec_time.to_string(),
@@ -30,22 +40,21 @@ pub fn budget_sweep(bench: Benchmark, scale: Scale, budgets: &[usize]) -> Table 
 /// latency — the gap between them should widen as reconfigurations slow
 /// down, because the software path serializes transitions.
 pub fn latency_sweep(bench: Benchmark, scale: Scale, latencies_us: &[u64]) -> Table {
-    let graph = generate(bench, scale, DEFAULT_SEED);
-    let mut t = Table::new(&["reconfig latency", "CATA speedup", "CATA+RSU speedup", "RSU gain"]);
+    let mut t = Table::new(&[
+        "reconfig latency",
+        "CATA speedup",
+        "CATA+RSU speedup",
+        "RSU gain",
+    ]);
     for &us in latencies_us {
-        let with_latency = |mut cfg: RunConfig| {
-            cfg.machine.reconfig_latency = SimDuration::from_us(us);
-            cfg
+        let with_latency = |label: &str| {
+            let mut spec = preset(label, 16, bench, scale);
+            spec.machine.reconfig_latency = SimDuration::from_us(us);
+            spec
         };
-        let fifo = SimExecutor::new(with_latency(RunConfig::fifo(16)))
-            .run(&graph, bench.name())
-            .0;
-        let sw = SimExecutor::new(with_latency(RunConfig::cata(16)))
-            .run(&graph, bench.name())
-            .0;
-        let hw = SimExecutor::new(with_latency(RunConfig::cata_rsu(16)))
-            .run(&graph, bench.name())
-            .0;
+        let fifo = run_spec(with_latency("FIFO"));
+        let sw = run_spec(with_latency("CATA"));
+        let hw = run_spec(with_latency("CATA+RSU"));
         t.row(vec![
             format!("{}us", us),
             r3(sw.speedup_over(&fifo)),
@@ -59,13 +68,12 @@ pub fn latency_sweep(bench: Benchmark, scale: Scale, latencies_us: &[u64]) -> Ta
 /// A3: sensitivity of CATS+BL to the bottom-level criticality threshold
 /// fraction `alpha`.
 pub fn threshold_sweep(bench: Benchmark, scale: Scale, alphas: &[f64]) -> Table {
-    let graph = generate(bench, scale, DEFAULT_SEED);
-    let fifo = SimExecutor::new(RunConfig::fifo(16)).run(&graph, bench.name()).0;
+    let fifo = run_spec(preset("FIFO", 16, bench, scale));
     let mut t = Table::new(&["alpha", "CATS+BL speedup", "norm EDP"]);
     for &a in alphas {
-        let mut cfg = RunConfig::cats_bl(16);
-        cfg.estimator = EstimatorKind::BottomLevel { alpha: a };
-        let r = SimExecutor::new(cfg).run(&graph, bench.name()).0;
+        let mut spec = preset("CATS+BL", 16, bench, scale);
+        spec.params.get_or_insert_with(Default::default).alpha = Some(a);
+        let r = run_spec(spec);
         t.row(vec![
             format!("{a:.2}"),
             r3(r.speedup_over(&fifo)),
@@ -80,7 +88,6 @@ pub fn threshold_sweep(bench: Benchmark, scale: Scale, alphas: &[f64]) -> Table 
 /// approximating a 3/4-level ladder by its extremes; CATA's budget then
 /// constrains the *top* level.
 pub fn multilevel_sweep(bench: Benchmark, scale: Scale) -> Table {
-    let graph = generate(bench, scale, DEFAULT_SEED);
     let ladders: [(&str, u32, u32, u32, u32); 3] = [
         ("2 levels (paper)", 2000, 1000, 1000, 800),
         ("3-level extremes", 2400, 1000, 900, 750),
@@ -88,20 +95,20 @@ pub fn multilevel_sweep(bench: Benchmark, scale: Scale) -> Table {
     ];
     let mut t = Table::new(&["ladder", "CATA+RSU speedup", "norm EDP"]);
     for (name, fast_mhz, fast_mv, slow_mhz, slow_mv) in ladders {
-        let mut fifo_cfg = RunConfig::fifo(16);
-        let mut cfg = RunConfig::cata_rsu(16);
-        for c in [&mut fifo_cfg, &mut cfg] {
-            c.machine.fast_level = PowerLevel {
+        let with_ladder = |label: &str| {
+            let mut spec = preset(label, 16, bench, scale);
+            spec.machine.fast_level = PowerLevel {
                 frequency: Frequency::from_mhz(fast_mhz),
                 voltage_mv: fast_mv,
             };
-            c.machine.slow_level = PowerLevel {
+            spec.machine.slow_level = PowerLevel {
                 frequency: Frequency::from_mhz(slow_mhz),
                 voltage_mv: slow_mv,
             };
-        }
-        let fifo = SimExecutor::new(fifo_cfg).run(&graph, bench.name()).0;
-        let r = SimExecutor::new(cfg).run(&graph, bench.name()).0;
+            spec
+        };
+        let fifo = run_spec(with_ladder("FIFO"));
+        let r = run_spec(with_ladder("CATA+RSU"));
         t.row(vec![
             name.to_string(),
             r3(r.speedup_over(&fifo)),

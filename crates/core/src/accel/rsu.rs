@@ -193,7 +193,13 @@ mod tests {
         let (mut m, mut mgr) = setup(2);
         let mut c = Counters::default();
         for core in 0..4u32 {
-            mgr.on_task_start(CoreId(core), false, SimTime::from_us(core as u64), &mut m, &mut c);
+            mgr.on_task_start(
+                CoreId(core),
+                false,
+                SimTime::from_us(core as u64),
+                &mut m,
+                &mut c,
+            );
         }
         assert_eq!(m.accelerated_count(), 2);
         assert_eq!(mgr.rsu().engine().accelerated_count(), 2);

@@ -1,6 +1,14 @@
 //! Run configuration: the six experimental configurations of the paper plus
 //! every knob the ablations sweep.
+//!
+//! Since the `exp` facade landed, these enums are thin compatibility
+//! wrappers: executors resolve them into policies through the string-keyed
+//! [`PolicyRegistries`](crate::exp::PolicyRegistries) (see
+//! [`SchedulerKind::registry_key`] and friends), so enum-based and
+//! spec-based runs construct their policies through one path.
 
+use crate::exp::registry::PolicyKeys;
+use crate::exp::spec::{PolicyParams, ScenarioSpec, WorkloadSpec};
 use cata_cpufreq::software_path::SoftwarePathParams;
 use cata_power::PowerParams;
 use cata_sim::machine::MachineConfig;
@@ -109,6 +117,40 @@ pub struct RunConfig {
     pub seed: u64,
 }
 
+impl SchedulerKind {
+    /// The policy-registry key this enum value resolves through.
+    pub fn registry_key(self) -> &'static str {
+        match self {
+            SchedulerKind::Fifo => "fifo",
+            SchedulerKind::CatsHetero => "cats",
+            SchedulerKind::CatsHomogeneous => "cats-homogeneous",
+        }
+    }
+}
+
+impl EstimatorKind {
+    /// The policy-registry key this enum value resolves through.
+    pub fn registry_key(&self) -> &'static str {
+        match self {
+            EstimatorKind::NoneAllNonCritical => "none",
+            EstimatorKind::StaticAnnotations => "static-annotations",
+            EstimatorKind::BottomLevel { .. } => "bottom-level",
+        }
+    }
+}
+
+impl AccelKind {
+    /// The policy-registry key this enum value resolves through.
+    pub fn registry_key(&self) -> &'static str {
+        match self {
+            AccelKind::StaticHetero => "static-hetero",
+            AccelKind::SoftwareCata { .. } => "software-cata",
+            AccelKind::HardwareRsu => "rsu",
+            AccelKind::TurboMode => "turbo",
+        }
+    }
+}
+
 impl RunConfig {
     fn base(label: &str, fast_cores: usize) -> Self {
         RunConfig {
@@ -199,6 +241,58 @@ impl RunConfig {
             Self::cata_rsu(fast_cores),
             Self::turbo(fast_cores),
         ]
+    }
+
+    /// The registry keys this configuration's enums resolve through.
+    pub fn policy_keys(&self) -> PolicyKeys {
+        PolicyKeys {
+            scheduler: self.scheduler.registry_key().to_string(),
+            estimator: self.estimator.registry_key().to_string(),
+            accel: self.accel.registry_key().to_string(),
+        }
+    }
+
+    /// The policy parameters the enums carry (BL threshold, software-path
+    /// latencies).
+    pub fn policy_params(&self) -> PolicyParams {
+        PolicyParams {
+            alpha: match self.estimator {
+                EstimatorKind::BottomLevel { alpha } => Some(alpha),
+                _ => None,
+            },
+            software_path: match &self.accel {
+                AccelKind::SoftwareCata { params } => Some(*params),
+                _ => None,
+            },
+        }
+    }
+
+    /// Lifts this enum-based configuration into a registry-keyed
+    /// [`ScenarioSpec`] running `workload`.
+    pub fn to_spec(&self, workload: WorkloadSpec) -> ScenarioSpec {
+        let keys = self.policy_keys();
+        let params = self.policy_params();
+        ScenarioSpec {
+            name: self.label.clone(),
+            workload,
+            machine: self.machine.clone(),
+            fast_cores: self.fast_cores,
+            scheduler: keys.scheduler,
+            estimator: keys.estimator,
+            accel: keys.accel,
+            params: if params == PolicyParams::default() {
+                None
+            } else {
+                Some(params)
+            },
+            costs: self.costs,
+            idle_to_halt: self.idle_to_halt,
+            idle_decel_delay: self.idle_decel_delay,
+            wake_latency: self.wake_latency,
+            power: self.power.clone(),
+            trace: self.trace,
+            seed: self.seed,
+        }
     }
 
     /// Shrinks the machine for unit tests (`n` cores, `fast` fast/budget).

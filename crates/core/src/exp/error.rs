@@ -1,0 +1,67 @@
+//! Errors of the experiment facade.
+
+use std::fmt;
+
+/// Anything that can go wrong building or executing a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExpError {
+    /// The scheduler key is not registered. Carries the known keys.
+    UnknownScheduler {
+        /// The unresolvable key.
+        key: String,
+        /// The keys the registry knows.
+        known: Vec<String>,
+    },
+    /// The estimator key is not registered. Carries the known keys.
+    UnknownEstimator {
+        /// The unresolvable key.
+        key: String,
+        /// The keys the registry knows.
+        known: Vec<String>,
+    },
+    /// The acceleration-manager key is not registered. Carries the known
+    /// keys.
+    UnknownAccel {
+        /// The unresolvable key.
+        key: String,
+        /// The keys the registry knows.
+        known: Vec<String>,
+    },
+    /// No paper preset of that name exists.
+    UnknownPreset(String),
+    /// The scenario is internally inconsistent (e.g. budget > cores).
+    InvalidSpec(String),
+    /// A serialized spec failed to parse.
+    Parse(String),
+}
+
+impl fmt::Display for ExpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExpError::UnknownScheduler { key, known } => {
+                write!(f, "unknown scheduler `{key}` (known: {})", known.join(", "))
+            }
+            ExpError::UnknownEstimator { key, known } => {
+                write!(f, "unknown estimator `{key}` (known: {})", known.join(", "))
+            }
+            ExpError::UnknownAccel { key, known } => {
+                write!(
+                    f,
+                    "unknown acceleration manager `{key}` (known: {})",
+                    known.join(", ")
+                )
+            }
+            ExpError::UnknownPreset(name) => {
+                write!(
+                    f,
+                    "unknown preset `{name}` (known: {})",
+                    super::spec::PAPER_PRESETS.join(", ")
+                )
+            }
+            ExpError::InvalidSpec(msg) => write!(f, "invalid scenario: {msg}"),
+            ExpError::Parse(msg) => write!(f, "spec parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExpError {}

@@ -1,0 +1,265 @@
+//! The `Executor` trait: one call shape over every backend.
+//!
+//! Both the deterministic discrete-event simulator ([`SimExecutor`]) and
+//! the real thread-pool runtime ([`NativeExecutor`]) take a
+//! [`Scenario`] and produce a [`RunReport`], so benches, sweeps and suites
+//! are backend-agnostic.
+
+use super::error::ExpError;
+use super::scenario::Scenario;
+use crate::native::{NativeRuntime, RsmMode};
+use crate::report::RunReport;
+use crate::sim_exec::SimExecutor;
+use cata_cpufreq::backend::DvfsBackend;
+use cata_power::{EnergyBreakdown, EnergyReport};
+use cata_sim::stats::{Counters, LatencySamples};
+use cata_sim::time::{SimDuration, SimTime};
+use cata_sim::trace::Trace;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A backend that can execute scenarios.
+pub trait Executor: Send + Sync {
+    /// Short backend name for reports ("sim", "native").
+    fn name(&self) -> &'static str;
+
+    /// Executes the scenario to completion and reports.
+    fn execute(&self, scenario: &Scenario) -> Result<RunReport, ExpError>;
+}
+
+impl Executor for SimExecutor {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn execute(&self, scenario: &Scenario) -> Result<RunReport, ExpError> {
+        // This entry point cannot return the trace, so don't pay for
+        // recording one; use `run_scenario_traced` to keep it.
+        if scenario.spec().trace {
+            let mut spec = scenario.spec().clone();
+            spec.trace = false;
+            return self
+                .run_spec(&spec, scenario.registries())
+                .map(|(report, _trace)| report);
+        }
+        self.run_spec(scenario.spec(), scenario.registries())
+            .map(|(report, _trace)| report)
+    }
+}
+
+impl SimExecutor {
+    /// Facade execution that also returns the event trace (enable
+    /// `spec.trace` to record one).
+    pub fn run_scenario_traced(&self, scenario: &Scenario) -> Result<(RunReport, Trace), ExpError> {
+        self.run_spec(scenario.spec(), scenario.registries())
+    }
+
+    /// Facade execution returning only the report.
+    pub fn run_scenario(&self, scenario: &Scenario) -> Result<RunReport, ExpError> {
+        self.execute(scenario)
+    }
+}
+
+/// The native thread-pool backend: really runs the scenario's task graph as
+/// busy-work closures on worker threads, with the CATA algorithm driving a
+/// DVFS backend (mock by default; sysfs where permitted).
+///
+/// The scenario's machine chooses the worker count (capped at the host's
+/// parallelism) and `fast_cores` sets the acceleration budget. Simulated
+/// task durations are scaled down by `work_divisor` so paper-scale
+/// workloads finish in test time.
+pub struct NativeExecutor {
+    /// Reconfiguration discipline (software lock vs RSU-emulated).
+    pub rsm_mode: RsmMode,
+    /// Divides each task's cycle count to size its busy-work loop.
+    pub work_divisor: u64,
+    /// Cap on worker threads (the scenario machine may name 32 cores).
+    pub max_workers: usize,
+    backend: Option<Arc<dyn DvfsBackend>>,
+}
+
+impl Default for NativeExecutor {
+    fn default() -> Self {
+        NativeExecutor {
+            rsm_mode: RsmMode::RsuEmulated,
+            work_divisor: 1_000,
+            max_workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            backend: None,
+        }
+    }
+}
+
+impl NativeExecutor {
+    /// A native executor with defaults (RSU-emulated RSM, mock DVFS).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Selects the reconfiguration discipline.
+    pub fn rsm_mode(mut self, mode: RsmMode) -> Self {
+        self.rsm_mode = mode;
+        self
+    }
+
+    /// Sets the busy-work scale divisor.
+    pub fn work_divisor(mut self, divisor: u64) -> Self {
+        self.work_divisor = divisor.max(1);
+        self
+    }
+
+    /// Sets the DVFS backend explicitly (sysfs, mock, null).
+    pub fn backend(mut self, backend: Arc<dyn DvfsBackend>) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Caps the worker count.
+    pub fn max_workers(mut self, n: usize) -> Self {
+        self.max_workers = n.max(1);
+        self
+    }
+}
+
+fn busy_work(iters: u64) -> u64 {
+    let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    for _ in 0..iters {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+    }
+    x
+}
+
+impl Executor for NativeExecutor {
+    fn name(&self) -> &'static str {
+        "native"
+    }
+
+    fn execute(&self, scenario: &Scenario) -> Result<RunReport, ExpError> {
+        let spec = scenario.spec();
+        spec.validate()?;
+        let graph = spec.workload.build_graph();
+
+        let workers = spec.machine.num_cores.clamp(1, self.max_workers);
+        let budget = spec.fast_cores.min(workers);
+        let fast_khz = spec
+            .machine
+            .fast_level
+            .frequency
+            .as_mhz()
+            .saturating_mul(1000);
+        let slow_khz = spec
+            .machine
+            .slow_level
+            .frequency
+            .as_mhz()
+            .saturating_mul(1000);
+
+        let mut builder = NativeRuntime::builder(workers)
+            .budget(budget)
+            .rsm_mode(self.rsm_mode)
+            .frequencies_khz(fast_khz, slow_khz);
+        if let Some(backend) = &self.backend {
+            builder = builder.backend(Arc::clone(backend));
+        }
+        let rt = builder.build();
+
+        let t0 = Instant::now();
+        let mut handles = Vec::with_capacity(graph.num_tasks());
+        for task in graph.tasks() {
+            let deps: Vec<_> = task.preds().iter().map(|p| handles[p.index()]).collect();
+            let critical = graph.type_of(task.id).criticality > 0;
+            let iters = task.profile.cpu_cycles / self.work_divisor;
+            let h = rt.spawn(critical, &deps, move || {
+                std::hint::black_box(busy_work(iters));
+            });
+            handles.push(h);
+        }
+        rt.wait_all();
+        let wall = t0.elapsed();
+        let metrics = rt.metrics();
+        drop(rt);
+
+        let exec_time = SimDuration::from_ns(wall.as_nanos().min(u64::MAX as u128) as u64);
+        let mut lock_waits = LatencySamples::new();
+        if metrics.rsm_lock_ns > 0 {
+            lock_waits.record(SimDuration::from_ns(metrics.rsm_lock_ns));
+        }
+        let overhead = SimDuration::from_ns(metrics.rsm_lock_ns);
+        let agg_core_ps = exec_time.as_ps().saturating_mul(workers as u64);
+        let end = SimTime::ZERO + exec_time;
+
+        Ok(RunReport {
+            label: spec.name.clone(),
+            workload: spec.workload.label(),
+            fast_cores: budget,
+            exec_time,
+            // The native backend measures time and events; it has no power
+            // sensor, so the energy report is time-only (0 J).
+            energy: EnergyReport::from_parts(
+                end.since(SimTime::ZERO).as_secs_f64(),
+                EnergyBreakdown::default(),
+            ),
+            counters: Counters {
+                tasks_completed: metrics.tasks_run,
+                reconfigs_requested: metrics.reconfigs,
+                reconfigs_applied: metrics.reconfigs.saturating_sub(metrics.reconfig_failures),
+                accel_denied: metrics.accel_denied,
+                ..Counters::default()
+            },
+            lock_waits,
+            reconfig_latencies: LatencySamples::new(),
+            reconfig_overhead: overhead,
+            reconfig_time_share: if agg_core_ps == 0 {
+                0.0
+            } else {
+                overhead.as_ps() as f64 / agg_core_ps as f64
+            },
+            core_utilization: Vec::new(),
+            tasks: graph.num_tasks(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exp::spec::WorkloadSpec;
+
+    #[test]
+    fn both_executors_share_one_call_shape() {
+        let scenario = Scenario::preset(
+            "CATA+RSU",
+            2,
+            WorkloadSpec::ForkJoin {
+                waves: 2,
+                width: 8,
+                cycles: 200_000,
+            },
+        )
+        .unwrap();
+        let mut small = scenario.clone();
+        small.spec_mut().machine = cata_sim::machine::MachineConfig::small_test(4);
+        small.spec_mut().fast_cores = 2;
+
+        let executors: Vec<Box<dyn Executor>> = vec![
+            Box::new(SimExecutor::default()),
+            Box::new(NativeExecutor::new().max_workers(4)),
+        ];
+        for exec in &executors {
+            let report = exec.execute(&small).unwrap_or_else(|e| {
+                panic!("{} failed: {e}", exec.name());
+            });
+            assert_eq!(report.tasks, 18, "{} task count", exec.name());
+            assert_eq!(
+                report.counters.tasks_completed,
+                18,
+                "{} completion count",
+                exec.name()
+            );
+            assert_eq!(report.label, "CATA+RSU");
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! # The experiment facade: scenarios, executors, registries, suites.
+//!
+//! The paper's contribution is a *matrix* of runtime configurations; this
+//! module is the API that matrix is expressed in. Four pieces:
+//!
+//! - [`ScenarioSpec`] — a serde-serializable (JSON/TOML) description of one
+//!   run: machine, workload, policy keys, parameters, costs, seed. A spec
+//!   is the unit of reproducibility: same spec ⇒ bit-identical
+//!   [`RunReport`](crate::RunReport) on the simulator.
+//! - [`PolicyRegistries`] — string-keyed factories for
+//!   [`SchedulerPolicy`](crate::policy::SchedulerPolicy),
+//!   [`CriticalityEstimator`](cata_tdg::criticality::CriticalityEstimator)
+//!   and [`AccelManager`](crate::accel::AccelManager). The six paper
+//!   configurations are pre-registered; third-party policies register a
+//!   closure under a new key and run everywhere, without touching core
+//!   enums (the enums remain as thin wrappers resolving through the same
+//!   registries).
+//! - [`Executor`] — one call shape over every backend:
+//!   [`SimExecutor`](crate::SimExecutor) (deterministic discrete-event
+//!   simulation) and [`NativeExecutor`] (real threads + DVFS backend).
+//! - [`Suite`] — fans `Vec<ScenarioSpec>` across a thread pool with
+//!   deterministic per-run seeding; parallel and serial runs are
+//!   bit-identical.
+//!
+//! ```
+//! use cata_core::exp::{Scenario, Suite, WorkloadSpec, ScenarioSpec};
+//! use cata_core::SimExecutor;
+//! use cata_workloads::{Benchmark, Scale};
+//!
+//! // One run, explicitly assembled…
+//! let scenario = Scenario::builder("CATA")
+//!     .scheduler("cats-homogeneous")
+//!     .estimator("static-annotations")
+//!     .accel("software-cata")
+//!     .workload(WorkloadSpec::parsec(Benchmark::Dedup, Scale::Tiny, 42))
+//!     .fast_cores(8)
+//!     .build();
+//! let report = scenario.run(&SimExecutor::default()).unwrap();
+//! assert_eq!(report.label, "CATA");
+//!
+//! // …or the whole paper matrix, in parallel.
+//! let suite = Suite::from_specs(ScenarioSpec::paper_matrix(
+//!     8,
+//!     WorkloadSpec::parsec(Benchmark::Dedup, Scale::Tiny, 42),
+//! ))
+//! .jobs(4);
+//! let reports = suite.run_all(&SimExecutor::default());
+//! assert_eq!(reports.len(), 6);
+//! ```
+
+pub mod error;
+pub mod executor;
+pub mod registry;
+pub mod scenario;
+pub mod spec;
+pub mod suite;
+
+pub use error::ExpError;
+pub use executor::{Executor, NativeExecutor};
+pub use registry::{
+    default_registries, AccelEntry, AllNonCritical, EstimatorEntry, FactoryCtx, PolicyKeys,
+    PolicyRegistries, SchedulerEntry,
+};
+pub use scenario::{Scenario, ScenarioBuilder};
+pub use spec::{PolicyParams, ScenarioSpec, WorkloadSpec};
+pub use suite::{derive_seed, Suite};

@@ -1,0 +1,470 @@
+//! String-keyed registries of policy factories.
+//!
+//! The experiment facade resolves the three policy dimensions of a
+//! [`ScenarioSpec`](super::spec::ScenarioSpec) — scheduler, criticality
+//! estimator, acceleration manager — through these registries instead of
+//! matching on closed enums. The six paper configurations are
+//! pre-registered under [`PolicyRegistries::with_builtins`]; third-party
+//! policies register a factory closure under a new key and immediately work
+//! with every executor, the suite runner, and the bench harness, without
+//! touching `cata-core`'s enums (which remain as thin wrappers resolving
+//! through these same registries).
+
+use super::error::ExpError;
+use super::spec::PolicyParams;
+use crate::accel::{AccelManager, RsuCata, SoftwareCata, StaticAccel, TurboModeCtl};
+use crate::policy::{CatsPolicy, FifoPolicy, SchedulerPolicy};
+use cata_sim::machine::{Machine, MachineConfig};
+use cata_tdg::criticality::{BottomLevelEstimator, CriticalityEstimator, StaticAnnotations};
+use cata_tdg::{TaskGraph, TaskId};
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
+
+/// Estimator for configurations that ignore criticality: every task is
+/// non-critical (FIFO's single queue; TurboMode).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AllNonCritical;
+
+impl CriticalityEstimator for AllNonCritical {
+    fn name(&self) -> &'static str {
+        "none"
+    }
+    fn classify(&mut self, _graph: &TaskGraph, _task: TaskId) -> bool {
+        false
+    }
+}
+
+/// Everything a policy factory may consult while constructing its policy.
+pub struct FactoryCtx<'a> {
+    /// The already-constructed machine of the run.
+    pub machine: &'a Machine,
+    /// Per-core static speed class (all-true on homogeneous machines).
+    pub is_fast_static: &'a [bool],
+    /// Fast-core count / power budget.
+    pub fast_cores: usize,
+    /// The run seed (e.g. TurboMode's victim picks).
+    pub seed: u64,
+    /// Policy parameters from the spec.
+    pub params: &'a PolicyParams,
+}
+
+type SchedFactory =
+    dyn Fn(&FactoryCtx<'_>) -> Result<Box<dyn SchedulerPolicy>, ExpError> + Send + Sync;
+type EstFactory =
+    dyn Fn(&FactoryCtx<'_>) -> Result<Box<dyn CriticalityEstimator>, ExpError> + Send + Sync;
+type AccelFactory =
+    dyn Fn(&FactoryCtx<'_>) -> Result<Box<dyn AccelManager>, ExpError> + Send + Sync;
+
+/// A registered scheduler: factory plus dispatch metadata.
+#[derive(Clone)]
+pub struct SchedulerEntry {
+    factory: Arc<SchedFactory>,
+    /// Whether the executor's dispatch loop should offer idle *fast* cores
+    /// first (CATS exploits core speeds; FIFO is blind).
+    pub prefer_fast: bool,
+}
+
+/// A registered estimator.
+#[derive(Clone)]
+pub struct EstimatorEntry {
+    factory: Arc<EstFactory>,
+}
+
+/// A registered acceleration manager: factory plus machine metadata.
+#[derive(Clone)]
+pub struct AccelEntry {
+    factory: Arc<AccelFactory>,
+    /// Whether the machine is built with statically heterogeneous cores
+    /// (the first `fast_cores` run fast permanently; no reconfiguration).
+    pub static_hetero: bool,
+}
+
+/// The three policy registries of the experiment facade.
+#[derive(Clone)]
+pub struct PolicyRegistries {
+    schedulers: BTreeMap<String, SchedulerEntry>,
+    estimators: BTreeMap<String, EstimatorEntry>,
+    accels: BTreeMap<String, AccelEntry>,
+}
+
+impl PolicyRegistries {
+    /// Empty registries (useful for fully custom matrices).
+    pub fn empty() -> Self {
+        PolicyRegistries {
+            schedulers: BTreeMap::new(),
+            estimators: BTreeMap::new(),
+            accels: BTreeMap::new(),
+        }
+    }
+
+    /// Registries pre-loaded with every policy of the paper's comparison
+    /// matrix:
+    ///
+    /// | kind | keys |
+    /// |---|---|
+    /// | scheduler | `fifo`, `cats`, `cats-homogeneous` |
+    /// | estimator | `none`, `static-annotations`, `bottom-level` |
+    /// | accel | `static-hetero`, `software-cata`, `rsu`, `turbo` |
+    pub fn with_builtins() -> Self {
+        let mut r = Self::empty();
+        r.register_scheduler("fifo", false, |_ctx| Ok(Box::new(FifoPolicy::new())));
+        r.register_scheduler("cats", true, |ctx| {
+            Ok(Box::new(CatsPolicy::new(ctx.is_fast_static)))
+        });
+        r.register_scheduler("cats-homogeneous", true, |ctx| {
+            Ok(Box::new(CatsPolicy::homogeneous(ctx.machine.num_cores())))
+        });
+
+        r.register_estimator("none", |_ctx| Ok(Box::new(AllNonCritical)));
+        r.register_estimator("static-annotations", |_ctx| Ok(Box::new(StaticAnnotations)));
+        r.register_estimator("bottom-level", |ctx| {
+            let alpha = ctx.params.alpha_or_default();
+            if !(alpha > 0.0 && alpha <= 1.0) {
+                return Err(ExpError::InvalidSpec(format!(
+                    "bottom-level alpha must be in (0, 1], got {alpha}"
+                )));
+            }
+            Ok(Box::new(BottomLevelEstimator::with_alpha(alpha)))
+        });
+
+        r.register_accel("static-hetero", true, |_ctx| Ok(Box::new(StaticAccel)));
+        r.register_accel("software-cata", false, |ctx| {
+            Ok(Box::new(SoftwareCata::new(
+                ctx.machine,
+                ctx.fast_cores,
+                ctx.params.software_path_or_default(),
+            )))
+        });
+        r.register_accel("rsu", false, |ctx| {
+            Ok(Box::new(RsuCata::new(ctx.machine, ctx.fast_cores)))
+        });
+        r.register_accel("turbo", false, |ctx| {
+            Ok(Box::new(TurboModeCtl::new(
+                ctx.machine,
+                ctx.fast_cores,
+                ctx.seed,
+            )))
+        });
+        r
+    }
+
+    /// Registers (or replaces) a scheduler factory under `key`.
+    /// `prefer_fast` tells the dispatch loop to offer idle fast cores
+    /// first.
+    pub fn register_scheduler(
+        &mut self,
+        key: impl Into<String>,
+        prefer_fast: bool,
+        factory: impl Fn(&FactoryCtx<'_>) -> Result<Box<dyn SchedulerPolicy>, ExpError>
+            + Send
+            + Sync
+            + 'static,
+    ) {
+        self.schedulers.insert(
+            key.into(),
+            SchedulerEntry {
+                factory: Arc::new(factory),
+                prefer_fast,
+            },
+        );
+    }
+
+    /// Registers (or replaces) an estimator factory under `key`.
+    pub fn register_estimator(
+        &mut self,
+        key: impl Into<String>,
+        factory: impl Fn(&FactoryCtx<'_>) -> Result<Box<dyn CriticalityEstimator>, ExpError>
+            + Send
+            + Sync
+            + 'static,
+    ) {
+        self.estimators.insert(
+            key.into(),
+            EstimatorEntry {
+                factory: Arc::new(factory),
+            },
+        );
+    }
+
+    /// Registers (or replaces) an acceleration-manager factory under `key`.
+    /// `static_hetero` selects the statically heterogeneous machine build.
+    pub fn register_accel(
+        &mut self,
+        key: impl Into<String>,
+        static_hetero: bool,
+        factory: impl Fn(&FactoryCtx<'_>) -> Result<Box<dyn AccelManager>, ExpError>
+            + Send
+            + Sync
+            + 'static,
+    ) {
+        self.accels.insert(
+            key.into(),
+            AccelEntry {
+                factory: Arc::new(factory),
+                static_hetero,
+            },
+        );
+    }
+
+    /// The registered scheduler keys, sorted.
+    pub fn scheduler_keys(&self) -> Vec<String> {
+        self.schedulers.keys().cloned().collect()
+    }
+
+    /// The registered estimator keys, sorted.
+    pub fn estimator_keys(&self) -> Vec<String> {
+        self.estimators.keys().cloned().collect()
+    }
+
+    /// The registered acceleration-manager keys, sorted.
+    pub fn accel_keys(&self) -> Vec<String> {
+        self.accels.keys().cloned().collect()
+    }
+
+    /// Constructs a scheduler policy by key (trait-object path).
+    pub fn build_scheduler(
+        &self,
+        key: &str,
+        ctx: &FactoryCtx<'_>,
+    ) -> Result<Box<dyn SchedulerPolicy>, ExpError> {
+        let entry = self
+            .schedulers
+            .get(key)
+            .ok_or_else(|| ExpError::UnknownScheduler {
+                key: key.to_string(),
+                known: self.scheduler_keys(),
+            })?;
+        (entry.factory)(ctx)
+    }
+
+    /// Constructs a criticality estimator by key (trait-object path).
+    pub fn build_estimator(
+        &self,
+        key: &str,
+        ctx: &FactoryCtx<'_>,
+    ) -> Result<Box<dyn CriticalityEstimator>, ExpError> {
+        let entry = self
+            .estimators
+            .get(key)
+            .ok_or_else(|| ExpError::UnknownEstimator {
+                key: key.to_string(),
+                known: self.estimator_keys(),
+            })?;
+        (entry.factory)(ctx)
+    }
+
+    /// Constructs an acceleration manager by key (trait-object path).
+    pub fn build_accel(
+        &self,
+        key: &str,
+        ctx: &FactoryCtx<'_>,
+    ) -> Result<Box<dyn AccelManager>, ExpError> {
+        let entry = self.accels.get(key).ok_or_else(|| ExpError::UnknownAccel {
+            key: key.to_string(),
+            known: self.accel_keys(),
+        })?;
+        (entry.factory)(ctx)
+    }
+
+    /// The dispatch metadata of a scheduler key.
+    pub fn scheduler_entry(&self, key: &str) -> Result<&SchedulerEntry, ExpError> {
+        self.schedulers
+            .get(key)
+            .ok_or_else(|| ExpError::UnknownScheduler {
+                key: key.to_string(),
+                known: self.scheduler_keys(),
+            })
+    }
+
+    /// The machine metadata of an acceleration-manager key.
+    pub fn accel_entry(&self, key: &str) -> Result<&AccelEntry, ExpError> {
+        self.accels.get(key).ok_or_else(|| ExpError::UnknownAccel {
+            key: key.to_string(),
+            known: self.accel_keys(),
+        })
+    }
+
+    /// Resolves a full policy triple into engine-ready parts: builds the
+    /// machine (honoring the accel entry's `static_hetero`), then each
+    /// policy through its factory.
+    pub fn resolve(
+        &self,
+        keys: &PolicyKeys,
+        machine_cfg: &MachineConfig,
+        fast_cores: usize,
+        seed: u64,
+        params: &PolicyParams,
+    ) -> Result<ResolvedPolicies, ExpError> {
+        let n_cores = machine_cfg.num_cores;
+        if fast_cores > n_cores {
+            return Err(ExpError::InvalidSpec(format!(
+                "fast_cores {fast_cores} exceeds machine size {n_cores}"
+            )));
+        }
+        let accel_entry = self.accel_entry(&keys.accel)?;
+        let sched_entry = self.scheduler_entry(&keys.scheduler)?;
+        let static_hetero = accel_entry.static_hetero;
+        let machine = if static_hetero {
+            Machine::new_static_hetero(machine_cfg.clone(), fast_cores)
+        } else {
+            Machine::new(machine_cfg.clone())
+        };
+        let is_fast_static: Vec<bool> = (0..n_cores)
+            .map(|i| !static_hetero || i < fast_cores)
+            .collect();
+        let ctx = FactoryCtx {
+            machine: &machine,
+            is_fast_static: &is_fast_static,
+            fast_cores,
+            seed,
+            params,
+        };
+        let policy = self.build_scheduler(&keys.scheduler, &ctx)?;
+        let estimator = self.build_estimator(&keys.estimator, &ctx)?;
+        let accel = self.build_accel(&keys.accel, &ctx)?;
+        let prefer_fast = sched_entry.prefer_fast;
+        Ok(ResolvedPolicies {
+            policy,
+            estimator,
+            accel,
+            machine,
+            is_fast_static,
+            prefer_fast,
+        })
+    }
+}
+
+impl Default for PolicyRegistries {
+    fn default() -> Self {
+        Self::with_builtins()
+    }
+}
+
+impl std::fmt::Debug for PolicyRegistries {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PolicyRegistries")
+            .field("schedulers", &self.scheduler_keys())
+            .field("estimators", &self.estimator_keys())
+            .field("accels", &self.accel_keys())
+            .finish()
+    }
+}
+
+/// The policy triple of a run, as registry keys.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyKeys {
+    /// Scheduler key.
+    pub scheduler: String,
+    /// Estimator key.
+    pub estimator: String,
+    /// Acceleration-manager key.
+    pub accel: String,
+}
+
+/// Engine-ready resolution output: the constructed machine and the three
+/// boxed policies.
+pub struct ResolvedPolicies {
+    /// The ready-queue policy.
+    pub policy: Box<dyn SchedulerPolicy>,
+    /// The criticality estimator.
+    pub estimator: Box<dyn CriticalityEstimator>,
+    /// The acceleration manager.
+    pub accel: Box<dyn AccelManager>,
+    /// The constructed machine.
+    pub machine: Machine,
+    /// Per-core static speed class.
+    pub is_fast_static: Vec<bool>,
+    /// Dispatch-loop fast-core preference.
+    pub prefer_fast: bool,
+}
+
+impl std::fmt::Debug for ResolvedPolicies {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResolvedPolicies")
+            .field("policy", &self.policy.name())
+            .field("estimator", &self.estimator.name())
+            .field("accel", &self.accel.name())
+            .field("prefer_fast", &self.prefer_fast)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The process-wide default registries (builtins only). Scenarios without
+/// explicit registries resolve through these.
+pub fn default_registries() -> &'static Arc<PolicyRegistries> {
+    static DEFAULT: OnceLock<Arc<PolicyRegistries>> = OnceLock::new();
+    DEFAULT.get_or_init(|| Arc::new(PolicyRegistries::with_builtins()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_less_resolve(keys: PolicyKeys) -> Result<ResolvedPolicies, ExpError> {
+        PolicyRegistries::with_builtins().resolve(
+            &keys,
+            &MachineConfig::small_test(4),
+            2,
+            7,
+            &PolicyParams::default(),
+        )
+    }
+
+    #[test]
+    fn builtin_keys_resolve() {
+        for (s, e, a) in [
+            ("fifo", "none", "static-hetero"),
+            ("cats", "bottom-level", "static-hetero"),
+            ("cats", "static-annotations", "static-hetero"),
+            ("cats-homogeneous", "static-annotations", "software-cata"),
+            ("cats-homogeneous", "static-annotations", "rsu"),
+            ("fifo", "none", "turbo"),
+        ] {
+            let r = ctx_less_resolve(PolicyKeys {
+                scheduler: s.into(),
+                estimator: e.into(),
+                accel: a.into(),
+            })
+            .unwrap_or_else(|err| panic!("{s}/{e}/{a}: {err}"));
+            assert_eq!(r.is_fast_static.len(), 4);
+        }
+    }
+
+    #[test]
+    fn unknown_keys_name_the_alternatives() {
+        let err = ctx_less_resolve(PolicyKeys {
+            scheduler: "fifo".into(),
+            estimator: "none".into(),
+            accel: "warp-drive".into(),
+        })
+        .unwrap_err();
+        match err {
+            ExpError::UnknownAccel { key, known } => {
+                assert_eq!(key, "warp-drive");
+                assert!(known.contains(&"software-cata".to_string()));
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn bad_alpha_is_rejected_at_resolution() {
+        let err = PolicyRegistries::with_builtins()
+            .resolve(
+                &PolicyKeys {
+                    scheduler: "cats".into(),
+                    estimator: "bottom-level".into(),
+                    accel: "static-hetero".into(),
+                },
+                &MachineConfig::small_test(4),
+                2,
+                7,
+                &PolicyParams {
+                    alpha: Some(0.0),
+                    software_path: None,
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, ExpError::InvalidSpec(_)));
+    }
+}

@@ -1,0 +1,404 @@
+//! `ScenarioSpec`: the complete, serializable description of one run.
+//!
+//! A spec names *everything* a run depends on — machine, workload,
+//! scheduler/estimator/accel registry keys, policy parameters, runtime
+//! costs, and the seed — so a run is reproducible from its serialized form
+//! alone. JSON and TOML render the same structure.
+
+use super::error::ExpError;
+use crate::config::{RunConfig, RuntimeCosts};
+use cata_cpufreq::software_path::SoftwarePathParams;
+use cata_power::PowerParams;
+use cata_sim::machine::MachineConfig;
+use cata_sim::time::SimDuration;
+use cata_tdg::TaskGraph;
+use cata_workloads::{generate, micro, Benchmark, Scale};
+use serde::{Deserialize, Serialize};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// The workload a scenario runs: a PARSECSs-shaped generator or one of the
+/// micro-graphs, with every generation parameter pinned.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadSpec {
+    /// One of the paper's six benchmarks at a given scale and seed.
+    Parsec {
+        /// The benchmark.
+        bench: Benchmark,
+        /// Generation scale.
+        scale: Scale,
+        /// Workload-generation seed.
+        seed: u64,
+    },
+    /// A serial chain of `n` tasks of `cycles` each.
+    Chain {
+        /// Task count.
+        n: usize,
+        /// Cycles per task.
+        cycles: u64,
+    },
+    /// `waves` fork-join waves of `width` tasks of `cycles` each.
+    ForkJoin {
+        /// Wave count.
+        waves: usize,
+        /// Tasks per wave.
+        width: usize,
+        /// Cycles per task.
+        cycles: u64,
+    },
+    /// A diamond whose first branch is `skew`× longer (paper Figure 1).
+    SkewedDiamond {
+        /// Branch count.
+        width: usize,
+        /// Cycles per normal branch.
+        cycles: u64,
+        /// Length multiplier of the critical branch.
+        skew: u64,
+    },
+    /// A random DAG (see `cata_workloads::micro::random_dag`).
+    RandomDag {
+        /// Task count.
+        n: usize,
+        /// Edge probability.
+        edge_p: f64,
+        /// Minimum task cycles.
+        min_cycles: u64,
+        /// Maximum task cycles.
+        max_cycles: u64,
+        /// Generation seed.
+        seed: u64,
+    },
+}
+
+impl WorkloadSpec {
+    /// The default paper workload: one benchmark at one scale with the
+    /// bench harness's fixed seed.
+    pub fn parsec(bench: Benchmark, scale: Scale, seed: u64) -> Self {
+        WorkloadSpec::Parsec { bench, scale, seed }
+    }
+
+    /// Generates the task graph this spec describes (deterministic).
+    pub fn build_graph(&self) -> TaskGraph {
+        match *self {
+            WorkloadSpec::Parsec { bench, scale, seed } => generate(bench, scale, seed),
+            WorkloadSpec::Chain { n, cycles } => micro::chain(n, cycles),
+            WorkloadSpec::ForkJoin {
+                waves,
+                width,
+                cycles,
+            } => micro::fork_join(waves, width, cycles),
+            WorkloadSpec::SkewedDiamond {
+                width,
+                cycles,
+                skew,
+            } => micro::skewed_diamond(width, cycles, skew),
+            WorkloadSpec::RandomDag {
+                n,
+                edge_p,
+                min_cycles,
+                max_cycles,
+                seed,
+            } => micro::random_dag(n, edge_p, min_cycles, max_cycles, seed),
+        }
+    }
+
+    /// Like [`build_graph`](Self::build_graph), but memoized process-wide
+    /// behind an `Arc`: matrices and sweeps run the same workload under
+    /// many configurations, and generation is deterministic, so identical
+    /// specs share one graph. The cache is small and FIFO-evicted; misses
+    /// just regenerate.
+    pub fn build_graph_shared(&self) -> Arc<TaskGraph> {
+        type GraphCache = Mutex<Vec<(String, Arc<TaskGraph>)>>;
+        const CAP: usize = 32;
+        static CACHE: OnceLock<GraphCache> = OnceLock::new();
+        let key = serde_json::to_string(self).expect("workload spec serializes");
+        let cache = CACHE.get_or_init(|| Mutex::new(Vec::new()));
+        {
+            let entries = cache.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some((_, graph)) = entries.iter().find(|(k, _)| *k == key) {
+                return Arc::clone(graph);
+            }
+        }
+        // Generate outside the lock so distinct workloads build in
+        // parallel; a racing duplicate is deterministic and harmless.
+        let graph = Arc::new(self.build_graph());
+        let mut entries = cache.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((_, cached)) = entries.iter().find(|(k, _)| *k == key) {
+            return Arc::clone(cached);
+        }
+        if entries.len() >= CAP {
+            entries.remove(0);
+        }
+        entries.push((key, Arc::clone(&graph)));
+        graph
+    }
+
+    /// The workload label used in reports.
+    pub fn label(&self) -> String {
+        match self {
+            WorkloadSpec::Parsec { bench, .. } => bench.name().to_string(),
+            WorkloadSpec::Chain { n, .. } => format!("chain-{n}"),
+            WorkloadSpec::ForkJoin { waves, width, .. } => format!("forkjoin-{waves}x{width}"),
+            WorkloadSpec::SkewedDiamond { width, .. } => format!("diamond-{width}"),
+            WorkloadSpec::RandomDag { n, .. } => format!("randdag-{n}"),
+        }
+    }
+}
+
+/// Parameters consumed by policy factories. Every field is optional; a
+/// factory falls back to the paper's defaults for missing values, so specs
+/// only mention what they change.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct PolicyParams {
+    /// Bottom-level criticality threshold fraction (default 1.0 = CATS).
+    pub alpha: Option<f64>,
+    /// Latency parameters of the software reconfiguration path (default:
+    /// the paper calibration).
+    pub software_path: Option<SoftwarePathParams>,
+}
+
+impl PolicyParams {
+    /// The BL threshold, defaulted.
+    pub fn alpha_or_default(&self) -> f64 {
+        self.alpha.unwrap_or(1.0)
+    }
+
+    /// The software-path latencies, defaulted.
+    pub fn software_path_or_default(&self) -> SoftwarePathParams {
+        self.software_path
+            .unwrap_or_else(SoftwarePathParams::paper_calibrated)
+    }
+}
+
+/// A complete description of one experimental run.
+///
+/// `scheduler`, `estimator` and `accel` are string keys resolved through
+/// [`PolicyRegistries`](super::registry::PolicyRegistries); the six paper
+/// configurations are pre-registered, and third-party policies resolve the
+/// same way without touching any core enum.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Configuration label for reports ("FIFO", "CATA+RSU", …).
+    pub name: String,
+    /// The workload to run.
+    pub workload: WorkloadSpec,
+    /// The machine (Table I by default).
+    pub machine: MachineConfig,
+    /// Static fast-core count *and* dynamic power budget.
+    pub fast_cores: usize,
+    /// Scheduler registry key (e.g. "fifo", "cats", "cats-homogeneous").
+    pub scheduler: String,
+    /// Estimator registry key (e.g. "none", "static-annotations",
+    /// "bottom-level").
+    pub estimator: String,
+    /// Acceleration-manager registry key (e.g. "static-hetero",
+    /// "software-cata", "rsu", "turbo").
+    pub accel: String,
+    /// Policy parameters; omitted values fall back to paper defaults.
+    pub params: Option<PolicyParams>,
+    /// Runtime cost constants.
+    pub costs: RuntimeCosts,
+    /// Idle→halt OS timeout (TurboMode only in the paper matrix).
+    pub idle_to_halt: Option<SimDuration>,
+    /// Idle deceleration debounce (§V-B).
+    pub idle_decel_delay: SimDuration,
+    /// C1-exit latency.
+    pub wake_latency: SimDuration,
+    /// Power model calibration.
+    pub power: PowerParams,
+    /// Record a full event trace.
+    pub trace: bool,
+    /// Seed of the run's deterministic RNG.
+    pub seed: u64,
+}
+
+/// The six paper configuration labels, in figure order — the canonical
+/// list behind [`ScenarioSpec::preset`], `repro preset`, and the
+/// unknown-preset error message.
+pub const PAPER_PRESETS: [&str; 6] = [
+    "FIFO",
+    "CATS+BL",
+    "CATS+SA",
+    "CATA",
+    "CATA+RSU",
+    "TurboMode",
+];
+
+impl ScenarioSpec {
+    /// A spec running `workload` with every other knob at the FIFO-baseline
+    /// defaults; use the builder or the presets for the paper matrix.
+    pub fn new(name: impl Into<String>, workload: WorkloadSpec) -> Self {
+        let base = RunConfig::fifo(16);
+        ScenarioSpec {
+            name: name.into(),
+            workload,
+            machine: base.machine,
+            fast_cores: base.fast_cores,
+            scheduler: "fifo".to_string(),
+            estimator: "none".to_string(),
+            accel: "static-hetero".to_string(),
+            params: None,
+            costs: base.costs,
+            idle_to_halt: base.idle_to_halt,
+            idle_decel_delay: base.idle_decel_delay,
+            wake_latency: base.wake_latency,
+            power: base.power,
+            trace: base.trace,
+            seed: base.seed,
+        }
+    }
+
+    /// One of the six paper configurations by figure label (`"FIFO"`,
+    /// `"CATS+BL"`, `"CATS+SA"`, `"CATA"`, `"CATA+RSU"`, `"TurboMode"`).
+    pub fn preset(name: &str, fast_cores: usize, workload: WorkloadSpec) -> Result<Self, ExpError> {
+        let cfg = match name {
+            "FIFO" => RunConfig::fifo(fast_cores),
+            "CATS+BL" => RunConfig::cats_bl(fast_cores),
+            "CATS+SA" => RunConfig::cats_sa(fast_cores),
+            "CATA" => RunConfig::cata(fast_cores),
+            "CATA+RSU" => RunConfig::cata_rsu(fast_cores),
+            "TurboMode" => RunConfig::turbo(fast_cores),
+            other => return Err(ExpError::UnknownPreset(other.to_string())),
+        };
+        Ok(cfg.to_spec(workload))
+    }
+
+    /// All six paper configurations at one fast-core count, in figure
+    /// order.
+    pub fn paper_matrix(fast_cores: usize, workload: WorkloadSpec) -> Vec<Self> {
+        RunConfig::paper_matrix(fast_cores)
+            .into_iter()
+            .map(|cfg| cfg.to_spec(workload.clone()))
+            .collect()
+    }
+
+    /// The resolved policy parameters (missing → defaults).
+    pub fn params_or_default(&self) -> PolicyParams {
+        self.params.clone().unwrap_or_default()
+    }
+
+    /// Serializes to compact JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("spec serializes")
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("spec serializes")
+    }
+
+    /// Parses a JSON spec.
+    pub fn from_json(text: &str) -> Result<Self, ExpError> {
+        serde_json::from_str(text).map_err(|e| ExpError::Parse(e.to_string()))
+    }
+
+    /// Serializes to TOML.
+    pub fn to_toml(&self) -> String {
+        toml::to_string(self).expect("spec serializes")
+    }
+
+    /// Parses a TOML spec.
+    pub fn from_toml(text: &str) -> Result<Self, ExpError> {
+        toml::from_str(text).map_err(|e| ExpError::Parse(e.to_string()))
+    }
+
+    /// Basic structural validation (a usable machine, budget ≤ cores,
+    /// non-empty keys).
+    pub fn validate(&self) -> Result<(), ExpError> {
+        if self.machine.num_cores == 0 {
+            return Err(ExpError::InvalidSpec(
+                "machine.num_cores must be at least 1".to_string(),
+            ));
+        }
+        if self.fast_cores > self.machine.num_cores {
+            return Err(ExpError::InvalidSpec(format!(
+                "fast_cores {} exceeds machine size {}",
+                self.fast_cores, self.machine.num_cores
+            )));
+        }
+        for (what, key) in [
+            ("scheduler", &self.scheduler),
+            ("estimator", &self.estimator),
+            ("accel", &self.accel),
+        ] {
+            if key.is_empty() {
+                return Err(ExpError::InvalidSpec(format!("empty {what} key")));
+            }
+        }
+        Ok(())
+    }
+
+    /// Shrinks the machine for unit tests (mirrors
+    /// [`RunConfig::with_small_machine`]).
+    pub fn with_small_machine(mut self, n: usize, fast: usize) -> Self {
+        self.machine = MachineConfig::small_test(n);
+        self.fast_cores = fast;
+        self
+    }
+
+    /// Enables event tracing.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Replaces the run seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_carry_registry_keys() {
+        let w = WorkloadSpec::ForkJoin {
+            waves: 2,
+            width: 4,
+            cycles: 1000,
+        };
+        let specs = ScenarioSpec::paper_matrix(8, w);
+        let keys: Vec<(&str, &str, &str)> = specs
+            .iter()
+            .map(|s| (s.scheduler.as_str(), s.estimator.as_str(), s.accel.as_str()))
+            .collect();
+        assert_eq!(
+            keys,
+            vec![
+                ("fifo", "none", "static-hetero"),
+                ("cats", "bottom-level", "static-hetero"),
+                ("cats", "static-annotations", "static-hetero"),
+                ("cats-homogeneous", "static-annotations", "software-cata"),
+                ("cats-homogeneous", "static-annotations", "rsu"),
+                ("fifo", "none", "turbo"),
+            ]
+        );
+    }
+
+    #[test]
+    fn unknown_preset_is_an_error() {
+        let w = WorkloadSpec::Chain { n: 2, cycles: 10 };
+        let err = ScenarioSpec::preset("CATS+XL", 8, w).unwrap_err();
+        assert!(matches!(err, ExpError::UnknownPreset(_)));
+    }
+
+    #[test]
+    fn json_and_toml_round_trip() {
+        let w = WorkloadSpec::parsec(Benchmark::Dedup, Scale::Tiny, 42);
+        let spec = ScenarioSpec::preset("CATA", 16, w).unwrap().with_trace();
+        let json = spec.to_json_pretty();
+        assert_eq!(ScenarioSpec::from_json(&json).unwrap(), spec);
+        let toml_text = spec.to_toml();
+        assert_eq!(ScenarioSpec::from_toml(&toml_text).unwrap(), spec);
+    }
+
+    #[test]
+    fn validation_rejects_oversized_budget() {
+        let w = WorkloadSpec::Chain { n: 2, cycles: 10 };
+        let mut spec = ScenarioSpec::new("bad", w);
+        spec.fast_cores = spec.machine.num_cores + 1;
+        assert!(matches!(spec.validate(), Err(ExpError::InvalidSpec(_))));
+    }
+}

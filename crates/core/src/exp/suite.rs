@@ -1,0 +1,204 @@
+//! `Suite`: fan a list of scenarios across a thread pool.
+//!
+//! Each scenario is an independent deterministic run (its spec pins the
+//! seed), so a suite's results are bit-identical whether executed serially
+//! or in parallel — only wall-clock time changes. Result order always
+//! matches input order.
+
+use super::error::ExpError;
+use super::executor::Executor;
+use super::registry::PolicyRegistries;
+use super::scenario::Scenario;
+use super::spec::ScenarioSpec;
+use crate::report::RunReport;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Derives the `index`-th run seed from a suite base seed (splitmix64).
+/// Deterministic and stable across platforms.
+pub fn derive_seed(base: u64, index: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(index.wrapping_mul(0xD1B5_4A32_D192_ED03));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A batch of scenarios plus a parallelism setting.
+#[derive(Debug, Clone, Default)]
+pub struct Suite {
+    scenarios: Vec<Scenario>,
+    jobs: usize,
+}
+
+impl Suite {
+    /// An empty suite (serial by default).
+    pub fn new() -> Self {
+        Suite {
+            scenarios: Vec::new(),
+            jobs: 1,
+        }
+    }
+
+    /// A suite over specs, resolved through the default registries.
+    pub fn from_specs(specs: Vec<ScenarioSpec>) -> Self {
+        Self::from_specs_with(specs, None)
+    }
+
+    /// A suite over specs resolved through explicit registries.
+    pub fn from_specs_with(
+        specs: Vec<ScenarioSpec>,
+        registries: Option<Arc<PolicyRegistries>>,
+    ) -> Self {
+        let scenarios = specs
+            .into_iter()
+            .map(|spec| {
+                let s = Scenario::from_spec(spec);
+                match &registries {
+                    Some(r) => s.with_registries(Arc::clone(r)),
+                    None => s,
+                }
+            })
+            .collect();
+        Suite { scenarios, jobs: 1 }
+    }
+
+    /// Adds one scenario.
+    pub fn push(&mut self, scenario: Scenario) {
+        self.scenarios.push(scenario);
+    }
+
+    /// Sets the worker-thread count (`0` ⇒ the host's parallelism).
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = if jobs == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            jobs
+        };
+        self
+    }
+
+    /// Number of scenarios queued.
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// True when no scenarios are queued.
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+
+    /// Reseeds scenario `i` with `derive_seed(base, i)` — one knob for a
+    /// deterministic sweep over otherwise-identical specs.
+    pub fn reseed(mut self, base: u64) -> Self {
+        for (i, s) in self.scenarios.iter_mut().enumerate() {
+            s.spec_mut().seed = derive_seed(base, i as u64);
+        }
+        self
+    }
+
+    /// Runs every scenario on `executor`, fanning across the configured
+    /// worker threads. Results come back in input order; each entry is the
+    /// run's report or its error.
+    pub fn run<E: Executor + ?Sized>(&self, executor: &E) -> Vec<Result<RunReport, ExpError>> {
+        let n = self.scenarios.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.jobs.clamp(1, n);
+        if workers == 1 {
+            return self.scenarios.iter().map(|s| executor.execute(s)).collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<RunReport, ExpError>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let result = executor.execute(&self.scenarios[i]);
+                    *slots[i].lock().expect("result slot") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot")
+                    .expect("every scenario executed")
+            })
+            .collect()
+    }
+
+    /// Like [`run`](Self::run), but panics on the first error — the
+    /// convenient shape for benches where every key is builtin.
+    pub fn run_all<E: Executor + ?Sized>(&self, executor: &E) -> Vec<RunReport> {
+        self.run(executor)
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|e| panic!("suite run failed: {e}")))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exp::spec::WorkloadSpec;
+    use crate::sim_exec::SimExecutor;
+
+    fn small_matrix() -> Vec<ScenarioSpec> {
+        ScenarioSpec::paper_matrix(
+            2,
+            WorkloadSpec::ForkJoin {
+                waves: 2,
+                width: 6,
+                cycles: 500_000,
+            },
+        )
+        .into_iter()
+        .map(|s| s.with_small_machine(4, 2))
+        .collect()
+    }
+
+    #[test]
+    fn parallel_equals_serial_bit_for_bit() {
+        let exec = SimExecutor::default();
+        let serial = Suite::from_specs(small_matrix()).jobs(1).run_all(&exec);
+        let parallel = Suite::from_specs(small_matrix()).jobs(4).run_all(&exec);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.exec_time, b.exec_time, "{} diverged", a.label);
+            assert_eq!(a.energy.energy_j, b.energy.energy_j);
+            assert_eq!(a.counters.reconfigs_applied, b.counters.reconfigs_applied);
+        }
+    }
+
+    #[test]
+    fn errors_surface_per_scenario() {
+        let mut specs = small_matrix();
+        specs[2].accel = "does-not-exist".into();
+        let results = Suite::from_specs(specs)
+            .jobs(2)
+            .run(&SimExecutor::default());
+        assert!(results[0].is_ok());
+        assert!(results[2].is_err());
+        assert!(results[5].is_ok());
+    }
+
+    #[test]
+    fn reseed_is_deterministic_and_distinct() {
+        let a = derive_seed(1, 0);
+        let b = derive_seed(1, 1);
+        assert_ne!(a, b);
+        assert_eq!(a, derive_seed(1, 0));
+    }
+}

@@ -33,10 +33,22 @@ impl Cell {
         match self {
             Cell::Idle => '.',
             Cell::Halted => 'z',
-            Cell::Task { critical: true, fast: true } => 'C',
-            Cell::Task { critical: true, fast: false } => 'c',
-            Cell::Task { critical: false, fast: true } => 'N',
-            Cell::Task { critical: false, fast: false } => 'n',
+            Cell::Task {
+                critical: true,
+                fast: true,
+            } => 'C',
+            Cell::Task {
+                critical: true,
+                fast: false,
+            } => 'c',
+            Cell::Task {
+                critical: false,
+                fast: true,
+            } => 'N',
+            Cell::Task {
+                critical: false,
+                fast: false,
+            } => 'n',
         }
     }
 }
@@ -72,7 +84,7 @@ pub fn render(trace: &Trace, num_cores: usize, end: SimTime, width: usize) -> St
     ];
 
     let bucket_of = |t: SimTime| ((t.as_ps() / bucket.as_ps()) as usize).min(width - 1);
-    let mut fill = |c: &mut CoreState, upto: usize| {
+    let fill = |c: &mut CoreState, upto: usize| {
         while c.cursor < upto.min(width) {
             c.cells.push(c.current);
             c.cursor += 1;
@@ -139,12 +151,7 @@ pub fn render(trace: &Trace, num_cores: usize, end: SimTime, width: usize) -> St
         out.extend(c.cells.iter().map(|cell| cell.glyph()));
         out.push_str("|\n");
     }
-    out.push_str(&format!(
-        "{:>7}0{:>width$}\n",
-        "",
-        end,
-        width = width + 1
-    ));
+    out.push_str(&format!("{:>7}0{:>width$}\n", "", end, width = width + 1));
     out.push_str("legend: C/c critical (fast/slow)  N/n non-critical  . idle  z halted\n");
     out
 }

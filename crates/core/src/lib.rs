@@ -38,6 +38,7 @@
 
 pub mod accel;
 pub mod config;
+pub mod exp;
 pub mod gantt;
 pub mod native;
 pub mod policy;
@@ -45,5 +46,9 @@ pub mod report;
 pub mod sim_exec;
 
 pub use config::{AccelKind, EstimatorKind, RunConfig, SchedulerKind};
+pub use exp::{
+    Executor, ExpError, NativeExecutor, PolicyRegistries, Scenario, ScenarioSpec, Suite,
+    WorkloadSpec,
+};
 pub use report::RunReport;
 pub use sim_exec::SimExecutor;

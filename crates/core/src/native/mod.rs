@@ -227,9 +227,9 @@ impl NativeRuntimeBuilder {
             self.budget,
             self.workers
         );
-        let backend = self.backend.unwrap_or_else(|| {
-            Arc::new(cata_cpufreq::backend::NullDvfs::new(self.workers))
-        });
+        let backend = self
+            .backend
+            .unwrap_or_else(|| Arc::new(cata_cpufreq::backend::NullDvfs::new(self.workers)));
         let inner = Arc::new(Inner {
             sched: Mutex::new(SchedState {
                 tasks: Vec::new(),
@@ -385,7 +385,11 @@ impl NativeRuntime {
             unfinished_preds: unfinished,
             succs: Vec::new(),
             critical,
-            state: if ready { TaskState::Ready } else { TaskState::Waiting },
+            state: if ready {
+                TaskState::Ready
+            } else {
+                TaskState::Waiting
+            },
         });
         s.outstanding += 1;
         if ready {

@@ -34,8 +34,12 @@ pub trait SchedulerPolicy: Send {
 
     /// Serves a work request from `core`. `ctx` carries the idle-state
     /// information the CATS stealing rule needs. Returns the task to run.
-    fn dequeue(&mut self, core: CoreId, ctx: DispatchCtx, counters: &mut Counters)
-        -> Option<TaskId>;
+    fn dequeue(
+        &mut self,
+        core: CoreId,
+        ctx: DispatchCtx,
+        counters: &mut Counters,
+    ) -> Option<TaskId>;
 
     /// Total ready tasks queued.
     fn len(&self) -> usize;
@@ -53,6 +57,11 @@ pub trait SchedulerPolicy: Send {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::accel::AccelEffects;
+    use crate::exp::spec::PolicyParams;
+    use crate::exp::{FactoryCtx, PolicyRegistries};
+    use cata_sim::machine::{Machine, MachineConfig};
+    use cata_sim::time::{SimDuration, SimTime};
 
     /// The executor's dispatch loop contract, exercised against both
     /// policies: repeatedly offering idle cores must drain every queued task
@@ -78,22 +87,70 @@ mod tests {
         out
     }
 
-    #[test]
-    fn policies_conserve_tasks() {
+    /// Asserts the shared drain contract on an already-boxed policy: the
+    /// `is_empty` default implementation (len == 0) must agree with
+    /// observed emptiness through the trait-object vtable, before and
+    /// after the drain.
+    fn assert_drain_contract(policy: &mut Box<dyn SchedulerPolicy>, label: &str) {
         let cores: Vec<CoreId> = (0..4u32).map(CoreId).collect();
-        let mut fifo = FifoPolicy::new();
-        let mut cats = CatsPolicy::new(&[true, true, false, false]);
+        assert!(policy.is_empty(), "{label} starts non-empty");
         for i in 0..20u32 {
-            fifo.enqueue(TaskId(i), u8::from(i % 3 == 0));
-            cats.enqueue(TaskId(i), u8::from(i % 3 == 0));
+            policy.enqueue(TaskId(i), u8::from(i % 3 == 0));
         }
-        let f = drain(&mut fifo, &cores);
-        let c = drain(&mut cats, &cores);
-        assert_eq!(f.len(), 20);
-        assert_eq!(c.len(), 20);
-        let mut seen: Vec<u32> = f.iter().map(|(_, t)| t.0).collect();
+        assert!(!policy.is_empty(), "{label} empty after enqueue");
+        assert_eq!(policy.len(), 20);
+        let drained = drain(policy.as_mut(), &cores);
+        assert_eq!(drained.len(), 20, "{label} lost tasks");
+        let mut seen: Vec<u32> = drained.iter().map(|(_, t)| t.0).collect();
         seen.sort_unstable();
         assert_eq!(seen, (0..20).collect::<Vec<_>>());
-        assert!(fifo.is_empty() && cats.is_empty());
+        assert!(policy.is_empty(), "{label} not empty after drain");
+        assert_eq!(policy.len(), 0);
+    }
+
+    #[test]
+    fn policies_conserve_tasks() {
+        let mut fifo: Box<dyn SchedulerPolicy> = Box::new(FifoPolicy::new());
+        let mut cats: Box<dyn SchedulerPolicy> =
+            Box::new(CatsPolicy::new(&[true, true, false, false]));
+        assert_drain_contract(&mut fifo, "FIFO");
+        assert_drain_contract(&mut cats, "CATS");
+    }
+
+    /// The same drain contract through the *registry* path: policies built
+    /// as trait objects from their string keys — the construction every
+    /// facade run uses — must satisfy the identical conservation and
+    /// `is_empty` contract. Also pins the `AccelEffects::resume_or`
+    /// contract the dispatch loop depends on after each accel callback.
+    #[test]
+    fn registry_built_policies_satisfy_the_drain_contract() {
+        let regs = PolicyRegistries::with_builtins();
+        let machine = Machine::new_static_hetero(MachineConfig::small_test(4), 2);
+        let is_fast = [true, true, false, false];
+        let params = PolicyParams::default();
+        let ctx = FactoryCtx {
+            machine: &machine,
+            is_fast_static: &is_fast,
+            fast_cores: 2,
+            seed: 7,
+            params: &params,
+        };
+        for key in regs.scheduler_keys() {
+            let mut policy = regs
+                .build_scheduler(&key, &ctx)
+                .unwrap_or_else(|e| panic!("{key}: {e}"));
+            assert_drain_contract(&mut policy, &key);
+        }
+
+        // The accel side of the dispatch contract: an effect-free outcome
+        // resumes at the event time, an explicit resume_at wins otherwise.
+        let now = SimTime::ZERO + SimDuration::from_us(5);
+        assert_eq!(AccelEffects::none().resume_or(now), now);
+        let later = now + SimDuration::from_us(3);
+        let charged = AccelEffects {
+            resume_at: Some(later),
+            settles: Vec::new(),
+        };
+        assert_eq!(charged.resume_or(now), later);
     }
 }

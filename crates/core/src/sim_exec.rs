@@ -20,32 +20,69 @@
 //! queue; the only randomness (TurboMode's victim pick) is seeded from the
 //! run configuration. Same config + same graph ⇒ bit-identical report.
 
-use crate::accel::{AccelEffects, AccelManager, RsuCata, SoftwareCata, StaticAccel, TurboModeCtl};
-use crate::config::{AccelKind, EstimatorKind, RunConfig, SchedulerKind};
-use crate::policy::{CatsPolicy, DispatchCtx, FifoPolicy, SchedulerPolicy};
+use crate::accel::{AccelEffects, AccelManager};
+use crate::config::{RunConfig, RuntimeCosts};
+use crate::exp::error::ExpError;
+use crate::exp::registry::{default_registries, PolicyRegistries, ResolvedPolicies};
+use crate::exp::spec::ScenarioSpec;
+use crate::policy::{DispatchCtx, SchedulerPolicy};
 use crate::report::RunReport;
-use cata_power::integrate_machine;
+use cata_power::{integrate_machine, PowerParams};
 use cata_sim::activity::Activity;
 use cata_sim::event::EventQueue;
-use cata_sim::machine::{CoreId, Machine};
+use cata_sim::machine::{CoreId, Machine, MachineConfig};
 use cata_sim::progress::{Milestone, RunningTask};
 use cata_sim::stats::Counters;
 use cata_sim::time::{SimDuration, SimTime};
 use cata_sim::trace::{Trace, TraceEvent};
-use cata_tdg::criticality::{BottomLevelEstimator, CriticalityEstimator, StaticAnnotations};
+use cata_tdg::criticality::CriticalityEstimator;
 use cata_tdg::{TaskGraph, TaskId};
 
-/// Estimator for configurations that ignore criticality: every task is
-/// non-critical (FIFO's single queue; TurboMode).
-#[derive(Debug, Clone, Copy, Default)]
-struct AllNonCritical;
+/// Every non-policy knob the engine needs: the common denominator of
+/// [`RunConfig`] (the enum-based compat surface) and
+/// [`ScenarioSpec`](crate::exp::ScenarioSpec) (the registry-keyed facade).
+#[derive(Debug, Clone)]
+pub(crate) struct EngineParams {
+    pub label: String,
+    pub machine: MachineConfig,
+    pub fast_cores: usize,
+    pub costs: RuntimeCosts,
+    pub idle_to_halt: Option<SimDuration>,
+    pub idle_decel_delay: SimDuration,
+    pub wake_latency: SimDuration,
+    pub power: PowerParams,
+    pub trace: bool,
+}
 
-impl CriticalityEstimator for AllNonCritical {
-    fn name(&self) -> &'static str {
-        "none"
+impl From<&RunConfig> for EngineParams {
+    fn from(cfg: &RunConfig) -> Self {
+        EngineParams {
+            label: cfg.label.clone(),
+            machine: cfg.machine.clone(),
+            fast_cores: cfg.fast_cores,
+            costs: cfg.costs,
+            idle_to_halt: cfg.idle_to_halt,
+            idle_decel_delay: cfg.idle_decel_delay,
+            wake_latency: cfg.wake_latency,
+            power: cfg.power.clone(),
+            trace: cfg.trace,
+        }
     }
-    fn classify(&mut self, _graph: &TaskGraph, _task: TaskId) -> bool {
-        false
+}
+
+impl From<&ScenarioSpec> for EngineParams {
+    fn from(spec: &ScenarioSpec) -> Self {
+        EngineParams {
+            label: spec.name.clone(),
+            machine: spec.machine.clone(),
+            fast_cores: spec.fast_cores,
+            costs: spec.costs,
+            idle_to_halt: spec.idle_to_halt,
+            idle_decel_delay: spec.idle_decel_delay,
+            wake_latency: spec.wake_latency,
+            power: spec.power.clone(),
+            trace: spec.trace,
+        }
     }
 }
 
@@ -100,35 +137,86 @@ struct CoreCtl {
     idle_stamp: u64,
 }
 
-/// The discrete-event executor. Create one per run; [`run`](Self::run)
-/// consumes a task graph and produces a [`RunReport`].
+/// The discrete-event executor.
+///
+/// Two ways to drive it:
+///
+/// - **Legacy, enum-based**: [`SimExecutor::new`] with a [`RunConfig`],
+///   then [`run`](Self::run) with a pre-built graph. The enums resolve
+///   through the default policy registries.
+/// - **Facade**: a default-constructed `SimExecutor` implements
+///   [`Executor`](crate::exp::Executor); a
+///   [`Scenario`](crate::exp::Scenario) fully describes the run (machine,
+///   workload, policies, seed), and
+///   [`run_scenario`](Self::run_scenario) /
+///   [`run_scenario_traced`](Self::run_scenario_traced) execute it.
+#[derive(Debug, Default)]
 pub struct SimExecutor {
-    cfg: RunConfig,
+    cfg: Option<RunConfig>,
 }
 
 impl SimExecutor {
-    /// Creates an executor for one configuration.
+    /// Creates an executor bound to one enum-based configuration.
     pub fn new(cfg: RunConfig) -> Self {
-        SimExecutor { cfg }
+        SimExecutor { cfg: Some(cfg) }
     }
 
-    /// The configuration.
-    pub fn config(&self) -> &RunConfig {
-        &self.cfg
+    /// The bound configuration, if any (`None` for a pure facade backend).
+    pub fn config(&self) -> Option<&RunConfig> {
+        self.cfg.as_ref()
     }
 
     /// Runs `graph` to completion and reports. `workload` is a label.
     ///
     /// # Panics
-    /// Panics if the configuration is inconsistent (budget > cores) or the
-    /// simulation deadlocks (a task-graph bug).
+    /// Panics if no [`RunConfig`] is bound, the configuration is
+    /// inconsistent (budget > cores), or the simulation deadlocks (a
+    /// task-graph bug).
     pub fn run(&self, graph: &TaskGraph, workload: &str) -> (RunReport, Trace) {
-        Engine::new(&self.cfg, graph).run(workload)
+        let cfg = self
+            .cfg
+            .as_ref()
+            .expect("SimExecutor::run requires a RunConfig; use run_scenario for specs");
+        let resolved = default_registries()
+            .resolve(
+                &cfg.policy_keys(),
+                &cfg.machine,
+                cfg.fast_cores,
+                cfg.seed,
+                &cfg.policy_params(),
+            )
+            .unwrap_or_else(|e| panic!("RunConfig `{}` failed to resolve: {e}", cfg.label));
+        Engine::new(&EngineParams::from(cfg), resolved, graph).run(workload)
+    }
+
+    /// Executes a scenario spec end to end: resolves its policy keys
+    /// through `registries`, generates its workload, simulates, reports.
+    pub fn run_spec(
+        &self,
+        spec: &ScenarioSpec,
+        registries: &PolicyRegistries,
+    ) -> Result<(RunReport, Trace), ExpError> {
+        spec.validate()?;
+        let resolved = registries.resolve(
+            &crate::exp::registry::PolicyKeys {
+                scheduler: spec.scheduler.clone(),
+                estimator: spec.estimator.clone(),
+                accel: spec.accel.clone(),
+            },
+            &spec.machine,
+            spec.fast_cores,
+            spec.seed,
+            &spec.params_or_default(),
+        )?;
+        let graph = spec.workload.build_graph_shared();
+        let (report, trace) =
+            Engine::new(&EngineParams::from(spec), resolved, &graph).run(&spec.workload.label());
+        Ok((report, trace))
     }
 }
 
 struct Engine<'g> {
-    cfg: &'g RunConfig,
+    cfg: &'g EngineParams,
     graph: &'g TaskGraph,
     machine: Machine,
     policy: Box<dyn SchedulerPolicy>,
@@ -155,7 +243,7 @@ struct Engine<'g> {
 }
 
 impl<'g> Engine<'g> {
-    fn new(cfg: &'g RunConfig, graph: &'g TaskGraph) -> Self {
+    fn new(cfg: &'g EngineParams, resolved: ResolvedPolicies, graph: &'g TaskGraph) -> Self {
         let n_cores = cfg.machine.num_cores;
         assert!(
             cfg.fast_cores <= n_cores,
@@ -163,41 +251,14 @@ impl<'g> Engine<'g> {
             cfg.fast_cores
         );
 
-        let static_hetero = matches!(cfg.accel, AccelKind::StaticHetero);
-        let machine = if static_hetero {
-            Machine::new_static_hetero(cfg.machine.clone(), cfg.fast_cores)
-        } else {
-            Machine::new(cfg.machine.clone())
-        };
-
-        let is_fast_static: Vec<bool> = (0..n_cores)
-            .map(|i| !static_hetero || i < cfg.fast_cores)
-            .collect();
-
-        let policy: Box<dyn SchedulerPolicy> = match cfg.scheduler {
-            SchedulerKind::Fifo => Box::new(FifoPolicy::new()),
-            SchedulerKind::CatsHetero => Box::new(CatsPolicy::new(&is_fast_static)),
-            SchedulerKind::CatsHomogeneous => Box::new(CatsPolicy::homogeneous(n_cores)),
-        };
-
-        let estimator: Box<dyn CriticalityEstimator> = match cfg.estimator {
-            EstimatorKind::NoneAllNonCritical => Box::new(AllNonCritical),
-            EstimatorKind::StaticAnnotations => Box::new(StaticAnnotations),
-            EstimatorKind::BottomLevel { alpha } => {
-                Box::new(BottomLevelEstimator::with_alpha(alpha))
-            }
-        };
-
-        let accel: Box<dyn AccelManager> = match &cfg.accel {
-            AccelKind::StaticHetero => Box::new(StaticAccel),
-            AccelKind::SoftwareCata { params } => {
-                Box::new(SoftwareCata::new(&machine, cfg.fast_cores, *params))
-            }
-            AccelKind::HardwareRsu => Box::new(RsuCata::new(&machine, cfg.fast_cores)),
-            AccelKind::TurboMode => Box::new(TurboModeCtl::new(&machine, cfg.fast_cores, cfg.seed)),
-        };
-
-        let prefer_fast = !matches!(cfg.scheduler, SchedulerKind::Fifo);
+        let ResolvedPolicies {
+            policy,
+            estimator,
+            accel,
+            machine,
+            is_fast_static,
+            prefer_fast,
+        } = resolved;
 
         let n = graph.num_tasks();
         let indegree = graph
@@ -454,7 +515,13 @@ impl<'g> Engine<'g> {
             .on_task_start(core, critical, t, &mut self.machine, &mut self.counters);
         self.push_settles(&e);
         let begin = e.resume_or(t);
-        self.events.push(begin, Ev::TaskBegin { core: core.0, epoch });
+        self.events.push(
+            begin,
+            Ev::TaskBegin {
+                core: core.0,
+                epoch,
+            },
+        );
     }
 
     fn task_begin(&mut self, core: CoreId, epoch: u64, now: SimTime) {
@@ -568,8 +635,13 @@ impl<'g> Engine<'g> {
             .accel
             .on_task_end(core, now, &mut self.machine, &mut self.counters);
         self.push_settles(&e);
-        self.events
-            .push(e.resume_or(now), Ev::CoreFree { core: core.0, epoch });
+        self.events.push(
+            e.resume_or(now),
+            Ev::CoreFree {
+                core: core.0,
+                epoch,
+            },
+        );
     }
 
     fn core_free(&mut self, core: CoreId, epoch: u64, now: SimTime) {
@@ -643,7 +715,11 @@ mod tests {
         for i in 0..8 {
             let ty = if i % 2 == 0 { crit_ty } else { norm_ty };
             // Critical tasks are 3× longer.
-            let cycles = if i % 2 == 0 { work_cycles * 3 } else { work_cycles };
+            let cycles = if i % 2 == 0 {
+                work_cycles * 3
+            } else {
+                work_cycles
+            };
             mids.push(g.add_task(ty, ExecProfile::new(cycles, 0), &[src]));
         }
         g.add_task(src_ty, ExecProfile::new(1000, 0), &mids);
@@ -694,7 +770,7 @@ mod tests {
         // fast never exceeds the budget at any event. (A pending
         // deceleration superseded by a re-acceleration never settles slow;
         // tracking per-core levels handles that correctly.)
-        let mut fast = vec![false; 4];
+        let mut fast = [false; 4];
         for rec in trace.records() {
             if let TraceEvent::ReconfigApplied { core, level } = rec.event {
                 fast[core.index()] = level.frequency.as_mhz() == 2000;

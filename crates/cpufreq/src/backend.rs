@@ -182,7 +182,10 @@ impl DvfsBackend for MockDvfs {
     fn set_speed(&self, cpu: usize, khz: u32) -> io::Result<()> {
         let mut st = self.state.lock();
         if cpu >= self.num_cpus {
-            return Err(io::Error::new(io::ErrorKind::InvalidInput, "cpu out of range"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "cpu out of range",
+            ));
         }
         if let Some(limit) = st.fail_after {
             if st.calls.len() >= limit {

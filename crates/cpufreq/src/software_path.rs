@@ -209,7 +209,10 @@ mod tests {
     use super::*;
 
     fn path() -> SoftwareDvfsPath {
-        SoftwareDvfsPath::new(SoftwarePathParams::paper_calibrated(), SimDuration::from_us(25))
+        SoftwareDvfsPath::new(
+            SoftwarePathParams::paper_calibrated(),
+            SimDuration::from_us(25),
+        )
     }
 
     #[test]
@@ -219,7 +222,10 @@ mod tests {
         assert_eq!(g.acquired_at, SimTime::from_us(100));
         assert_eq!(g.lock_wait(SimTime::from_us(100)), SimDuration::ZERO);
         // 0.3 + 1.5 + 1 + 0.5 = 3.3 µs (transition ramps outside the lock).
-        assert_eq!(g.total_latency(SimTime::from_us(100)), SimDuration::from_ns(3_300));
+        assert_eq!(
+            g.total_latency(SimTime::from_us(100)),
+            SimDuration::from_ns(3_300)
+        );
         // Transition starts after the user+kernel prefix (0.3+1.5+1 = 2.8 µs).
         assert_eq!(g.transition_start(), SimTime::from_ns(102_800));
     }

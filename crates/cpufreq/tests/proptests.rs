@@ -71,8 +71,8 @@ proptest! {
             m.set_speed(*cpu, *khz).unwrap();
             expect[*cpu] = *khz;
         }
-        for cpu in 0..8 {
-            prop_assert_eq!(m.get_speed(cpu).unwrap(), expect[cpu]);
+        for (cpu, &khz) in expect.iter().enumerate() {
+            prop_assert_eq!(m.get_speed(cpu).unwrap(), khz);
         }
         prop_assert_eq!(m.call_count(), writes.len());
     }

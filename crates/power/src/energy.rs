@@ -81,7 +81,11 @@ impl EnergyReport {
 ///
 /// The machine must have been closed with [`Machine::finish`] so every
 /// timeline covers `[0, end]`; `run_time` is that same end instant.
-pub fn integrate_machine(machine: &Machine, run_time: SimDuration, params: &PowerParams) -> EnergyReport {
+pub fn integrate_machine(
+    machine: &Machine,
+    run_time: SimDuration,
+    params: &PowerParams,
+) -> EnergyReport {
     let mut b = EnergyBreakdown::default();
     for core in machine.cores() {
         for seg in core.timeline().segments() {

@@ -223,8 +223,7 @@ impl ReconfigEngine {
 
     /// Lowest-numbered non-accelerated core running a critical task.
     fn find_waiting_critical(&self) -> Option<usize> {
-        (0..self.crit.len())
-            .find(|&c| !self.accelerated[c] && self.crit[c] == TaskCrit::Critical)
+        (0..self.crit.len()).find(|&c| !self.accelerated[c] && self.crit[c] == TaskCrit::Critical)
     }
 
     /// Lowest-numbered non-accelerated core running any task.
@@ -325,7 +324,7 @@ mod tests {
         e.on_task_start(0, false); // takes budget
         e.on_task_start(1, true); // critical, denied
         e.on_task_end(0); // keeps acceleration? no — critical is waiting
-        // on_task_end already moved the budget in this case:
+                          // on_task_end already moved the budget in this case:
         assert!(e.is_accelerated(1));
         assert!(!e.is_accelerated(0));
         // Now let a non-critical hold budget while another critical waits,

@@ -64,9 +64,9 @@ pub fn resume(
 ) -> Result<Vec<Cmd>, RsuError> {
     match thread.saved_crit {
         Some(SavedCrit::Critical) => Ok(rsu.write_critic(cpu, TaskCrit::Critical, core_freq)?.cmds),
-        Some(SavedCrit::NonCritical) => {
-            Ok(rsu.write_critic(cpu, TaskCrit::NonCritical, core_freq)?.cmds)
-        }
+        Some(SavedCrit::NonCritical) => Ok(rsu
+            .write_critic(cpu, TaskCrit::NonCritical, core_freq)?
+            .cmds),
         None => Ok(Vec::new()),
     }
 }

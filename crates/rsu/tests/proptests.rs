@@ -48,8 +48,8 @@ proptest! {
             };
             apply_cmds(&mut fast, &cmds);
             // Replayed state matches the engine's bookkeeping exactly.
-            for i in 0..6 {
-                prop_assert_eq!(fast[i], e.is_accelerated(i), "core {} diverged", i);
+            for (i, &f) in fast.iter().enumerate() {
+                prop_assert_eq!(f, e.is_accelerated(i), "core {} diverged", i);
             }
             prop_assert!(fast.iter().filter(|&&f| f).count() <= budget);
             // Within a decision, decelerations come first.

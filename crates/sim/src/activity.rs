@@ -149,7 +149,7 @@ mod tests {
         let mut t = SimTime::ZERO;
         for s in segs {
             assert_eq!(s.start, t);
-            t = t + s.duration;
+            t += s.duration;
         }
         assert_eq!(t, SimTime::from_us(60));
         assert_eq!(tl.total(), SimDuration::from_us(60));

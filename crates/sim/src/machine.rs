@@ -162,7 +162,10 @@ impl MachineConfig {
                 "Fetch/issue/commit width".into(),
                 format!("{} instr/cycle", self.issue_width),
             ),
-            ("Reorder buffer".into(), format!("{} entries", self.rob_entries)),
+            (
+                "Reorder buffer".into(),
+                format!("{} entries", self.rob_entries),
+            ),
             ("L1I".into(), format!("{}KB", self.l1i_kib)),
             ("L1D".into(), format!("{}KB", self.l1d_kib)),
             (

@@ -341,7 +341,10 @@ mod tests {
         let mut t = RunningTask::start(p, SimTime::ZERO, GHZ1);
         let g0 = t.generation();
         t.set_frequency(SimTime::from_ms(1), GHZ2);
-        assert!(t.generation() > g0, "freq change must invalidate old events");
+        assert!(
+            t.generation() > g0,
+            "freq change must invalidate old events"
+        );
         assert!((t.progress() - 0.5).abs() < 1e-9);
         let m = t.next_milestone().unwrap();
         assert_eq!(m.time(), SimTime::from_us(1500));

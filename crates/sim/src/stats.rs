@@ -188,12 +188,16 @@ mod tests {
 
     #[test]
     fn counters_merge() {
-        let mut a = Counters::default();
-        a.tasks_completed = 3;
-        a.accel_swaps = 1;
-        let mut b = Counters::default();
-        b.tasks_completed = 2;
-        b.halts = 7;
+        let mut a = Counters {
+            tasks_completed: 3,
+            accel_swaps: 1,
+            ..Counters::default()
+        };
+        let b = Counters {
+            tasks_completed: 2,
+            halts: 7,
+            ..Counters::default()
+        };
         a.merge(&b);
         assert_eq!(a.tasks_completed, 5);
         assert_eq!(a.accel_swaps, 1);

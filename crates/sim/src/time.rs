@@ -14,11 +14,15 @@ use std::ops::{Add, AddAssign, Sub, SubAssign};
 /// A `u64` picosecond clock wraps after ~213 days of simulated time, far
 /// beyond any experiment in this repository (full paper runs simulate less
 /// than a minute).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, in picoseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -81,7 +85,10 @@ impl SimTime {
     /// Panics in debug builds if `earlier` is later than `self`.
     #[inline]
     pub fn since(self, earlier: SimTime) -> SimDuration {
-        debug_assert!(earlier.0 <= self.0, "time went backwards: {earlier} > {self}");
+        debug_assert!(
+            earlier.0 <= self.0,
+            "time went backwards: {earlier} > {self}"
+        );
         SimDuration(self.0 - earlier.0)
     }
 
@@ -355,7 +362,7 @@ impl Frequency {
 
 impl fmt::Display for Frequency {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0 % 1000 == 0 {
+        if self.0.is_multiple_of(1000) {
             write!(f, "{}GHz", self.0 / 1000)
         } else {
             write!(f, "{}MHz", self.0)
@@ -383,7 +390,10 @@ mod tests {
         let b = SimDuration::from_ns(4);
         assert_eq!((a + b).as_ns(), 14);
         assert_eq!((a - b).as_ns(), 6);
-        assert_eq!(a.saturating_sub(SimDuration::from_ns(100)), SimDuration::ZERO);
+        assert_eq!(
+            a.saturating_sub(SimDuration::from_ns(100)),
+            SimDuration::ZERO
+        );
         let mut c = a;
         c += b;
         assert_eq!(c.as_ns(), 14);
@@ -412,7 +422,10 @@ mod tests {
         // 2 M cycles at 2 GHz = 1 ms.
         assert_eq!(fast.cycles_to_duration(2_000_000).as_ns(), 1_000_000);
         // Round trip.
-        assert_eq!(fast.duration_to_cycles(fast.cycles_to_duration(12345)), 12345);
+        assert_eq!(
+            fast.duration_to_cycles(fast.cycles_to_duration(12345)),
+            12345
+        );
     }
 
     #[test]

@@ -118,7 +118,11 @@ impl Trace {
         let mut out = String::new();
         for r in &self.records {
             let _ = match r.event {
-                TraceEvent::TaskStart { core, task, critical } => writeln!(
+                TraceEvent::TaskStart {
+                    core,
+                    task,
+                    critical,
+                } => writeln!(
                     out,
                     "{:>14}  {core}: start task {task}{}",
                     r.time.to_string(),
@@ -156,10 +160,7 @@ mod tests {
     #[test]
     fn disabled_trace_records_nothing() {
         let mut t = Trace::disabled();
-        t.record(
-            SimTime::ZERO,
-            TraceEvent::Halt { core: CoreId(0) },
-        );
+        t.record(SimTime::ZERO, TraceEvent::Halt { core: CoreId(0) });
         assert!(t.records().is_empty());
         assert!(!t.is_enabled());
     }
@@ -192,9 +193,7 @@ mod tests {
         t.record(SimTime::ZERO, TraceEvent::Halt { core: CoreId(1) });
         t.record(SimTime::from_us(1), TraceEvent::Wake { core: CoreId(1) });
         t.record(SimTime::from_us(2), TraceEvent::Halt { core: CoreId(2) });
-        let halts: Vec<_> = t
-            .filter(|e| matches!(e, TraceEvent::Halt { .. }))
-            .collect();
+        let halts: Vec<_> = t.filter(|e| matches!(e, TraceEvent::Halt { .. })).collect();
         assert_eq!(halts.len(), 2);
     }
 

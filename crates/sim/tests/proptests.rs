@@ -106,7 +106,7 @@ proptest! {
         let mut cursor = SimTime::ZERO;
         for seg in tl.segments() {
             prop_assert_eq!(seg.start, cursor, "gap/overlap at {}", cursor);
-            cursor = cursor + seg.duration;
+            cursor += seg.duration;
         }
         prop_assert_eq!(cursor, SimTime::from_ns(t));
         prop_assert_eq!(tl.total(), SimDuration::from_ns(t));
@@ -127,7 +127,7 @@ proptest! {
             if let Some(s) = m.begin_transition(core, level, now) {
                 settles.push(s);
             }
-            now = now + SimDuration::from_ns(100);
+            now += SimDuration::from_ns(100);
         }
         // Deliver all settle events in order.
         settles.sort();

@@ -115,7 +115,10 @@ mod tests {
     fn raw_dependence() {
         let mut d = DepTracker::new();
         assert!(d.deps_for(TaskId(0), &[(R, AccessMode::Out)]).is_empty());
-        assert_eq!(d.deps_for(TaskId(1), &[(R, AccessMode::In)]), vec![TaskId(0)]);
+        assert_eq!(
+            d.deps_for(TaskId(1), &[(R, AccessMode::In)]),
+            vec![TaskId(0)]
+        );
     }
 
     #[test]
@@ -134,8 +137,14 @@ mod tests {
     fn waw_dependence_chains_writers() {
         let mut d = DepTracker::new();
         d.deps_for(TaskId(0), &[(R, AccessMode::Out)]);
-        assert_eq!(d.deps_for(TaskId(1), &[(R, AccessMode::Out)]), vec![TaskId(0)]);
-        assert_eq!(d.deps_for(TaskId(2), &[(R, AccessMode::Out)]), vec![TaskId(1)]);
+        assert_eq!(
+            d.deps_for(TaskId(1), &[(R, AccessMode::Out)]),
+            vec![TaskId(0)]
+        );
+        assert_eq!(
+            d.deps_for(TaskId(2), &[(R, AccessMode::Out)]),
+            vec![TaskId(1)]
+        );
     }
 
     #[test]
@@ -155,7 +164,10 @@ mod tests {
         let deps = d.deps_for(TaskId(2), &[(R, AccessMode::InOut)]);
         assert_eq!(deps, vec![TaskId(0), TaskId(1)]);
         // Subsequent reader sees task 2 as the writer.
-        assert_eq!(d.deps_for(TaskId(3), &[(R, AccessMode::In)]), vec![TaskId(2)]);
+        assert_eq!(
+            d.deps_for(TaskId(3), &[(R, AccessMode::In)]),
+            vec![TaskId(2)]
+        );
     }
 
     #[test]

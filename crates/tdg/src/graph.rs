@@ -67,7 +67,10 @@ impl TaskGraph {
     /// already-submitted task — both are runtime-usage bugs, matching the
     /// aborts a real runtime would raise.
     pub fn add_task(&mut self, ty: TypeId, profile: ExecProfile, deps: &[TaskId]) -> TaskId {
-        assert!(ty.index() < self.types.len(), "unregistered task type {ty:?}");
+        assert!(
+            ty.index() < self.types.len(),
+            "unregistered task type {ty:?}"
+        );
         let id = TaskId(self.tasks.len() as u32);
         let mut preds = Vec::with_capacity(deps.len());
         for &d in deps {
@@ -170,7 +173,11 @@ impl TaskGraph {
             edges,
             depth,
             max_preds,
-            avg_preds: if tasks == 0 { 0.0 } else { edges as f64 / tasks as f64 },
+            avg_preds: if tasks == 0 {
+                0.0
+            } else {
+                edges as f64 / tasks as f64
+            },
             sources,
         }
     }

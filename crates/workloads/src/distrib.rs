@@ -59,7 +59,10 @@ mod tests {
     fn lognormal_matches_requested_mean() {
         let mut rng = StdRng::seed_from_u64(7);
         let n = 20_000;
-        let mean: f64 = (0..n).map(|_| lognormal_us(&mut rng, 500.0, 0.4)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| lognormal_us(&mut rng, 500.0, 0.4))
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 500.0).abs() / 500.0 < 0.03, "sample mean {mean}");
     }
 
@@ -91,9 +94,15 @@ mod tests {
         // 1 ms total at 1 GHz: 700 µs CPU (700k cycles) + 300 µs memory.
         assert_eq!(p.cpu_cycles, 700_000);
         assert_eq!(p.mem_ps, SimDuration::from_us(300).as_ps());
-        assert_eq!(p.duration_at(Frequency::from_ghz(1)), SimDuration::from_us(1000));
+        assert_eq!(
+            p.duration_at(Frequency::from_ghz(1)),
+            SimDuration::from_us(1000)
+        );
         // At 2 GHz only the CPU part halves: 350 + 300 = 650 µs.
-        assert_eq!(p.duration_at(Frequency::from_ghz(2)), SimDuration::from_us(650));
+        assert_eq!(
+            p.duration_at(Frequency::from_ghz(2)),
+            SimDuration::from_us(650)
+        );
     }
 
     #[test]

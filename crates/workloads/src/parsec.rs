@@ -165,10 +165,10 @@ pub fn fluidanimate(scale: Scale, rng: &mut StdRng) -> TaskGraph {
 
     let frames = scale.factor();
     let grid = 5usize; // 5×5 = 25 blocks per phase front
-    // The eight phases have similar mean costs (paper §V-A: stencil tasks
-    // "present tasks with very similar criticality levels", so criticality
-    // scheduling alone cannot win); the per-task variance is what CATA's
-    // straggler acceleration exploits.
+                       // The eight phases have similar mean costs (paper §V-A: stencil tasks
+                       // "present tasks with very similar criticality levels", so criticality
+                       // scheduling alone cannot win); the per-task variance is what CATA's
+                       // straggler acceleration exploits.
     let mean_us = [260.0, 230.0, 300.0, 210.0, 280.0, 240.0, 290.0, 220.0];
     let cv = 0.45;
     let mem_frac = 0.30;
@@ -274,8 +274,10 @@ fn pipeline(g: &mut TaskGraph, stages: &[StageSpec], frames: usize, rng: &mut St
                         let mut prof = profile_us(d, spec.mem_frac);
                         if let Some(b) = spec.block_us {
                             if rng.gen_bool(0.3) {
-                                prof =
-                                    prof.with_block(rng.gen_range(0.3..0.7), SimDuration::from_us(b as u64));
+                                prof = prof.with_block(
+                                    rng.gen_range(0.3..0.7),
+                                    SimDuration::from_us(b as u64),
+                                );
                             }
                         }
                         g.add_task(types[s], prof, &deps)
@@ -589,7 +591,9 @@ mod tests {
             let g = generate(b, Scale::Small, 3);
             let ds: Vec<f64> = g
                 .tasks()
-                .filter(|t| g.type_of(t.id).name != "bs_barrier" && g.type_of(t.id).name != "sw_barrier")
+                .filter(|t| {
+                    g.type_of(t.id).name != "bs_barrier" && g.type_of(t.id).name != "sw_barrier"
+                })
                 .map(|t| t.profile.duration_at(f).as_us() as f64)
                 .collect();
             let m = ds.iter().sum::<f64>() / ds.len() as f64;

@@ -1,22 +1,24 @@
-//! A dedup-style pipeline under all six paper configurations.
+//! A dedup-style pipeline under all six paper configurations, run as one
+//! parallel `Suite` through the experiment facade.
 //!
 //! Pipelines are where criticality pays: the serial write chain sits on the
 //! critical path, and schedulers that know it (CATS/CATA) keep it on fast
-//! silicon. This example runs the dedup workload generator at small scale on
-//! the full 32-core Table I machine and prints the comparison the paper's
-//! figures make, plus a trace excerpt showing a criticality-driven
-//! displacement.
+//! silicon. This example fans the six-config comparison across worker
+//! threads, prints the comparison the paper's figures make, then replays a
+//! traced CATA+RSU scenario to show a criticality-driven displacement.
 //!
 //! ```text
 //! cargo run --release --example pipeline_app
 //! ```
 
-use cata_core::{RunConfig, SimExecutor};
+use cata_core::exp::{Scenario, ScenarioSpec, Suite, WorkloadSpec};
+use cata_core::SimExecutor;
 use cata_sim::trace::TraceEvent;
-use cata_workloads::{generate, Benchmark, Scale};
+use cata_workloads::{Benchmark, Scale};
 
 fn main() {
-    let graph = generate(Benchmark::Dedup, Scale::Small, 42);
+    let workload = WorkloadSpec::parsec(Benchmark::Dedup, Scale::Small, 42);
+    let graph = workload.build_graph();
     println!(
         "dedup-like pipeline: {} tasks, depth {}, max parents {}",
         graph.num_tasks(),
@@ -25,31 +27,37 @@ fn main() {
     );
 
     let fast = 8; // 8 fast cores / budget 8, the paper's tightest setting
-    let mut baseline = None;
-    println!("\n{:<10} {:>12} {:>9} {:>9} {:>11}", "config", "time", "speedup", "EDP", "reconfigs");
-    for cfg in RunConfig::paper_matrix(fast) {
-        let label = cfg.label.clone();
-        let report = SimExecutor::new(cfg).run(&graph, "dedup").0;
-        let (speedup, edp) = match &baseline {
-            None => (1.0, 1.0),
-            Some(b) => (report.speedup_over(b), report.edp_normalized_to(b)),
-        };
+    let exec = SimExecutor::default();
+
+    // The whole comparison as one suite, fanned across 4 worker threads.
+    // Deterministic per-run seeding makes this bit-identical to a serial
+    // run.
+    let suite = Suite::from_specs(ScenarioSpec::paper_matrix(fast, workload.clone())).jobs(4);
+    let reports = suite.run_all(&exec);
+
+    let baseline = &reports[0];
+    println!(
+        "\n{:<10} {:>12} {:>9} {:>9} {:>11}",
+        "config", "time", "speedup", "EDP", "reconfigs"
+    );
+    for report in &reports {
         println!(
             "{:<10} {:>12} {:>9.3} {:>9.3} {:>11}",
-            label,
+            report.label,
             report.exec_time.to_string(),
-            speedup,
-            edp,
+            report.speedup_over(baseline),
+            report.edp_normalized_to(baseline),
             report.counters.reconfigs_applied
         );
-        if baseline.is_none() {
-            baseline = Some(report);
-        }
     }
 
     // Show the first criticality-driven displacement in a traced CATA run.
-    let (report, trace) = SimExecutor::new(RunConfig::cata_rsu(fast).with_trace())
-        .run(&graph, "dedup");
+    let traced = Scenario::from_spec(
+        ScenarioSpec::preset("CATA+RSU", fast, workload)
+            .expect("paper preset")
+            .with_trace(),
+    );
+    let (report, trace) = exec.run_scenario_traced(&traced).expect("traced run");
     println!(
         "\nCATA+RSU performed {} swaps (critical task displacing a non-critical one).",
         report.counters.accel_swaps

@@ -1,55 +1,46 @@
-//! Quickstart: build a task graph with criticality annotations, run it under
-//! the baseline FIFO scheduler and under CATA+RSU, and compare.
+//! Quickstart: describe a run with the `Scenario` builder, execute it
+//! under the baseline FIFO scheduler and under CATA+RSU, and compare.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use cata_core::{RunConfig, SimExecutor};
-use cata_sim::progress::ExecProfile;
-use cata_tdg::TaskGraph;
+use cata_core::exp::{Scenario, WorkloadSpec};
+use cata_core::SimExecutor;
+use cata_workloads::{Benchmark, Scale};
 
 fn main() {
-    // A tiny application: a prepare stage fans out into worker tasks, one
-    // "solver" chain is much longer than the rest — the critical path. The
-    // programmer marks the solver type critical, exactly like
-    // `#pragma omp task criticality(1)` in the paper.
-    let mut g = TaskGraph::new();
-    let prepare = g.add_type("prepare", 0);
-    let solve = g.add_type("solve", 1); // criticality(1)
-    let render = g.add_type("render", 0);
+    // The dedup pipeline: a serial I/O chain sits on the critical path, so
+    // criticality-aware scheduling pays. The workload spec is serializable,
+    // so this exact run can be saved and replayed (`spec.to_json()` /
+    // `repro run`).
+    let workload = WorkloadSpec::parsec(Benchmark::Dedup, Scale::Tiny, 42);
 
-    let root = g.add_task(prepare, ExecProfile::new(200_000, 0), &[]);
-    // The critical chain: four dependent solver steps of 3 ms each (at 1 GHz).
-    let mut chain = root;
-    for _ in 0..4 {
-        chain = g.add_task(solve, ExecProfile::new(3_000_000, 200_000_000), &[chain]);
-    }
-    // Plenty of independent render work of 1 ms each.
-    let renders: Vec<_> = (0..24)
-        .map(|_| g.add_task(render, ExecProfile::new(1_000_000, 50_000_000), &[root]))
-        .collect();
-    let mut sink_deps = renders;
-    sink_deps.push(chain);
-    g.add_task(prepare, ExecProfile::new(100_000, 0), &sink_deps);
+    // The paper's Table I machine with 8 fast cores (FIFO) / an 8-core
+    // power budget (CATA+RSU). Policies are referenced by registry key; the
+    // six paper configurations are pre-registered, and `Scenario::preset`
+    // is the shorthand for them.
+    let exec = SimExecutor::default();
+    let fifo = Scenario::builder("FIFO")
+        .workload(workload.clone())
+        .scheduler("fifo")
+        .estimator("none")
+        .accel("static-hetero")
+        .fast_cores(8)
+        .build()
+        .run(&exec)
+        .expect("fifo run");
+    let cata = Scenario::builder("CATA+RSU")
+        .workload(workload)
+        .scheduler("cats-homogeneous")
+        .estimator("static-annotations")
+        .accel("rsu")
+        .fast_cores(8)
+        .build()
+        .run(&exec)
+        .expect("cata run");
 
-    println!(
-        "graph: {} tasks, {} edges, depth {}",
-        g.num_tasks(),
-        g.num_edges(),
-        g.stats().depth
-    );
-
-    // An 8-core machine with 2 fast cores (FIFO) / a 2-core power budget
-    // (CATA+RSU).
-    let fifo = SimExecutor::new(RunConfig::fifo(2).with_small_machine(8, 2))
-        .run(&g, "quickstart")
-        .0;
-    let cata = SimExecutor::new(RunConfig::cata_rsu(2).with_small_machine(8, 2))
-        .run(&g, "quickstart")
-        .0;
-
-    println!("\n{}", fifo.summary());
+    println!("{}", fifo.summary());
     println!("{}", cata.summary());
     println!(
         "\nCATA+RSU speedup over FIFO: {:.3}x   normalized EDP: {:.3}",

@@ -6,39 +6,50 @@
 //! *slowdown*), and the per-phase dependence fronts make reconfigurations
 //! bursty, which the serialized software path turns into millisecond lock
 //! waits (§V-C) — the RSU's reason to exist. This example measures both
-//! effects directly.
+//! effects directly, with every run described by a preset scenario.
 //!
 //! ```text
 //! cargo run --release --example stencil_app
 //! ```
 
-use cata_core::{RunConfig, SimExecutor};
-use cata_workloads::{generate, Benchmark, Scale};
+use cata_core::exp::{Scenario, WorkloadSpec};
+use cata_core::SimExecutor;
+use cata_workloads::{Benchmark, Scale};
 
 fn main() {
-    let graph = generate(Benchmark::Fluidanimate, Scale::Small, 7);
-    let stats = graph.stats();
+    let workload = WorkloadSpec::parsec(Benchmark::Fluidanimate, Scale::Small, 7);
+    let stats = workload.build_graph().stats();
     println!(
         "stencil: {} tasks, {} edges, depth {}, max parents {} (paper: up to 9)",
         stats.tasks, stats.edges, stats.depth, stats.max_preds
     );
 
     let fast = 16;
-    let fifo = SimExecutor::new(RunConfig::fifo(fast)).run(&graph, "stencil").0;
+    let exec = SimExecutor::default();
+    let run = |label: &str| {
+        Scenario::preset(label, fast, workload.clone())
+            .expect("paper preset")
+            .run(&exec)
+            .expect("scenario run")
+    };
+    let fifo = run("FIFO");
 
     // 1. The BL-vs-SA estimation cost.
-    let bl = SimExecutor::new(RunConfig::cats_bl(fast)).run(&graph, "stencil").0;
-    let sa = SimExecutor::new(RunConfig::cats_sa(fast)).run(&graph, "stencil").0;
+    let bl = run("CATS+BL");
+    let sa = run("CATS+SA");
     println!("\ncriticality estimation on a dense TDG:");
     println!(
         "  CATS+BL: speedup {:.3} (ancestor walks delay task submission)",
         bl.speedup_over(&fifo)
     );
-    println!("  CATS+SA: speedup {:.3} (annotations are free)", sa.speedup_over(&fifo));
+    println!(
+        "  CATS+SA: speedup {:.3} (annotations are free)",
+        sa.speedup_over(&fifo)
+    );
 
     // 2. The software-path contention, and what the RSU buys.
-    let sw = SimExecutor::new(RunConfig::cata(fast)).run(&graph, "stencil").0;
-    let hw = SimExecutor::new(RunConfig::cata_rsu(fast)).run(&graph, "stencil").0;
+    let sw = run("CATA");
+    let hw = run("CATA+RSU");
     println!("\nreconfiguration path under bursty stencil fronts:");
     println!(
         "  CATA (software): speedup {:.3}, {} reconfigs, max lock wait {}, overhead {:.2}%",

@@ -1,33 +1,58 @@
 //! Cross-crate integration tests: workload generation → scheduling →
-//! acceleration → power, end to end, plus the native executor running
+//! acceleration → power, end to end, driven through the `exp` facade
+//! (scenarios + executors + suites), plus the native executor running
 //! graph-shaped work on real threads.
 
+use cata_core::exp::{Scenario, Suite};
 use cata_core::native::NativeRuntime;
-use cata_core::{RunConfig, SimExecutor};
+use cata_core::{RunConfig, RunReport, ScenarioSpec, SimExecutor, WorkloadSpec};
 use cata_cpufreq::software_path::SoftwarePathParams;
-use cata_sim::machine::CoreId;
 use cata_sim::time::SimDuration;
-use cata_sim::trace::TraceEvent;
-use cata_workloads::{generate, micro, Benchmark, Scale};
+use cata_sim::trace::{Trace, TraceEvent};
+use cata_workloads::{micro, Benchmark, Scale};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 const SEED: u64 = 0x5EED_CA7A;
 
+fn workload(bench: Benchmark) -> WorkloadSpec {
+    WorkloadSpec::parsec(bench, Scale::Tiny, SEED)
+}
+
+fn run_spec(spec: ScenarioSpec) -> RunReport {
+    Scenario::from_spec(spec)
+        .run(&SimExecutor::default())
+        .expect("scenario run")
+}
+
+fn run_preset(label: &str, fast: usize, w: WorkloadSpec) -> RunReport {
+    run_spec(ScenarioSpec::preset(label, fast, w).expect("paper preset"))
+}
+
+fn run_traced(spec: ScenarioSpec) -> (RunReport, Trace) {
+    SimExecutor::default()
+        .run_scenario_traced(&Scenario::from_spec(spec.with_trace()))
+        .expect("traced scenario run")
+}
+
 /// Every configuration completes every benchmark and reports the identical
-/// task count — no configuration may lose or duplicate work.
+/// task count — no configuration may lose or duplicate work. The whole
+/// matrix runs as one parallel suite.
 #[test]
 fn all_configs_complete_all_benchmarks() {
     for bench in Benchmark::all() {
-        let graph = generate(bench, Scale::Tiny, SEED);
-        let expect = graph.num_tasks() as u64;
-        for cfg in RunConfig::paper_matrix(8) {
-            let label = cfg.label.clone();
-            let (r, _) = SimExecutor::new(cfg).run(&graph, bench.name());
+        let w = workload(bench);
+        let expect = w.build_graph().num_tasks() as u64;
+        let specs = ScenarioSpec::paper_matrix(8, w);
+        let reports = Suite::from_specs(specs)
+            .jobs(3)
+            .run_all(&SimExecutor::default());
+        for r in reports {
             assert_eq!(
                 r.counters.tasks_completed,
                 expect,
-                "{label} on {} lost tasks",
+                "{} on {} lost tasks",
+                r.label,
                 bench.name()
             );
             assert!(r.exec_time > SimDuration::ZERO);
@@ -36,20 +61,14 @@ fn all_configs_complete_all_benchmarks() {
     }
 }
 
-/// The whole pipeline is deterministic: identical config + identical graph
+/// The whole pipeline is deterministic: identical spec + identical seed
 /// produce bit-identical reports.
 #[test]
 fn end_to_end_determinism() {
-    let graph = generate(Benchmark::Bodytrack, Scale::Tiny, SEED);
-    for cfg_of in [
-        RunConfig::fifo as fn(usize) -> RunConfig,
-        RunConfig::cats_bl,
-        RunConfig::cata,
-        RunConfig::cata_rsu,
-        RunConfig::turbo,
-    ] {
-        let a = SimExecutor::new(cfg_of(8)).run(&graph, "bt").0;
-        let b = SimExecutor::new(cfg_of(8)).run(&graph, "bt").0;
+    let w = workload(Benchmark::Bodytrack);
+    for label in ["FIFO", "CATS+BL", "CATA", "CATA+RSU", "TurboMode"] {
+        let a = run_preset(label, 8, w.clone());
+        let b = run_preset(label, 8, w.clone());
         assert_eq!(a.exec_time, b.exec_time, "{} not deterministic", a.label);
         assert_eq!(a.energy.energy_j, b.energy.energy_j);
         assert_eq!(a.counters.reconfigs_applied, b.counters.reconfigs_applied);
@@ -66,17 +85,12 @@ fn end_to_end_determinism() {
 #[test]
 fn budget_excursions_are_transient_and_bounded() {
     let budget = 3;
-    let graph = generate(Benchmark::Fluidanimate, Scale::Tiny, SEED);
-    for cfg_of in [
-        RunConfig::cata as fn(usize) -> RunConfig,
-        RunConfig::cata_rsu,
-        RunConfig::turbo,
-    ] {
-        let mut cfg = cfg_of(budget).with_trace();
-        cfg.machine.num_cores = 8;
-        let label = cfg.label.clone();
-        let (report, trace) = SimExecutor::new(cfg).run(&graph, "fa");
-        let mut fast = vec![false; 8];
+    let w = workload(Benchmark::Fluidanimate);
+    for label in ["CATA", "CATA+RSU", "TurboMode"] {
+        let mut spec = ScenarioSpec::preset(label, budget, w.clone()).expect("paper preset");
+        spec.machine.num_cores = 8;
+        let (report, trace) = run_traced(spec);
+        let mut fast = [false; 8];
         let mut over_time = SimDuration::ZERO;
         let mut prev = cata_sim::time::SimTime::ZERO;
         let mut over = false;
@@ -112,22 +126,23 @@ fn budget_excursions_are_transient_and_bounded() {
 /// two paths share one decision engine and differ only in cost.
 #[test]
 fn zero_cost_software_path_equals_rsu_modulo_op_cost() {
-    let graph = generate(Benchmark::Swaptions, Scale::Tiny, SEED);
-    let mut sw_cfg = RunConfig::cata(8);
-    sw_cfg.accel = cata_core::AccelKind::SoftwareCata {
-        params: SoftwarePathParams {
-            rsm_section: SimDuration::ZERO,
-            sysfs_write: SimDuration::ZERO,
-            driver: SimDuration::ZERO,
-            driver_waits_transition: false,
-            kernel_post: SimDuration::ZERO,
-        },
-    };
-    let sw = SimExecutor::new(sw_cfg).run(&graph, "sw").0;
+    let w = workload(Benchmark::Swaptions);
+    let mut sw_spec = ScenarioSpec::preset("CATA", 8, w.clone()).expect("paper preset");
+    sw_spec
+        .params
+        .get_or_insert_with(Default::default)
+        .software_path = Some(SoftwarePathParams {
+        rsm_section: SimDuration::ZERO,
+        sysfs_write: SimDuration::ZERO,
+        driver: SimDuration::ZERO,
+        driver_waits_transition: false,
+        kernel_post: SimDuration::ZERO,
+    });
+    let sw = run_spec(sw_spec);
 
     // The RSU charges a 32-cycle op cost; compare against software with zero
     // cost: the RSU run can be at most marginally slower per task.
-    let hw = SimExecutor::new(RunConfig::cata_rsu(8)).run(&graph, "sw").0;
+    let hw = run_preset("CATA+RSU", 8, w);
     let ratio = hw.exec_time.as_ps() as f64 / sw.exec_time.as_ps() as f64;
     assert!(
         (0.999..1.01).contains(&ratio),
@@ -143,24 +158,17 @@ fn zero_cost_software_path_equals_rsu_modulo_op_cost() {
 /// under FIFO — the scheduler is actually using the criticality signal.
 #[test]
 fn cats_places_critical_tasks_on_fast_cores() {
-    let graph = generate(Benchmark::Dedup, Scale::Tiny, SEED);
+    let w = workload(Benchmark::Dedup);
+    let graph = w.build_graph();
     let frac_fast = |label: &str| -> f64 {
-        let cfg = match label {
-            "FIFO" => RunConfig::fifo(8).with_trace(),
-            _ => RunConfig::cats_sa(8).with_trace(),
-        };
-        let (_, trace) = SimExecutor::new(cfg).run(&graph, "dd");
+        let spec = ScenarioSpec::preset(label, 8, w.clone()).expect("paper preset");
+        let (_, trace) = run_traced(spec);
         let (mut crit_fast, mut crit_all) = (0u32, 0u32);
         for rec in trace.records() {
-            if let TraceEvent::TaskStart { core, critical, .. } = rec.event {
+            if let TraceEvent::TaskStart { core, task, .. } = rec.event {
                 // Under FIFO nothing is classified critical, so use the
-                // type annotation instead.
-                let _ = critical;
-                let t = match rec.event {
-                    TraceEvent::TaskStart { task, .. } => task,
-                    _ => unreachable!(),
-                };
-                if graph.type_of(cata_tdg::TaskId(t)).criticality > 0 {
+                // type annotation instead of the runtime's classification.
+                if graph.type_of(cata_tdg::TaskId(task)).criticality > 0 {
                     crit_all += 1;
                     if core.index() < 8 {
                         crit_fast += 1;
@@ -185,11 +193,12 @@ fn cats_places_critical_tasks_on_fast_cores() {
 fn exec_time_respects_physical_bounds() {
     use cata_sim::time::Frequency;
     for bench in Benchmark::all() {
-        let graph = generate(bench, Scale::Tiny, SEED);
+        let w = workload(bench);
+        let graph = w.build_graph();
         let lower = graph.critical_path_at(Frequency::from_ghz(2));
         let serial = graph.total_work_at(Frequency::from_ghz(1));
-        for cfg in [RunConfig::fifo(8), RunConfig::cata_rsu(8)] {
-            let r = SimExecutor::new(cfg).run(&graph, bench.name()).0;
+        for label in ["FIFO", "CATA+RSU"] {
+            let r = run_preset(label, 8, w.clone());
             assert!(
                 r.exec_time >= lower,
                 "{} on {}: {} below the critical-path bound {}",
@@ -212,8 +221,7 @@ fn exec_time_respects_physical_bounds() {
 /// EDP is exactly energy × delay, and normalizations are self-consistent.
 #[test]
 fn energy_reports_are_consistent() {
-    let graph = generate(Benchmark::Ferret, Scale::Tiny, SEED);
-    let r = SimExecutor::new(RunConfig::cata(8)).run(&graph, "fr").0;
+    let r = run_preset("CATA", 8, workload(Benchmark::Ferret));
     let expect_edp = r.energy.energy_j * r.exec_time.as_secs_f64();
     assert!((r.energy.edp - expect_edp).abs() / expect_edp < 1e-12);
     assert!((r.speedup_over(&r) - 1.0).abs() < 1e-12);
@@ -231,8 +239,11 @@ fn energy_reports_are_consistent() {
 fn native_runtime_executes_a_generated_graph() {
     let graph = micro::fork_join(3, 16, 1000);
     let rt = NativeRuntime::builder(4).budget(2).build();
-    let done: Arc<Vec<AtomicUsize>> =
-        Arc::new((0..graph.num_tasks()).map(|_| AtomicUsize::new(0)).collect());
+    let done: Arc<Vec<AtomicUsize>> = Arc::new(
+        (0..graph.num_tasks())
+            .map(|_| AtomicUsize::new(0))
+            .collect(),
+    );
 
     let mut handles = Vec::with_capacity(graph.num_tasks());
     for task in graph.tasks() {
@@ -251,21 +262,46 @@ fn native_runtime_executes_a_generated_graph() {
     }
     rt.wait_all();
     for (i, d) in done.iter().enumerate() {
-        assert_eq!(d.load(Ordering::SeqCst), 1, "task {i} ran wrong number of times");
+        assert_eq!(
+            d.load(Ordering::SeqCst),
+            1,
+            "task {i} ran wrong number of times"
+        );
     }
     assert_eq!(rt.metrics().tasks_run as usize, graph.num_tasks());
+}
+
+/// The enum-based `RunConfig` compat surface resolves through the same
+/// registries as the spec path: both produce bit-identical reports.
+#[test]
+fn run_config_and_spec_paths_agree() {
+    let w = workload(Benchmark::Swaptions);
+    let graph = w.build_graph();
+    for cfg in RunConfig::paper_matrix(8) {
+        let legacy = SimExecutor::new(cfg.clone()).run(&graph, &w.label()).0;
+        let facade = run_spec(cfg.to_spec(w.clone()));
+        assert_eq!(legacy.exec_time, facade.exec_time, "{} diverged", cfg.label);
+        assert_eq!(legacy.energy.energy_j, facade.energy.energy_j);
+        assert_eq!(
+            legacy.counters.reconfigs_applied,
+            facade.counters.reconfigs_applied
+        );
+    }
 }
 
 /// The software path's §V-C statistics are present for CATA and absent for
 /// the lock-free RSU.
 #[test]
 fn reconfiguration_statistics_shape() {
-    let graph = generate(Benchmark::Blackscholes, Scale::Tiny, SEED);
-    let sw = SimExecutor::new(RunConfig::cata(8)).run(&graph, "bs").0;
-    let hw = SimExecutor::new(RunConfig::cata_rsu(8)).run(&graph, "bs").0;
+    let w = workload(Benchmark::Blackscholes);
+    let sw = run_preset("CATA", 8, w.clone());
+    let hw = run_preset("CATA+RSU", 8, w);
 
     assert!(sw.counters.reconfigs_applied > 0);
-    assert!(sw.lock_waits.count() > 0, "CATA must contend on the RSM lock");
+    assert!(
+        sw.lock_waits.count() > 0,
+        "CATA must contend on the RSM lock"
+    );
     assert!(sw.reconfig_time_share > 0.0);
     assert!(hw.lock_waits.is_empty(), "the RSU takes no locks");
     assert!(hw.counters.reconfigs_applied > 0);
@@ -276,10 +312,14 @@ fn reconfiguration_statistics_shape() {
 /// Static heterogeneous configurations never reconfigure; dynamic ones do.
 #[test]
 fn static_configs_never_reconfigure() {
-    let graph = generate(Benchmark::Swaptions, Scale::Tiny, SEED);
-    for cfg in [RunConfig::fifo(8), RunConfig::cats_bl(8), RunConfig::cats_sa(8)] {
-        let r = SimExecutor::new(cfg).run(&graph, "sw").0;
-        assert_eq!(r.counters.reconfigs_requested, 0, "{} reconfigured", r.label);
+    let w = workload(Benchmark::Swaptions);
+    for label in ["FIFO", "CATS+BL", "CATS+SA"] {
+        let r = run_preset(label, 8, w.clone());
+        assert_eq!(
+            r.counters.reconfigs_requested, 0,
+            "{} reconfigured",
+            r.label
+        );
     }
 }
 
@@ -287,8 +327,7 @@ fn static_configs_never_reconfigure() {
 /// HPRQ is empty (the fork-join apps have no critical tasks at all).
 #[test]
 fn cats_steals_across_queues_on_unannotated_apps() {
-    let graph = generate(Benchmark::Blackscholes, Scale::Tiny, SEED);
-    let r = SimExecutor::new(RunConfig::cats_sa(8)).run(&graph, "bs").0;
+    let r = run_preset("CATS+SA", 8, workload(Benchmark::Blackscholes));
     assert!(r.counters.cross_queue_steals > 0);
 }
 
@@ -296,9 +335,9 @@ fn cats_steals_across_queues_on_unannotated_apps() {
 /// blocked tasks halt, and blackscholes has none).
 #[test]
 fn halts_only_under_turbo_for_nonblocking_apps() {
-    let graph = generate(Benchmark::Blackscholes, Scale::Tiny, SEED);
-    let cata = SimExecutor::new(RunConfig::cata_rsu(8)).run(&graph, "bs").0;
-    let turbo = SimExecutor::new(RunConfig::turbo(8)).run(&graph, "bs").0;
+    let w = workload(Benchmark::Blackscholes);
+    let cata = run_preset("CATA+RSU", 8, w.clone());
+    let turbo = run_preset("TurboMode", 8, w);
     assert_eq!(cata.counters.halts, 0, "CATA must not halt on blackscholes");
     assert!(turbo.counters.halts > 0, "TurboMode must halt idle cores");
 }
@@ -308,12 +347,15 @@ fn halts_only_under_turbo_for_nonblocking_apps() {
 #[test]
 fn utilization_sanity_across_benchmarks() {
     for bench in [Benchmark::Dedup, Benchmark::Swaptions] {
-        let graph = generate(bench, Scale::Tiny, SEED);
-        let r = SimExecutor::new(RunConfig::fifo(16)).run(&graph, bench.name()).0;
+        let r = run_preset("FIFO", 16, workload(bench));
         assert_eq!(r.core_utilization.len(), 32);
         for &u in &r.core_utilization {
             assert!((0.0..=1.0).contains(&u));
         }
-        assert!(r.avg_utilization() > 0.05, "{}: machine unused", bench.name());
+        assert!(
+            r.avg_utilization() > 0.05,
+            "{}: machine unused",
+            bench.name()
+        );
     }
 }

@@ -8,15 +8,30 @@
 
 use cata_bench::figures::{fig4_configs, fig5_configs};
 use cata_bench::matrix::{run_matrix, DEFAULT_SEED};
-use cata_core::{RunConfig, SimExecutor};
-use cata_workloads::{generate, Benchmark, Scale};
+use cata_core::exp::Scenario;
+use cata_core::{ScenarioSpec, SimExecutor, WorkloadSpec};
+use cata_workloads::{Benchmark, Scale};
 
 fn fig4_matrix() -> cata_bench::MatrixResult {
-    run_matrix(&Benchmark::all(), &[8, 16, 24], fig4_configs, Scale::Small, DEFAULT_SEED)
+    run_matrix(
+        &Benchmark::all(),
+        &[8, 16, 24],
+        fig4_configs,
+        Scale::Small,
+        DEFAULT_SEED,
+        0,
+    )
 }
 
 fn fig5_matrix() -> cata_bench::MatrixResult {
-    run_matrix(&Benchmark::all(), &[8, 16, 24], fig5_configs, Scale::Small, DEFAULT_SEED)
+    run_matrix(
+        &Benchmark::all(),
+        &[8, 16, 24],
+        fig5_configs,
+        Scale::Small,
+        DEFAULT_SEED,
+        0,
+    )
 }
 
 /// Paper §V-B: CATA clearly outperforms FIFO on average (paper: +15.9 % to
@@ -26,7 +41,10 @@ fn cata_beats_fifo_on_average() {
     let m = fig4_matrix();
     for fast in [8, 16] {
         let avg = m.avg_speedup(&Benchmark::all(), fast, "CATA");
-        assert!(avg > 1.08, "CATA average at {fast} fast cores only {avg:.3}");
+        assert!(
+            avg > 1.08,
+            "CATA average at {fast} fast cores only {avg:.3}"
+        );
     }
 }
 
@@ -56,7 +74,10 @@ fn dedup_is_the_cats_showcase() {
     assert!(dd > 1.15, "Dedup CATS+SA speedup only {dd:.3}");
     // Fork-join apps gain almost nothing from CATS (no criticality spread).
     let bs = m.speedup(Benchmark::Blackscholes, 8, "CATS+SA");
-    assert!((0.97..1.06).contains(&bs), "Blackscholes CATS+SA {bs:.3} should be ≈1");
+    assert!(
+        (0.97..1.06).contains(&bs),
+        "Blackscholes CATS+SA {bs:.3} should be ≈1"
+    );
 }
 
 /// Paper §V-A: bottom-level misclassifies Bodytrack (durations vary 10×,
@@ -77,7 +98,10 @@ fn bodytrack_sa_beats_bl() {
 #[test]
 fn cata_wins_on_imbalanced_apps() {
     let m = fig4_matrix();
-    for (b, min) in [(Benchmark::Swaptions, 1.15), (Benchmark::Fluidanimate, 1.03)] {
+    for (b, min) in [
+        (Benchmark::Swaptions, 1.15),
+        (Benchmark::Fluidanimate, 1.03),
+    ] {
         let s = m.speedup(b, 8, "CATA");
         assert!(s > min, "{} CATA speedup {s:.3} < {min}", b.name());
     }
@@ -169,7 +193,10 @@ fn turbomode_pays_energy_for_its_speed() {
     for fast in [16, 24] {
         let hw = m.avg_edp(&Benchmark::all(), fast, "CATA+RSU");
         let tb = m.avg_edp(&Benchmark::all(), fast, "TurboMode");
-        assert!(tb > hw - 0.005, "at {fast}: Turbo EDP {tb:.3} ≪ RSU {hw:.3}");
+        assert!(
+            tb > hw - 0.005,
+            "at {fast}: Turbo EDP {tb:.3} ≪ RSU {hw:.3}"
+        );
     }
 }
 
@@ -179,8 +206,15 @@ fn turbomode_pays_energy_for_its_speed() {
 #[test]
 fn reconfiguration_overhead_in_paper_band() {
     for bench in Benchmark::all() {
-        let graph = generate(bench, Scale::Small, DEFAULT_SEED);
-        let r = SimExecutor::new(RunConfig::cata(16)).run(&graph, bench.name()).0;
+        let spec = ScenarioSpec::preset(
+            "CATA",
+            16,
+            WorkloadSpec::parsec(bench, Scale::Small, DEFAULT_SEED),
+        )
+        .expect("paper preset");
+        let r = Scenario::from_spec(spec)
+            .run(&SimExecutor::default())
+            .expect("scenario run");
         assert!(
             r.reconfig_time_share < 0.12,
             "{}: overhead share {:.3} implausibly high",

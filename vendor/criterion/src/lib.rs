@@ -1,0 +1,163 @@
+//! Vendored minimal `criterion`: enough API surface to compile and run this
+//! workspace's benches offline. Measures mean wall time over a fixed sample
+//! count and prints one line per benchmark; no statistics, plots or HTML.
+
+pub use std::hint::black_box;
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Runs one standalone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(name, self.sample_size, f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count for subsequent benchmarks in the group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        run_bench(&format!("{}/{}", self.name, id.text), self.sample_size, f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_bench(
+            &format!("{}/{}", self.name, id.text),
+            self.sample_size,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier (`function/parameter`).
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter rendering.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            text: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { text: s }
+    }
+}
+
+/// Runs the closure under measurement.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measures `f`, one sample per configured iteration.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let t0 = Instant::now();
+        black_box(f());
+        self.samples.push(t0.elapsed());
+    }
+}
+
+fn run_bench(name: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: Vec::with_capacity(samples),
+    };
+    for _ in 0..samples.max(1) {
+        f(&mut b);
+    }
+    if b.samples.is_empty() {
+        println!("{name:<50} (no samples)");
+        return;
+    }
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    let min = b.samples.iter().min().unwrap();
+    println!(
+        "{name:<50} mean {mean:>12?}   min {min:>12?}   ({} samples)",
+        b.samples.len()
+    );
+}
+
+/// Declares a group-runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,178 @@
+//! Vendored minimal `parking_lot` facade over `std::sync`.
+//!
+//! Provides the API subset this workspace uses: `Mutex` whose `lock()`
+//! returns the guard directly (no poisoning result), `Condvar` operating on
+//! that guard, and `MutexGuard::unlocked` for temporarily releasing a lock.
+//! Poisoning is transparently ignored, matching parking_lot semantics.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync;
+
+/// A mutual-exclusion lock with parking_lot's panic-tolerant API.
+pub struct Mutex<T: ?Sized> {
+    inner: sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates the mutex.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            lock: &self.inner,
+            inner: Some(
+                self.inner
+                    .lock()
+                    .unwrap_or_else(sync::PoisonError::into_inner),
+            ),
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner
+            .get_mut()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// RAII guard of a [`Mutex`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a sync::Mutex<T>,
+    /// `None` only transiently inside [`unlocked`](Self::unlocked) and
+    /// [`Condvar::wait`].
+    inner: Option<sync::MutexGuard<'a, T>>,
+}
+
+impl<'a, T: ?Sized> MutexGuard<'a, T> {
+    /// Temporarily releases the lock while running `f`, then re-acquires.
+    pub fn unlocked<U>(guard: &mut MutexGuard<'a, T>, f: impl FnOnce() -> U) -> U {
+        guard.inner = None;
+        let out = f();
+        guard.inner = Some(
+            guard
+                .lock
+                .lock()
+                .unwrap_or_else(sync::PoisonError::into_inner),
+        );
+        out
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard is locked")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard is locked")
+    }
+}
+
+/// A condition variable operating on [`MutexGuard`].
+#[derive(Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates the condition variable.
+    pub fn new() -> Self {
+        Condvar {
+            inner: sync::Condvar::new(),
+        }
+    }
+
+    /// Atomically releases the guard's lock and waits for a notification.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.inner.take().expect("guard is locked");
+        guard.inner = Some(
+            self.inner
+                .wait(inner)
+                .unwrap_or_else(sync::PoisonError::into_inner),
+        );
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Condvar")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_and_unlocked_round_trip() {
+        let m = Mutex::new(1);
+        {
+            let mut g = m.lock();
+            *g += 1;
+            let out = MutexGuard::unlocked(&mut g, || 40);
+            *g += out;
+        }
+        assert_eq!(*m.lock(), 42);
+    }
+
+    #[test]
+    fn condvar_wakes_a_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut started = m.lock();
+            while !*started {
+                cv.wait(&mut started);
+            }
+        });
+        {
+            let (m, cv) = &*pair;
+            *m.lock() = true;
+            cv.notify_all();
+        }
+        h.join().unwrap();
+    }
+}

@@ -1,0 +1,308 @@
+//! Vendored minimal `proptest`: the macro surface and strategy combinators
+//! this workspace's property tests use, without shrinking. Failing cases
+//! panic directly with the generated inputs' case number; the generator is
+//! deterministic per test (seeded from the test's module path), so failures
+//! reproduce exactly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SampleRange, SeedableRng};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::ops::{Range, RangeInclusive};
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// The deterministic generator driving one test.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// A generator seeded from the test's fully qualified name.
+    pub fn for_test(name: &str) -> Self {
+        let mut h = DefaultHasher::new();
+        name.hash(&mut h);
+        TestRng {
+            inner: StdRng::seed_from_u64(h.finish() ^ 0x5EED_CA7A_2016_0000),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// A value-generation strategy.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                self.clone().sample(rng)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                self.clone().sample(rng)
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Strategy producing any value of `T`'s full domain.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// The full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Types with a full-domain generator.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen::<f64>()
+    }
+}
+
+/// Always-the-same-value strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident/$i:tt),+)),+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )+};
+}
+impl_tuple_strategy!(
+    (A / 0, B / 1),
+    (A / 0, B / 1, C / 2),
+    (A / 0, B / 1, C / 2, D / 3),
+    (A / 0, B / 1, C / 2, D / 3, E / 4),
+    (A / 0, B / 1, C / 2, D / 3, E / 4, F / 5)
+);
+
+/// Combinator namespace mirroring proptest's `prop` module.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use rand::Rng;
+        use std::ops::Range;
+
+        /// A size argument: an exact count or a range of counts.
+        pub trait IntoSizeRange {
+            /// Lower/upper(exclusive) bounds.
+            fn bounds(&self) -> (usize, usize);
+        }
+
+        impl IntoSizeRange for usize {
+            fn bounds(&self) -> (usize, usize) {
+                (*self, *self + 1)
+            }
+        }
+
+        impl IntoSizeRange for Range<usize> {
+            fn bounds(&self) -> (usize, usize) {
+                (self.start, self.end)
+            }
+        }
+
+        /// Strategy generating a `Vec` of `elem`-generated values.
+        pub fn vec<S: Strategy>(elem: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+            let (min, max) = size.bounds();
+            assert!(min < max, "empty size range");
+            VecStrategy { elem, min, max }
+        }
+
+        /// See [`vec`].
+        pub struct VecStrategy<S> {
+            elem: S,
+            min: usize,
+            max: usize,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let n = if self.min + 1 == self.max {
+                    self.min
+                } else {
+                    rng.gen_range(self.min..self.max)
+                };
+                (0..n).map(|_| self.elem.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Everything a property test needs.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Any, Arbitrary, Just,
+        ProptestConfig, Strategy, TestRng,
+    };
+}
+
+/// Asserts inside a property test (panics with the case inputs in scope).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::TestRng::for_test(concat!(
+                    module_path!(),
+                    "::",
+                    stringify!($name)
+                ));
+                for __case in 0..__config.cases {
+                    let ($($arg,)+) = (
+                        $( $crate::Strategy::generate(&($strat), &mut __rng), )+
+                    );
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ::core::default::Default::default(); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn custom() -> impl Strategy<Value = (usize, f64)> {
+        (1usize..5, 0.0f64..1.0)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_and_tuples((n, p) in custom(), flag in any::<bool>()) {
+            prop_assert!((1..5).contains(&n));
+            prop_assert!((0.0..1.0).contains(&p));
+            let _ = flag;
+        }
+
+        #[test]
+        fn vectors_respect_sizes(
+            v in prop::collection::vec(0u64..10, 0..7),
+            exact in prop::collection::vec(any::<bool>(), 4),
+        ) {
+            prop_assert!(v.len() < 7);
+            prop_assert_eq!(exact.len(), 4);
+            for x in v {
+                prop_assert!(x < 10);
+            }
+        }
+    }
+}

@@ -1,0 +1,434 @@
+//! Vendored `serde_derive`: `#[derive(Serialize)]` / `#[derive(Deserialize)]`
+//! without syn/quote (neither is available offline). The item token stream is
+//! parsed by hand into a small shape description, and the impls are emitted
+//! as strings targeting the vendored `serde` crate's `Value` data model.
+//!
+//! Supported shapes — everything this workspace derives on:
+//! named-field structs, tuple structs (newtype and wider), unit structs,
+//! and enums with unit, tuple, and struct variants. Generic types and
+//! `#[serde(...)]` attributes are not supported and produce a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+use std::iter::Peekable;
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn skip_attributes(it: &mut Tokens) {
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                // The bracketed attribute body.
+                match it.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    other => panic!("expected attribute body, found {other:?}"),
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn skip_visibility(it: &mut Tokens) {
+    if let Some(TokenTree::Ident(id)) = it.peek() {
+        if id.to_string() == "pub" {
+            it.next();
+            if let Some(TokenTree::Group(g)) = it.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    it.next();
+                }
+            }
+        }
+    }
+}
+
+fn expect_ident(it: &mut Tokens, what: &str) -> String {
+    match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected {what}, found {other:?}"),
+    }
+}
+
+/// Counts top-level comma-separated segments in a field list, tracking
+/// angle-bracket depth so `BTreeMap<K, V>` style types don't split.
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut seen_any = false;
+    for tt in group.stream() {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    fields += 1;
+                    seen_any = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        seen_any = true;
+    }
+    if seen_any {
+        fields += 1;
+    }
+    fields
+}
+
+/// Extracts field names from a `{ ... }` named-field group.
+fn named_field_names(group: &proc_macro::Group) -> Vec<String> {
+    let mut it: Tokens = group.stream().into_iter().peekable();
+    let mut names = Vec::new();
+    loop {
+        skip_attributes(&mut it);
+        if it.peek().is_none() {
+            break;
+        }
+        skip_visibility(&mut it);
+        let name = expect_ident(&mut it, "field name");
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        names.push(name);
+        // Consume the type up to the next top-level comma.
+        let mut depth = 0i32;
+        loop {
+            match it.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) => {
+                    let c = p.as_char();
+                    if c == '<' {
+                        depth += 1;
+                    } else if c == '>' {
+                        depth -= 1;
+                    } else if c == ',' && depth == 0 {
+                        it.next();
+                        break;
+                    }
+                    it.next();
+                }
+                Some(_) => {
+                    it.next();
+                }
+            }
+        }
+    }
+    names
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut it: Tokens = input.into_iter().peekable();
+    skip_attributes(&mut it);
+    skip_visibility(&mut it);
+    let kw = expect_ident(&mut it, "`struct` or `enum`");
+    let name = expect_ident(&mut it, "type name");
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            panic!("serde derive (vendored): generic type `{name}` is not supported");
+        }
+    }
+    match kw.as_str() {
+        "struct" => {
+            let shape = match it.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(named_field_names(&g))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(count_tuple_fields(&g))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                other => panic!("unexpected struct body: {other:?}"),
+            };
+            Item::Struct { name, shape }
+        }
+        "enum" => {
+            let body = match it.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                other => panic!("expected enum body, found {other:?}"),
+            };
+            let mut vit: Tokens = body.stream().into_iter().peekable();
+            let mut variants = Vec::new();
+            loop {
+                skip_attributes(&mut vit);
+                if vit.peek().is_none() {
+                    break;
+                }
+                let vname = expect_ident(&mut vit, "variant name");
+                let shape = match vit.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let g = g.clone();
+                        vit.next();
+                        Shape::Named(named_field_names(&g))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let g = g.clone();
+                        vit.next();
+                        Shape::Tuple(count_tuple_fields(&g))
+                    }
+                    _ => Shape::Unit,
+                };
+                // Skip an optional discriminant, then the trailing comma.
+                loop {
+                    match vit.peek() {
+                        Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                            vit.next();
+                            break;
+                        }
+                        None => break,
+                        _ => {
+                            vit.next();
+                        }
+                    }
+                }
+                variants.push(Variant { name: vname, shape });
+            }
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde derive supports only structs and enums, found `{other}`"),
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => "::serde::Value::Null".to_string(),
+                Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Shape::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Seq(vec![{}])", elems.join(", "))
+                }
+                Shape::Named(fields) => {
+                    let entries: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+                }
+            };
+            write!(
+                out,
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+            .unwrap();
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        writeln!(
+                            arms,
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),"
+                        )
+                        .unwrap();
+                    }
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(vec![{}])", elems.join(", "))
+                        };
+                        writeln!(
+                            arms,
+                            "{name}::{vn}({}) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), {inner})]),",
+                            binds.join(", ")
+                        )
+                        .unwrap();
+                    }
+                    Shape::Named(fields) => {
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))")
+                            })
+                            .collect();
+                        writeln!(
+                            arms,
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Value::Map(vec![{}]))]),",
+                            fields.join(", "),
+                            entries.join(", ")
+                        )
+                        .unwrap();
+                    }
+                }
+            }
+            write!(
+                out,
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 #[allow(unreachable_patterns)]\n\
+                 match self {{\n{arms}\n}}\n}}\n}}"
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => format!("let _ = v; Ok({name})"),
+                Shape::Tuple(1) => {
+                    format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+                }
+                Shape::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&s[{i}])?"))
+                        .collect();
+                    format!(
+                        "let s = v.as_seq_for(\"{name}\")?;\n\
+                         if s.len() != {n} {{ return Err(::serde::DeError::new(format!(\"{name}: expected {n} elements, got {{}}\", s.len()))); }}\n\
+                         Ok({name}({}))",
+                        elems.join(", ")
+                    )
+                }
+                Shape::Named(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::field(m, \"{f}\", \"{name}\")?"))
+                        .collect();
+                    format!(
+                        "let m = v.as_map_for(\"{name}\")?;\nOk({name} {{ {} }})",
+                        inits.join(", ")
+                    )
+                }
+            };
+            write!(
+                out,
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}"
+            )
+            .unwrap();
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        writeln!(unit_arms, "\"{vn}\" => Ok({name}::{vn}),").unwrap();
+                    }
+                    Shape::Tuple(n) => {
+                        if *n == 1 {
+                            writeln!(
+                                data_arms,
+                                "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?)),"
+                            )
+                            .unwrap();
+                        } else {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&s[{i}])?"))
+                                .collect();
+                            write!(
+                                data_arms,
+                                "\"{vn}\" => {{\n\
+                                 let s = inner.as_seq_for(\"{name}::{vn}\")?;\n\
+                                 if s.len() != {n} {{ return Err(::serde::DeError::new(format!(\"{name}::{vn}: expected {n} elements, got {{}}\", s.len()))); }}\n\
+                                 Ok({name}::{vn}({}))\n}},\n",
+                                elems.join(", ")
+                            )
+                            .unwrap();
+                        }
+                    }
+                    Shape::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::field(m, \"{f}\", \"{name}::{vn}\")?"))
+                            .collect();
+                        write!(
+                            data_arms,
+                            "\"{vn}\" => {{\n\
+                             let m = inner.as_map_for(\"{name}::{vn}\")?;\n\
+                             Ok({name}::{vn} {{ {} }})\n}},\n",
+                            inits.join(", ")
+                        )
+                        .unwrap();
+                    }
+                }
+            }
+            write!(
+                out,
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n{unit_arms}\
+                 other => Err(::serde::DeError::new(format!(\"{name}: unknown variant `{{other}}`\"))),\n}},\n\
+                 ::serde::Value::Map(m) if m.len() == 1 => {{\n\
+                 let (tag, inner) = &m[0];\n\
+                 #[allow(unused_variables)]\n\
+                 match tag.as_str() {{\n{data_arms}\
+                 other => Err(::serde::DeError::new(format!(\"{name}: unknown variant `{{other}}`\"))),\n}}\n}},\n\
+                 other => Err(::serde::DeError::new(format!(\"{name}: expected a variant string or single-entry map, found {{}}\", other.kind()))),\n\
+                 }}\n}}\n}}"
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+/// Derives the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}

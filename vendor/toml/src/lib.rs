@@ -1,0 +1,559 @@
+//! Vendored minimal `toml`: TOML text ⇄ the vendored `serde::Value` model.
+//!
+//! Supports the subset the workspace's scenario specs need: nested tables
+//! (`[a.b]`), arrays of tables (`[[a.b]]`), inline scalars/arrays/tables,
+//! basic strings, integers, floats, and booleans. `None` fields are omitted
+//! on write (TOML has no null) and read back as missing keys, which the
+//! serde layer maps to `Option::None`.
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// Serializes `value` (which must lower to a map) to TOML text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let v = value.to_value();
+    let Value::Map(entries) = &v else {
+        return Err(Error(format!(
+            "TOML documents must be maps at the top level, found {}",
+            v.kind()
+        )));
+    };
+    let mut out = String::new();
+    write_table(entries, &mut out, &mut Vec::new());
+    Ok(out)
+}
+
+/// Parses TOML text into any deserializable type.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let v = parse_document(s)?;
+    Ok(T::from_value(&v)?)
+}
+
+fn is_scalar(v: &Value) -> bool {
+    !matches!(v, Value::Map(_))
+}
+
+fn write_table(entries: &[(String, Value)], out: &mut String, path: &mut Vec<String>) {
+    // Scalars and arrays first, then sub-tables, per TOML's layout rules.
+    for (k, v) in entries {
+        if matches!(v, Value::Null) {
+            continue; // omitted; reads back as Option::None
+        }
+        if is_scalar(v) && !is_array_of_tables(v) {
+            out.push_str(&format!("{} = ", key_str(k)));
+            write_inline(v, out);
+            out.push('\n');
+        }
+    }
+    for (k, v) in entries {
+        match v {
+            Value::Map(sub) => {
+                path.push(k.clone());
+                out.push_str(&format!("\n[{}]\n", path_str(path)));
+                write_table(sub, out, path);
+                path.pop();
+            }
+            Value::Seq(items) if is_array_of_tables(v) => {
+                for item in items {
+                    if let Value::Map(sub) = item {
+                        path.push(k.clone());
+                        out.push_str(&format!("\n[[{}]]\n", path_str(path)));
+                        write_table(sub, out, path);
+                        path.pop();
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn is_array_of_tables(v: &Value) -> bool {
+    matches!(v, Value::Seq(items) if items.iter().any(|i| matches!(i, Value::Map(_))))
+}
+
+fn key_str(k: &str) -> String {
+    let bare = !k.is_empty()
+        && k.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-');
+    if bare {
+        k.to_string()
+    } else {
+        let mut s = String::from("\"");
+        for c in k.chars() {
+            match c {
+                '"' => s.push_str("\\\""),
+                '\\' => s.push_str("\\\\"),
+                c => s.push(c),
+            }
+        }
+        s.push('"');
+        s
+    }
+}
+
+fn path_str(path: &[String]) -> String {
+    path.iter()
+        .map(|p| key_str(p))
+        .collect::<Vec<_>>()
+        .join(".")
+}
+
+fn write_inline(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("\"\""), // unreachable from write_table
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) => out.push_str(&format!("{x:?}")),
+        Value::Str(s) => {
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    '\r' => out.push_str("\\r"),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_inline(item, out);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("{} = ", key_str(k)));
+                write_inline(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+
+fn parse_document(s: &str) -> Result<Value, Error> {
+    let mut root: Vec<(String, Value)> = Vec::new();
+    // The table path currently being filled ([] = root).
+    let mut current: Vec<String> = Vec::new();
+    for (lineno, raw) in s.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: &str| Error(format!("line {}: {msg}", lineno + 1));
+        if let Some(rest) = line.strip_prefix("[[") {
+            let inner = rest
+                .strip_suffix("]]")
+                .ok_or_else(|| err("unterminated [[table]]"))?;
+            current = parse_path(inner).map_err(|e| err(&e))?;
+            push_array_table(&mut root, &current).map_err(|e| err(&e))?;
+        } else if let Some(rest) = line.strip_prefix('[') {
+            let inner = rest
+                .strip_suffix(']')
+                .ok_or_else(|| err("unterminated [table]"))?;
+            current = parse_path(inner).map_err(|e| err(&e))?;
+            ensure_table(&mut root, &current).map_err(|e| err(&e))?;
+        } else {
+            let eq = find_top_level_eq(line).ok_or_else(|| err("expected key = value"))?;
+            let key = parse_key(line[..eq].trim()).map_err(|e| err(&e))?;
+            let mut vp = ValParser {
+                bytes: line[eq + 1..].trim().as_bytes(),
+                pos: 0,
+            };
+            let val = vp.value().map_err(|e| err(&e))?;
+            vp.skip_ws();
+            if vp.pos != vp.bytes.len() {
+                return Err(err("trailing characters after value"));
+            }
+            let table = navigate(&mut root, &current).map_err(|e| err(&e))?;
+            if table.iter().any(|(k, _)| *k == key) {
+                return Err(err(&format!("duplicate key `{key}`")));
+            }
+            table.push((key, val));
+        }
+    }
+    Ok(Value::Map(root))
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn find_top_level_eq(line: &str) -> Option<usize> {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '=' if !in_str => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn parse_key(s: &str) -> Result<String, String> {
+    if let Some(rest) = s.strip_prefix('"') {
+        let inner = rest
+            .strip_suffix('"')
+            .ok_or_else(|| "unterminated quoted key".to_string())?;
+        Ok(inner.replace("\\\"", "\"").replace("\\\\", "\\"))
+    } else if !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    {
+        Ok(s.to_string())
+    } else {
+        Err(format!("bad key `{s}`"))
+    }
+}
+
+fn parse_path(s: &str) -> Result<Vec<String>, String> {
+    // Split on dots outside quotes.
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    for c in s.chars() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            '.' if !in_str => {
+                parts.push(parse_key(cur.trim())?);
+                cur.clear();
+            }
+            c => cur.push(c),
+        }
+    }
+    parts.push(parse_key(cur.trim())?);
+    Ok(parts)
+}
+
+/// Walks to (creating as needed) the table at `path`; for paths ending in an
+/// array of tables, returns the last element.
+fn navigate<'a>(
+    root: &'a mut Vec<(String, Value)>,
+    path: &[String],
+) -> Result<&'a mut Vec<(String, Value)>, String> {
+    let mut table = root;
+    for part in path {
+        if !table.iter().any(|(k, _)| k == part) {
+            table.push((part.clone(), Value::Map(Vec::new())));
+        }
+        let idx = table.iter().position(|(k, _)| k == part).unwrap();
+        table = match &mut table[idx].1 {
+            Value::Map(m) => m,
+            Value::Seq(items) => match items.last_mut() {
+                Some(Value::Map(m)) => m,
+                _ => return Err(format!("`{part}` is not a table")),
+            },
+            _ => return Err(format!("`{part}` is not a table")),
+        };
+    }
+    Ok(table)
+}
+
+fn ensure_table(root: &mut Vec<(String, Value)>, path: &[String]) -> Result<(), String> {
+    navigate(root, path).map(|_| ())
+}
+
+fn push_array_table(root: &mut Vec<(String, Value)>, path: &[String]) -> Result<(), String> {
+    let (last, parents) = path.split_last().ok_or("empty table path")?;
+    let parent = navigate(root, parents)?;
+    if !parent.iter().any(|(k, _)| k == last) {
+        parent.push((last.clone(), Value::Seq(Vec::new())));
+    }
+    let idx = parent.iter().position(|(k, _)| k == last).unwrap();
+    match &mut parent[idx].1 {
+        Value::Seq(items) => {
+            items.push(Value::Map(Vec::new()));
+            Ok(())
+        }
+        _ => Err(format!("`{last}` is not an array of tables")),
+    }
+}
+
+struct ValParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ValParser<'a> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ') | Some(b'\t')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.inline_table(),
+            Some(b't') | Some(b'f') => self.boolean(),
+            Some(c) if c == b'-' || c == b'+' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected value start {other:?}")),
+        }
+    }
+
+    fn boolean(&mut self) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(b"true") {
+            self.pos += 4;
+            Ok(Value::Bool(true))
+        } else if self.bytes[self.pos..].starts_with(b"false") {
+            self.pos += 5;
+            Ok(Value::Bool(false))
+        } else {
+            Err("bad boolean".into())
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' | b'-' | b'+' | b'_' => self.pos += 1,
+                b'.' | b'e' | b'E' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text: String = std::str::from_utf8(&self.bytes[start..self.pos])
+            .unwrap()
+            .replace('_', "");
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|e| format!("bad float `{text}`: {e}"))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::I64)
+                .map_err(|e| format!("bad integer `{text}`: {e}"))
+        } else {
+            text.trim_start_matches('+')
+                .parse::<u64>()
+                .map(Value::U64)
+                .map_err(|e| format!("bad integer `{text}`: {e}"))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.pos += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid UTF-8".to_string())?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.pos += 1; // [
+        let mut items = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Seq(items));
+            }
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                other => return Err(format!("expected `,` or `]`, found {other:?}")),
+            }
+        }
+    }
+
+    fn inline_table(&mut self) -> Result<Value, String> {
+        self.pos += 1; // {
+        let mut entries = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Map(entries));
+            }
+            // Key: bare or quoted, up to `=`.
+            let key = if self.peek() == Some(b'"') {
+                self.string()?
+            } else {
+                let start = self.pos;
+                while let Some(b) = self.peek() {
+                    if b.is_ascii_alphanumeric() || b == b'_' || b == b'-' {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .unwrap()
+                    .to_string()
+            };
+            self.skip_ws();
+            if self.peek() != Some(b'=') {
+                return Err("expected `=` in inline table".into());
+            }
+            self.pos += 1;
+            let val = self.value()?;
+            entries.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                other => return Err(format!("expected `,` or `}}`, found {other:?}")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_tables_round_trip() {
+        let v = Value::Map(vec![
+            ("name".into(), Value::Str("CATA".into())),
+            ("fast".into(), Value::U64(16)),
+            ("alpha".into(), Value::F64(1.0)),
+            ("trace".into(), Value::Bool(false)),
+            ("skip".into(), Value::Null),
+            (
+                "machine".into(),
+                Value::Map(vec![
+                    ("cores".into(), Value::U64(32)),
+                    (
+                        "fast_level".into(),
+                        Value::Map(vec![("mhz".into(), Value::U64(2000))]),
+                    ),
+                ]),
+            ),
+            (
+                "counts".into(),
+                Value::Seq(vec![Value::U64(8), Value::U64(16)]),
+            ),
+        ]);
+        let text = to_string(&v).unwrap();
+        let back = parse_document(&text).unwrap();
+        // The writer groups scalars before tables, so compare by key, not
+        // by document order. `skip` was Null and is omitted.
+        assert_eq!(back.get("name"), v.get("name"));
+        assert_eq!(back.get("fast"), v.get("fast"));
+        assert_eq!(back.get("alpha"), v.get("alpha"));
+        assert_eq!(back.get("trace"), v.get("trace"));
+        assert_eq!(back.get("skip"), None);
+        assert_eq!(back.get("counts"), v.get("counts"));
+        let m = back.get("machine").unwrap();
+        assert_eq!(m.get("cores"), Some(&Value::U64(32)));
+        assert_eq!(
+            m.get("fast_level").unwrap().get("mhz"),
+            Some(&Value::U64(2000))
+        );
+    }
+
+    #[test]
+    fn single_entry_variant_maps_parse() {
+        let text = "[workload.Parsec]\nbench = \"Dedup\"\nscale = \"Tiny\"\nseed = 42\n";
+        let v = parse_document(text).unwrap();
+        assert_eq!(
+            v.get("workload")
+                .unwrap()
+                .get("Parsec")
+                .unwrap()
+                .get("seed"),
+            Some(&Value::U64(42))
+        );
+    }
+}
