@@ -49,7 +49,7 @@ fn progress_model(c: &mut Criterion) {
     c.bench_function("substrate/progress_freq_changes", |b| {
         b.iter(|| {
             let p = ExecProfile::new(1_000_000, 50_000);
-            let mut rt = RunningTask::start(p, SimTime::ZERO, Frequency::from_ghz(1));
+            let mut rt = RunningTask::start(&p, SimTime::ZERO, Frequency::from_ghz(1));
             for i in 0..100u64 {
                 let f = if i % 2 == 0 {
                     Frequency::from_ghz(2)

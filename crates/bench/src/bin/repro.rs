@@ -15,13 +15,17 @@
 //! repro run SPEC...     run scenario spec files (.json/.toml) as a suite
 //! repro preset NAME...  run paper presets by label (FIFO, CATA, ...)
 //! repro spec NAME       print a preset's spec as JSON (edit → `repro run`)
+//! repro perf            engine perf harness: events/sec -> BENCH_engine.json
 //! ```
 //!
 //! Options: `--scale tiny|small|paper` (default `paper`), `--seed N`,
 //! `--csv DIR` (also writes CSV files), `--jobs N` (parallel suite
 //! workers; 0 = all host cores, default 0), `--bench NAME` (workload for
 //! `preset`/`spec`), `--fast N` (fast cores for `preset`/`spec`),
-//! `--toml` (emit TOML from `spec`).
+//! `--toml` (emit TOML from `spec`). `perf` options: `--smoke` (CI-sized),
+//! `--reps N` (timing repetitions, default 5), `--out FILE` (default
+//! `BENCH_engine.json`), `--baseline FILE` (embed a previous report's
+//! medium summary + speedup).
 
 use cata_bench::figures::{
     fig4_configs, fig5_configs, render_latency_analysis, render_panel, render_rsu_overhead,
@@ -46,6 +50,10 @@ struct Opts {
     bench: Benchmark,
     fast: usize,
     emit_toml: bool,
+    smoke: bool,
+    reps: usize,
+    out: String,
+    baseline: Option<String>,
 }
 
 fn parse_args() -> Opts {
@@ -59,6 +67,10 @@ fn parse_args() -> Opts {
     let mut bench = Benchmark::Dedup;
     let mut fast = 16usize;
     let mut emit_toml = false;
+    let mut smoke = false;
+    let mut reps = 5usize;
+    let mut out = "BENCH_engine.json".to_string();
+    let mut baseline = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--scale" => {
@@ -98,6 +110,22 @@ fn parse_args() -> Opts {
                     .unwrap_or_else(|| die(&format!("unknown benchmark {name}")));
             }
             "--toml" => emit_toml = true,
+            "--smoke" => smoke = true,
+            "--reps" => {
+                reps = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("bad --reps"));
+            }
+            "--out" => {
+                out = args.next().unwrap_or_else(|| die("missing --out path"));
+            }
+            "--baseline" => {
+                baseline = Some(
+                    args.next()
+                        .unwrap_or_else(|| die("missing --baseline path")),
+                );
+            }
             "--help" | "-h" => {
                 print_help();
                 std::process::exit(0);
@@ -122,6 +150,10 @@ fn parse_args() -> Opts {
         bench,
         fast,
         emit_toml,
+        smoke,
+        reps,
+        out,
+        baseline,
     }
 }
 
@@ -137,7 +169,8 @@ fn print_help() {
          \x20             [--jobs N] [--bench NAME] [--fast N] [--toml]\n\
          commands: table1 fig4 fig5 latency rsu-overhead sweep-budget sweep-latency\n\
          \x20         sweep-threshold multilevel all\n\
-         \x20         run SPEC.json|SPEC.toml...   preset LABEL...   spec LABEL"
+         \x20         run SPEC.json|SPEC.toml...   preset LABEL...   spec LABEL\n\
+         \x20         perf [--smoke] [--reps N] [--out FILE] [--baseline FILE]"
     );
 }
 
@@ -263,6 +296,26 @@ fn main() {
             } else {
                 println!("{}", spec.to_json_pretty());
             }
+            return;
+        }
+        "perf" => {
+            println!(
+                "[perf: {} mode, {} reps per cell, trace off]",
+                if opts.smoke { "smoke" } else { "full" },
+                opts.reps
+            );
+            let mut report = cata_bench::perf::run_perf(opts.smoke, opts.reps);
+            if let Some(path) = &opts.baseline {
+                let text = std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+                let base = cata_bench::perf::PerfReport::from_json(&text)
+                    .unwrap_or_else(|e| die(&format!("{path}: {e}")));
+                report = report.with_baseline(&base);
+            }
+            print!("{}", report.render());
+            std::fs::write(&opts.out, report.to_json_pretty()).expect("write perf report");
+            println!("[wrote {}]", opts.out);
+            eprintln!("[done in {:.1}s]", t0.elapsed().as_secs_f64());
             return;
         }
         _ => {}

@@ -9,7 +9,9 @@
 //!   normalized EDP, FIFO-normalized) plus the §V-C latency analysis and
 //!   the Table I / RSU-overhead printouts;
 //! - [`sweeps`]: the ablation studies (budget, reconfiguration latency,
-//!   BL threshold, multi-level DVFS).
+//!   BL threshold, multi-level DVFS);
+//! - [`perf`]: the engine performance harness behind `repro perf` and
+//!   `BENCH_engine.json` (events/sec per preset and workload size).
 //!
 //! The `repro` binary exposes all of it on the command line; the Criterion
 //! benches reuse the same entry points at reduced scale.
@@ -19,6 +21,7 @@
 
 pub mod figures;
 pub mod matrix;
+pub mod perf;
 pub mod sweeps;
 pub mod tables;
 

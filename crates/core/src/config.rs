@@ -13,6 +13,7 @@ use cata_cpufreq::software_path::SoftwarePathParams;
 use cata_power::PowerParams;
 use cata_sim::machine::MachineConfig;
 use cata_sim::time::SimDuration;
+use cata_sim::trace::TraceMode;
 use serde::{Deserialize, Serialize};
 
 /// Which ready-queue policy to run.
@@ -111,8 +112,9 @@ pub struct RunConfig {
     pub wake_latency: SimDuration,
     /// Power model calibration.
     pub power: PowerParams,
-    /// Record a full event trace (tests/examples only; costs memory).
-    pub trace: bool,
+    /// Trace collection mode (off by default; `Full` costs memory and is
+    /// for tests/examples).
+    pub trace: TraceMode,
     /// Seed for the deterministic RNG (TurboMode's random victim pick).
     pub seed: u64,
 }
@@ -165,7 +167,7 @@ impl RunConfig {
             idle_decel_delay: SimDuration::from_us(25),
             wake_latency: SimDuration::from_us(1),
             power: PowerParams::mcpat_22nm(),
-            trace: false,
+            trace: TraceMode::Off,
             seed: 0xCA7A_2016,
         }
     }
@@ -302,9 +304,15 @@ impl RunConfig {
         self
     }
 
-    /// Enables event tracing.
+    /// Enables full event tracing.
     pub fn with_trace(mut self) -> Self {
-        self.trace = true;
+        self.trace = TraceMode::Full;
+        self
+    }
+
+    /// Selects an explicit trace collection mode.
+    pub fn with_trace_mode(mut self, mode: TraceMode) -> Self {
+        self.trace = mode;
         self
     }
 }

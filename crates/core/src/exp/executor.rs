@@ -35,9 +35,9 @@ impl Executor for SimExecutor {
     fn execute(&self, scenario: &Scenario) -> Result<RunReport, ExpError> {
         // This entry point cannot return the trace, so don't pay for
         // recording one; use `run_scenario_traced` to keep it.
-        if scenario.spec().trace {
+        if !scenario.spec().trace.is_off() {
             let mut spec = scenario.spec().clone();
-            spec.trace = false;
+            spec.trace = cata_sim::trace::TraceMode::Off;
             return self
                 .run_spec(&spec, scenario.registries())
                 .map(|(report, _trace)| report);

@@ -64,3 +64,7 @@ pub use registry::{
 pub use scenario::{Scenario, ScenarioBuilder};
 pub use spec::{PolicyParams, ScenarioSpec, WorkloadSpec};
 pub use suite::{derive_seed, Suite};
+
+// Trace collection is selected per spec (`ScenarioSpec::trace`); re-export
+// the mode enum so facade users don't need a `cata_sim` import for it.
+pub use cata_sim::trace::TraceMode;

@@ -8,6 +8,7 @@ use cata_cpufreq::software_path::SoftwarePathParams;
 use cata_power::PowerParams;
 use cata_sim::machine::MachineConfig;
 use cata_sim::time::SimDuration;
+use cata_sim::trace::TraceMode;
 use std::sync::Arc;
 
 /// A runnable experiment: a [`ScenarioSpec`] plus the
@@ -147,9 +148,15 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Enables event tracing.
+    /// Enables full event tracing.
     pub fn trace(mut self) -> Self {
-        self.spec.trace = true;
+        self.spec.trace = TraceMode::Full;
+        self
+    }
+
+    /// Selects an explicit trace collection mode.
+    pub fn trace_mode(mut self, mode: TraceMode) -> Self {
+        self.spec.trace = mode;
         self
     }
 

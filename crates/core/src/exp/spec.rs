@@ -11,6 +11,7 @@ use cata_cpufreq::software_path::SoftwarePathParams;
 use cata_power::PowerParams;
 use cata_sim::machine::MachineConfig;
 use cata_sim::time::SimDuration;
+use cata_sim::trace::TraceMode;
 use cata_tdg::TaskGraph;
 use cata_workloads::{generate, micro, Benchmark, Scale};
 use serde::{Deserialize, Serialize};
@@ -205,8 +206,9 @@ pub struct ScenarioSpec {
     pub wake_latency: SimDuration,
     /// Power model calibration.
     pub power: PowerParams,
-    /// Record a full event trace.
-    pub trace: bool,
+    /// Trace collection mode (off by default, and the right setting for
+    /// suites: nobody reads a per-run trace in a million-run sweep).
+    pub trace: TraceMode,
     /// Seed of the run's deterministic RNG.
     pub seed: u64,
 }
@@ -335,9 +337,15 @@ impl ScenarioSpec {
         self
     }
 
-    /// Enables event tracing.
+    /// Enables full event tracing.
     pub fn with_trace(mut self) -> Self {
-        self.trace = true;
+        self.trace = TraceMode::Full;
+        self
+    }
+
+    /// Selects an explicit trace collection mode.
+    pub fn with_trace_mode(mut self, mode: TraceMode) -> Self {
+        self.trace = mode;
         self
     }
 

@@ -54,7 +54,9 @@ impl Cell {
 }
 
 /// Renders a Gantt chart of `trace` over `num_cores` cores and `[0, end]`,
-/// with `width` character columns.
+/// with `width` character columns. `num_cores` may be smaller than the
+/// traced machine: records for higher-numbered cores are ignored, so a
+/// 32-core run can be summarized by its first rows.
 ///
 /// The chart samples each core's state at bucket boundaries, so very short
 /// tasks inside one bucket may not be visible; it is a visualization aid,
@@ -92,7 +94,10 @@ pub fn render(trace: &Trace, num_cores: usize, end: SimTime, width: usize) -> St
     };
 
     let mut apply = |core: CoreId, t: SimTime, f: &mut dyn FnMut(&mut CoreState)| {
-        let c = &mut cores[core.index()];
+        // Cores beyond the rendered subset simply don't get a row.
+        let Some(c) = cores.get_mut(core.index()) else {
+            return;
+        };
         let b = bucket_of(t);
         // Fill buckets up to (not including) the event's bucket with the
         // previous state.
@@ -187,6 +192,19 @@ mod tests {
             s.contains('C') || s.contains('c'),
             "the critical branch must be visible:\n{s}"
         );
+    }
+
+    #[test]
+    fn renders_subset_of_a_larger_machine() {
+        // A 32-core paper-machine trace rendered at 8 rows: records for
+        // cores 8..32 must be skipped, not panic (regression: the
+        // pipeline_app example shows "first 8 cores").
+        let g = micro::fork_join(3, 24, 1_000_000);
+        let cfg = RunConfig::cata_rsu(8).with_trace();
+        let (r, trace) = SimExecutor::new(cfg).run(&g, "g");
+        let s = render(&trace, 8, cata_sim::time::SimTime::ZERO + r.exec_time, 60);
+        assert_eq!(s.lines().count(), 8 + 2, "8 core rows + axis + legend");
+        assert!(!s.contains("core8 "), "no rows beyond the subset");
     }
 
     #[test]

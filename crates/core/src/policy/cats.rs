@@ -15,32 +15,58 @@ use super::{DispatchCtx, SchedulerPolicy};
 use cata_sim::machine::CoreId;
 use cata_sim::stats::Counters;
 use cata_tdg::TaskId;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 /// The high-priority ready queue: FIFO *within* a criticality level, served
 /// highest level first — `criticality(2)` tasks bypass `criticality(1)`
 /// tasks, as the ordered `c` parameter of the paper's clause implies.
+///
+/// Criticality levels are small dense integers (the `c` of
+/// `criticality(c)`, a `u8`), so instead of a `BTreeMap<u8, VecDeque>` —
+/// which allocates a node per live level and walks the tree on every
+/// enqueue/dequeue of the engine's hottest loop — the levels index a flat
+/// bucket array directly, with `top` tracking the highest non-empty
+/// bucket. Buckets persist once grown, so the steady state allocates
+/// nothing.
 #[derive(Debug, Default)]
 struct Hprq {
-    by_level: BTreeMap<u8, VecDeque<TaskId>>,
+    /// `buckets[level]` holds that level's FIFO; index 0 exists but stays
+    /// unused (level-0 tasks live in the LPRQ).
+    buckets: Vec<VecDeque<TaskId>>,
+    /// Highest level with a non-empty bucket; meaningless while `len == 0`.
+    /// Maintained on push (raise) and pop (walk down past drained
+    /// buckets), so a pop never scans: the bucket at `top` is non-empty by
+    /// invariant whenever `len > 0`.
+    top: usize,
     len: usize,
 }
 
 impl Hprq {
     fn push(&mut self, task: TaskId, level: u8) {
         debug_assert!(level > 0, "level-0 tasks belong in the LPRQ");
-        self.by_level.entry(level).or_default().push_back(task);
+        let level = level as usize;
+        if self.buckets.len() <= level {
+            self.buckets.resize_with(level + 1, VecDeque::new);
+        }
+        self.buckets[level].push_back(task);
+        if self.len == 0 || level > self.top {
+            self.top = level;
+        }
         self.len += 1;
     }
 
     fn pop(&mut self) -> Option<TaskId> {
-        let (&level, _) = self.by_level.iter().rev().find(|(_, q)| !q.is_empty())?;
-        let q = self.by_level.get_mut(&level).expect("level exists");
-        let t = q.pop_front();
-        if q.is_empty() {
-            self.by_level.remove(&level);
+        if self.len == 0 {
+            return None;
         }
+        let t = self.buckets[self.top].pop_front();
+        debug_assert!(t.is_some(), "top bucket empty despite len > 0");
         self.len -= 1;
+        if self.len > 0 {
+            while self.buckets[self.top].is_empty() {
+                self.top -= 1;
+            }
+        }
         t
     }
 
@@ -227,6 +253,69 @@ mod tests {
         assert_eq!(p.hprq_len(), 2);
         assert_eq!(p.lprq_len(), 1);
         assert_eq!(p.len(), 3);
+    }
+
+    /// The reference model the bucket-array HPRQ must match: the original
+    /// `BTreeMap<u8, VecDeque>` formulation, highest level first, FIFO
+    /// within a level.
+    #[derive(Default)]
+    struct ModelHprq {
+        by_level: std::collections::BTreeMap<u8, std::collections::VecDeque<TaskId>>,
+    }
+
+    impl ModelHprq {
+        fn push(&mut self, task: TaskId, level: u8) {
+            self.by_level.entry(level).or_default().push_back(task);
+        }
+
+        fn pop(&mut self) -> Option<TaskId> {
+            let (&level, _) = self.by_level.iter().next_back()?;
+            let q = self.by_level.get_mut(&level).expect("level exists");
+            let t = q.pop_front();
+            if q.is_empty() {
+                self.by_level.remove(&level);
+            }
+            t
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(256))]
+
+        /// Under any interleaving of pushes (arbitrary levels 1..=5) and
+        /// pops, the bucket-array HPRQ emits exactly the sequence of the
+        /// BTreeMap reference model, and its length bookkeeping agrees.
+        #[test]
+        fn bucket_hprq_matches_btreemap_model(
+            ops in proptest::prelude::prop::collection::vec((0u8..3, 1u8..6), 1..300)
+        ) {
+            let mut real = Hprq::default();
+            let mut model = ModelHprq::default();
+            let mut next_id = 0u32;
+            for &(op, level) in &ops {
+                if op == 0 {
+                    // One pop per two pushes on average keeps both states
+                    // exercised (non-empty tops, drained levels).
+                    proptest::prop_assert_eq!(real.pop(), model.pop());
+                } else {
+                    let t = TaskId(next_id);
+                    next_id += 1;
+                    real.push(t, level);
+                    model.push(t, level);
+                }
+                let model_len: usize = model.by_level.values().map(|q| q.len()).sum();
+                proptest::prop_assert_eq!(real.len, model_len);
+                proptest::prop_assert_eq!(real.is_empty(), model_len == 0);
+            }
+            // Drain: the tails must agree too.
+            loop {
+                let (a, b) = (real.pop(), model.pop());
+                proptest::prop_assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
     }
 
     #[test]

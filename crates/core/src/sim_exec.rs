@@ -34,7 +34,7 @@ use cata_sim::machine::{CoreId, Machine, MachineConfig};
 use cata_sim::progress::{Milestone, RunningTask};
 use cata_sim::stats::Counters;
 use cata_sim::time::{SimDuration, SimTime};
-use cata_sim::trace::{Trace, TraceEvent};
+use cata_sim::trace::{Trace, TraceEvent, TraceMode};
 use cata_tdg::criticality::CriticalityEstimator;
 use cata_tdg::{TaskGraph, TaskId};
 
@@ -51,7 +51,7 @@ pub(crate) struct EngineParams {
     pub idle_decel_delay: SimDuration,
     pub wake_latency: SimDuration,
     pub power: PowerParams,
-    pub trace: bool,
+    pub trace: TraceMode,
 }
 
 impl From<&RunConfig> for EngineParams {
@@ -106,9 +106,11 @@ enum Ev {
     IdleDecel { core: u32, epoch: u64 },
 }
 
-/// What a core is doing, from the executor's point of view.
+/// What a core is doing, from the executor's point of view. The lifetime
+/// is the task graph's: a running task borrows its profile from the graph
+/// instead of cloning it per assignment.
 #[derive(Debug)]
-enum CoreRun {
+enum CoreRun<'g> {
     /// Spinning in the runtime idle loop.
     Idle,
     /// Halted in C1 (idle timeout, only with `idle_to_halt`).
@@ -116,14 +118,14 @@ enum CoreRun {
     /// Running the runtime prologue (dispatch + acceleration path).
     Prologue { task: TaskId },
     /// Executing a task body.
-    Running { task: TaskId, rt: RunningTask },
+    Running { task: TaskId, rt: RunningTask<'g> },
     /// Running the runtime epilogue (task-end acceleration path).
     Epilogue,
 }
 
 #[derive(Debug)]
-struct CoreCtl {
-    run: CoreRun,
+struct CoreCtl<'g> {
+    run: CoreRun<'g>,
     /// Bumped on every assignment; stale scheduled events are discarded by
     /// comparing epochs.
     epoch: u64,
@@ -131,10 +133,174 @@ struct CoreCtl {
     halt_scheduled: bool,
     /// The acceleration manager has been told about the current idle period.
     idle_notified: bool,
-    /// When the core last became idle (ordering stamp, not a time): FIFO
-    /// hands the next ready task to the longest-idle core, like a real
-    /// runtime where the first worker to block on the queue pops first.
-    idle_stamp: u64,
+}
+
+/// Sentinel for "not linked" in [`IdleIndex`].
+const NIL: u32 = u32::MAX;
+
+/// A persistent index of *available* (idle or halted) cores, kept in
+/// dispatch order — the structure that replaces the per-event candidate
+/// `Vec` + sort the dispatch loop used to allocate.
+///
+/// Dispatch order is `(preferred class, idle arrival)`: when the scheduler
+/// prefers fast cores (CATS), static-fast cores form class 0 and everyone
+/// else class 1; otherwise all cores share class 1 and the order is pure
+/// idle-arrival FIFO — exactly the sort key of the old code, so scheduling
+/// decisions are bit-identical. Each class is an intrusive doubly linked
+/// list over fixed per-core link arrays: cores always *become* available
+/// later than every core already listed (idle stamps are monotonic), so
+/// insertion is an O(1) tail append, and assignment unlinks in O(1) from
+/// anywhere. Zero allocations after [`reset`](Self::reset).
+#[derive(Debug, Default)]
+struct IdleIndex {
+    next: Vec<u32>,
+    prev: Vec<u32>,
+    /// 0 = preferred (static-fast under a fast-preferring policy), 1 = rest.
+    class: Vec<u8>,
+    linked: Vec<bool>,
+    /// Static speed class, for the `fast_core_idle` dispatch context.
+    is_fast: Vec<bool>,
+    head: [u32; 2],
+    tail: [u32; 2],
+    /// Available cores that are static-fast.
+    avail_fast: usize,
+}
+
+impl IdleIndex {
+    /// Re-initializes for a run: all `n` cores available in core order
+    /// (their initial idle stamps are their indices), classed by
+    /// `prefer_fast`/`is_fast_static`. Reuses every buffer.
+    fn reset(&mut self, n: usize, prefer_fast: bool, is_fast_static: &[bool]) {
+        self.next.clear();
+        self.next.resize(n, NIL);
+        self.prev.clear();
+        self.prev.resize(n, NIL);
+        self.linked.clear();
+        self.linked.resize(n, false);
+        self.class.clear();
+        self.class.extend(
+            is_fast_static
+                .iter()
+                .map(|&fast| u8::from(!(prefer_fast && fast))),
+        );
+        self.is_fast.clear();
+        self.is_fast.extend_from_slice(is_fast_static);
+        self.head = [NIL; 2];
+        self.tail = [NIL; 2];
+        self.avail_fast = 0;
+        for i in 0..n {
+            self.push(CoreId(i as u32));
+        }
+    }
+
+    /// Appends a newly available core at the tail of its class list.
+    fn push(&mut self, core: CoreId) {
+        let i = core.index();
+        debug_assert!(!self.linked[i], "{core} already available");
+        let c = self.class[i] as usize;
+        let t = self.tail[c];
+        self.prev[i] = t;
+        self.next[i] = NIL;
+        if t == NIL {
+            self.head[c] = core.0;
+        } else {
+            self.next[t as usize] = core.0;
+        }
+        self.tail[c] = core.0;
+        self.linked[i] = true;
+        if self.is_fast[i] {
+            self.avail_fast += 1;
+        }
+    }
+
+    /// Unlinks a core that got work assigned.
+    fn remove(&mut self, core: CoreId) {
+        let i = core.index();
+        debug_assert!(self.linked[i], "{core} not available");
+        let c = self.class[i] as usize;
+        let (p, n) = (self.prev[i], self.next[i]);
+        if p == NIL {
+            self.head[c] = n;
+        } else {
+            self.next[p as usize] = n;
+        }
+        if n == NIL {
+            self.tail[c] = p;
+        } else {
+            self.prev[n as usize] = p;
+        }
+        self.prev[i] = NIL;
+        self.next[i] = NIL;
+        self.linked[i] = false;
+        if self.is_fast[i] {
+            self.avail_fast -= 1;
+        }
+    }
+
+    /// First core in dispatch order.
+    fn first(&self) -> Option<CoreId> {
+        let h = if self.head[0] != NIL {
+            self.head[0]
+        } else {
+            self.head[1]
+        };
+        (h != NIL).then_some(CoreId(h))
+    }
+
+    /// The core visited after `core`. Capture this *before* removing
+    /// `core`: the successor stays valid because dispatch only ever
+    /// removes the core it is currently visiting.
+    fn next_after(&self, core: CoreId) -> Option<CoreId> {
+        let i = core.index();
+        let n = self.next[i];
+        if n != NIL {
+            return Some(CoreId(n));
+        }
+        if self.class[i] == 0 && self.head[1] != NIL {
+            return Some(CoreId(self.head[1]));
+        }
+        None
+    }
+
+    /// True if any static-fast core is available (idle or halted).
+    fn any_fast_available(&self) -> bool {
+        self.avail_fast > 0
+    }
+}
+
+/// Per-thread engine buffers reused across runs: suite workers batch many
+/// small scenarios, and re-growing the event heap, dependence counters and
+/// idle index for every one of them is measurable waste (the ROADMAP
+/// "batching many small scenarios per thread" item). Taken from a
+/// thread-local by the executor entry points and handed back after the
+/// run; the per-run warm-up allocation therefore happens once per worker
+/// thread, not once per scenario.
+#[derive(Debug, Default)]
+struct EngineScratch {
+    events: EventQueue<Ev>,
+    indegree: Vec<u32>,
+    crit: Vec<bool>,
+    idle: IdleIndex,
+}
+
+thread_local! {
+    static SCRATCH: std::cell::RefCell<EngineScratch> =
+        std::cell::RefCell::new(EngineScratch::default());
+}
+
+/// Runs one engine execution with the thread's scratch buffers.
+fn run_with_scratch(
+    params: &EngineParams,
+    resolved: ResolvedPolicies,
+    graph: &TaskGraph,
+    workload: &str,
+) -> (RunReport, Trace) {
+    SCRATCH.with(|cell| {
+        let scratch = cell.take();
+        let (report, trace, scratch) = Engine::new(params, resolved, graph, scratch).run(workload);
+        cell.replace(scratch);
+        (report, trace)
+    })
 }
 
 /// The discrete-event executor.
@@ -186,7 +352,7 @@ impl SimExecutor {
                 &cfg.policy_params(),
             )
             .unwrap_or_else(|e| panic!("RunConfig `{}` failed to resolve: {e}", cfg.label));
-        Engine::new(&EngineParams::from(cfg), resolved, graph).run(workload)
+        run_with_scratch(&EngineParams::from(cfg), resolved, graph, workload)
     }
 
     /// Executes a scenario spec end to end: resolves its policy keys
@@ -209,8 +375,12 @@ impl SimExecutor {
             &spec.params_or_default(),
         )?;
         let graph = spec.workload.build_graph_shared();
-        let (report, trace) =
-            Engine::new(&EngineParams::from(spec), resolved, &graph).run(&spec.workload.label());
+        let (report, trace) = run_with_scratch(
+            &EngineParams::from(spec),
+            resolved,
+            &graph,
+            &spec.workload.label(),
+        );
         Ok((report, trace))
     }
 }
@@ -223,7 +393,13 @@ struct Engine<'g> {
     accel: Box<dyn AccelManager>,
     estimator: Box<dyn CriticalityEstimator>,
     events: EventQueue<Ev>,
-    cores: Vec<CoreCtl>,
+    cores: Vec<CoreCtl<'g>>,
+    /// Available (idle/halted) cores in dispatch order; maintained
+    /// incrementally so dispatch never builds or sorts a candidate list.
+    idle: IdleIndex,
+    /// A core entered the idle loop since the last dispatch; its decel
+    /// debounce / halt timers still need arming.
+    idle_dirty: bool,
     /// Remaining unfinished predecessors per task.
     indegree: Vec<u32>,
     /// Tasks `0..submitted` are visible to the runtime.
@@ -235,15 +411,15 @@ struct Engine<'g> {
     trace: Trace,
     last_completion: SimTime,
     is_fast_static: Vec<bool>,
-    /// Monotonic stamp source for idle ordering.
-    idle_counter: u64,
-    /// Whether dispatch prefers fast cores (CATS exploits core speeds; FIFO
-    /// is blind and serves cores in idle-arrival order).
-    prefer_fast: bool,
 }
 
 impl<'g> Engine<'g> {
-    fn new(cfg: &'g EngineParams, resolved: ResolvedPolicies, graph: &'g TaskGraph) -> Self {
+    fn new(
+        cfg: &'g EngineParams,
+        resolved: ResolvedPolicies,
+        graph: &'g TaskGraph,
+        scratch: EngineScratch,
+    ) -> Self {
         let n_cores = cfg.machine.num_cores;
         assert!(
             cfg.fast_cores <= n_cores,
@@ -261,10 +437,22 @@ impl<'g> Engine<'g> {
         } = resolved;
 
         let n = graph.num_tasks();
-        let indegree = graph
-            .task_ids()
-            .map(|t| graph.preds(t).len() as u32)
-            .collect();
+        let EngineScratch {
+            mut events,
+            mut indegree,
+            mut crit,
+            mut idle,
+        } = scratch;
+        // Pre-size from the graph: ~4 events per task in flight worst-case
+        // (submit, begin, milestone, free). Reused buffers keep their
+        // allocation from the previous run on this thread.
+        events.reset();
+        events.reserve(n * 4);
+        indegree.clear();
+        indegree.extend(graph.task_ids().map(|t| graph.preds(t).len() as u32));
+        crit.clear();
+        crit.resize(n, false);
+        idle.reset(n_cores, prefer_fast, &is_fast_static);
 
         Engine {
             cfg,
@@ -273,34 +461,29 @@ impl<'g> Engine<'g> {
             policy,
             accel,
             estimator,
-            events: EventQueue::with_capacity(n * 4),
+            events,
             cores: (0..n_cores)
-                .map(|i| CoreCtl {
+                .map(|_| CoreCtl {
                     run: CoreRun::Idle,
                     epoch: 0,
                     halt_scheduled: false,
                     idle_notified: false,
-                    idle_stamp: i as u64,
                 })
                 .collect(),
+            idle,
+            idle_dirty: true,
             indegree,
             submitted: 0,
-            crit: vec![false; n],
+            crit,
             done: 0,
             counters: Counters::default(),
-            trace: if cfg.trace {
-                Trace::enabled()
-            } else {
-                Trace::disabled()
-            },
+            trace: Trace::with_mode(cfg.trace),
             last_completion: SimTime::ZERO,
             is_fast_static,
-            idle_counter: n_cores as u64,
-            prefer_fast,
         }
     }
 
-    fn run(mut self, workload: &str) -> (RunReport, Trace) {
+    fn run(mut self, workload: &str) -> (RunReport, Trace, EngineScratch) {
         let total = self.graph.num_tasks();
         // Controller initialization (TurboMode boots with budget assigned).
         let init = self.accel.on_init(&mut self.machine, SimTime::ZERO);
@@ -322,6 +505,7 @@ impl<'g> Engine<'g> {
                     self.policy.len()
                 );
             };
+            self.counters.sim_events += 1;
             self.handle(now, ev);
             self.dispatch(now);
         }
@@ -353,7 +537,13 @@ impl<'g> Engine<'g> {
                 .collect(),
             tasks: total,
         };
-        (report, self.trace)
+        let scratch = EngineScratch {
+            events: self.events,
+            indegree: self.indegree,
+            crit: self.crit,
+            idle: self.idle,
+        };
+        (report, self.trace, scratch)
     }
 
     /// Cost of submitting `task` on the master thread.
@@ -409,52 +599,49 @@ impl<'g> Engine<'g> {
         self.policy.enqueue(task, level);
     }
 
-    fn any_idle_fast(&self) -> bool {
-        self.cores.iter().enumerate().any(|(i, c)| {
-            self.is_fast_static[i] && matches!(c.run, CoreRun::Idle | CoreRun::Halted)
-        })
-    }
-
     /// Assign ready tasks to idle cores. CATS configurations offer idle
     /// *fast* cores first (so critical tasks land on them); FIFO serves
     /// cores in the order they went idle — the blind assignment the paper's
-    /// baseline suffers from.
+    /// baseline suffers from. The walk follows the persistent [`IdleIndex`]
+    /// (same order the old candidate sort produced); assigning a core
+    /// unlinks it, and the outer loop re-walks until a full pass assigns
+    /// nothing — a slow core may only steal critical work once the pass
+    /// that drained the last idle fast core is over, exactly as before.
     fn dispatch(&mut self, now: SimTime) {
-        loop {
-            let mut candidates: Vec<CoreId> = (0..self.cores.len())
-                .filter(|&i| matches!(self.cores[i].run, CoreRun::Idle | CoreRun::Halted))
-                .map(|i| CoreId(i as u32))
-                .collect();
-            candidates.sort_by_key(|c| {
-                let fast_key = self.prefer_fast && self.is_fast_static[c.index()];
-                (!fast_key, self.cores[c.index()].idle_stamp)
-            });
+        // `policy.len() == 0` ⇒ `dequeue` cannot serve anyone; skip the
+        // walk entirely (the common case right after a milestone event).
+        while !self.policy.is_empty() {
             let mut assigned = false;
-            for core in candidates {
-                if !matches!(
-                    self.cores[core.index()].run,
-                    CoreRun::Idle | CoreRun::Halted
-                ) {
-                    continue;
-                }
+            let mut cur = self.idle.first();
+            while let Some(core) = cur {
+                // Capture the successor first: `assign` unlinks `core`.
+                let nxt = self.idle.next_after(core);
                 let ctx = DispatchCtx {
-                    fast_core_idle: self.any_idle_fast() && !self.is_fast_static[core.index()],
+                    fast_core_idle: self.idle.any_fast_available()
+                        && !self.is_fast_static[core.index()],
                 };
-                if !self.policy.has_work_for(core, ctx) {
-                    continue;
+                if self.policy.has_work_for(core, ctx) {
+                    if let Some(task) = self.policy.dequeue(core, ctx, &mut self.counters) {
+                        self.assign(core, task, now);
+                        assigned = true;
+                    }
                 }
-                if let Some(task) = self.policy.dequeue(core, ctx, &mut self.counters) {
-                    self.assign(core, task, now);
-                    assigned = true;
-                }
+                cur = nxt;
             }
             if !assigned {
                 break;
             }
         }
-        // Cores still idle after dispatch: arm the CATA deceleration
-        // debounce (§V-B deceleration fires only if the core is *still* idle
-        // after the delay) and the OS halt timer if configured.
+        // Cores that entered the idle loop since the last dispatch: arm the
+        // CATA deceleration debounce (§V-B deceleration fires only if the
+        // core is *still* idle after the delay) and the OS halt timer if
+        // configured. Skipped outright unless a core went idle (the flag
+        // pass below is O(cores), and events must be pushed in core order
+        // to keep the FIFO tie-break bit-identical with the old code).
+        if !self.idle_dirty {
+            return;
+        }
+        self.idle_dirty = false;
         for i in 0..self.cores.len() {
             let c = &mut self.cores[i];
             if !matches!(c.run, CoreRun::Idle) {
@@ -489,6 +676,7 @@ impl<'g> Engine<'g> {
     }
 
     fn assign(&mut self, core: CoreId, task: TaskId, now: SimTime) {
+        self.idle.remove(core);
         let was_halted = matches!(self.cores[core.index()].run, CoreRun::Halted);
         let ctl = &mut self.cores[core.index()];
         ctl.epoch += 1;
@@ -533,7 +721,7 @@ impl<'g> Engine<'g> {
             return;
         };
         let rt = RunningTask::start(
-            self.graph.task(task).profile.clone(),
+            &self.graph.task(task).profile,
             now,
             self.machine.core(core).frequency(),
         );
@@ -549,7 +737,7 @@ impl<'g> Engine<'g> {
         self.cores[core.index()].run = CoreRun::Running { task, rt };
     }
 
-    fn schedule_milestone(&mut self, core: CoreId, epoch: u64, rt: &RunningTask) {
+    fn schedule_milestone(&mut self, core: CoreId, epoch: u64, rt: &RunningTask<'_>) {
         if let Some(m) = rt.next_milestone() {
             self.events.push(
                 m.time(),
@@ -580,7 +768,7 @@ impl<'g> Engine<'g> {
                 // model guarantees the new time is strictly later (a
                 // sub-picosecond residue counts as reached), so this cannot
                 // livelock.
-                let rt2 = rt.clone();
+                let rt2 = *rt;
                 if let Some(m) = rt2.next_milestone() {
                     debug_assert!(m.time() > now, "milestone did not advance");
                 }
@@ -588,7 +776,7 @@ impl<'g> Engine<'g> {
             }
             Some(Milestone::Completion(_)) => self.complete(core, task, now),
             Some(Milestone::BlockStart(_)) => {
-                let rt2 = rt.clone();
+                let rt2 = *rt;
                 self.machine.set_activity(core, now, Activity::Halted);
                 self.counters.halts += 1;
                 self.trace.record(now, TraceEvent::Halt { core });
@@ -599,7 +787,7 @@ impl<'g> Engine<'g> {
                 self.schedule_milestone(core, epoch, &rt2);
             }
             Some(Milestone::BlockEnd(_)) => {
-                let rt2 = rt.clone();
+                let rt2 = *rt;
                 self.machine.set_activity(core, now, Activity::Busy);
                 self.trace.record(now, TraceEvent::Wake { core });
                 let e = self
@@ -651,8 +839,10 @@ impl<'g> Engine<'g> {
         }
         debug_assert!(matches!(ctl.run, CoreRun::Epilogue));
         ctl.run = CoreRun::Idle;
-        self.idle_counter += 1;
-        self.cores[core.index()].idle_stamp = self.idle_counter;
+        // Cores re-enter the idle index in completion order — the same
+        // FIFO "longest-idle pops first" order the old idle stamps encoded.
+        self.idle.push(core);
+        self.idle_dirty = true;
         self.machine.set_activity(core, now, Activity::Idle);
         // The dispatch loop after this event hands out new work (or arms the
         // idle-halt timer).
@@ -665,7 +855,7 @@ impl<'g> Engine<'g> {
             let epoch = self.cores[core.index()].epoch;
             if let CoreRun::Running { ref mut rt, .. } = self.cores[core.index()].run {
                 rt.set_frequency(now, level.frequency);
-                let rt2 = rt.clone();
+                let rt2 = *rt;
                 self.schedule_milestone(core, epoch, &rt2);
             }
         }

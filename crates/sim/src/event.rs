@@ -137,6 +137,25 @@ impl<E> EventQueue<E> {
     pub fn pushed_total(&self) -> u64 {
         self.seq
     }
+
+    /// Rewinds the queue to its initial state — empty, sequence 0, clock at
+    /// `SimTime::ZERO` — while keeping the heap's allocation, so one queue
+    /// can be reused across many runs (suite workers batch thousands of
+    /// small scenarios; reallocating the heap per run is pure waste).
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        self.seq = 0;
+        self.now = SimTime::ZERO;
+    }
+
+    /// Ensures capacity for at least `cap` pending events total.
+    pub fn reserve(&mut self, cap: usize) {
+        if self.heap.capacity() < cap {
+            // `BinaryHeap::reserve` takes an *additional* count on top of
+            // the current length.
+            self.heap.reserve(cap - self.heap.len());
+        }
+    }
 }
 
 impl<E> Default for EventQueue<E> {
@@ -207,6 +226,21 @@ mod tests {
         q.push(t + SimDuration::ZERO, 3);
         assert_eq!(q.pop().unwrap().1, 2);
         assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn reset_allows_reuse_from_time_zero() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ns(10), 1u32);
+        q.pop();
+        // The clock advanced; a fresh run must start at zero again.
+        q.reset();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.pushed_total(), 0);
+        q.reserve(64);
+        q.push(SimTime::from_ns(1), 2u32);
+        assert_eq!(q.pop(), Some((SimTime::from_ns(1), 2)));
     }
 
     #[test]

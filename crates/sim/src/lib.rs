@@ -45,7 +45,7 @@
 //! // A task with 2 M cycles of CPU work and 100 µs of memory time takes
 //! // 2.1 ms at the slow level (1 GHz) every core starts at.
 //! let prof = ExecProfile::new(2_000_000, 100_000_000);
-//! let task = RunningTask::start(prof, SimTime::ZERO, machine.core(0usize.into()).frequency());
+//! let task = RunningTask::start(&prof, SimTime::ZERO, machine.core(0usize.into()).frequency());
 //! let finish = task.next_milestone().unwrap().time();
 //! assert_eq!(finish.as_ns(), 2_100_000);
 //! ```

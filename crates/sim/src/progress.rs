@@ -129,9 +129,15 @@ enum RunState {
 /// [`set_frequency`](Self::set_frequency) when a DVFS change settles under it.
 /// Every mutation bumps [`generation`](Self::generation) so the executor can
 /// discard stale scheduled events.
-#[derive(Debug, Clone)]
-pub struct RunningTask {
-    profile: ExecProfile,
+///
+/// The profile is *borrowed* from its owner (normally the `TaskGraph`):
+/// starting a task is a hot-path operation in the executor, and cloning a
+/// profile — block-point `Vec` included — per assignment is exactly the
+/// kind of steady-state allocation the engine refuses to pay. All other
+/// state is plain `Copy` data, so cloning a `RunningTask` is free.
+#[derive(Debug, Clone, Copy)]
+pub struct RunningTask<'p> {
+    profile: &'p ExecProfile,
     freq: Frequency,
     progress: f64,
     last_update: SimTime,
@@ -141,9 +147,9 @@ pub struct RunningTask {
     started_at: SimTime,
 }
 
-impl RunningTask {
+impl<'p> RunningTask<'p> {
     /// Begins executing `profile` at `now` on a core running at `freq`.
-    pub fn start(profile: ExecProfile, now: SimTime, freq: Frequency) -> Self {
+    pub fn start(profile: &'p ExecProfile, now: SimTime, freq: Frequency) -> Self {
         RunningTask {
             profile,
             freq,
@@ -157,8 +163,8 @@ impl RunningTask {
     }
 
     /// The profile being executed.
-    pub fn profile(&self) -> &ExecProfile {
-        &self.profile
+    pub fn profile(&self) -> &'p ExecProfile {
+        self.profile
     }
 
     /// Monotonic counter bumped on every state change; events scheduled
@@ -324,7 +330,7 @@ mod tests {
     #[test]
     fn simple_run_to_completion() {
         let p = ExecProfile::new(1_000_000, 0); // 1 ms at 1 GHz
-        let mut t = RunningTask::start(p, SimTime::ZERO, GHZ1);
+        let mut t = RunningTask::start(&p, SimTime::ZERO, GHZ1);
         let m = t.next_milestone().unwrap();
         assert_eq!(m, Milestone::Completion(SimTime::from_ms(1)));
         let fired = t.advance_to(m.time()).unwrap();
@@ -338,7 +344,7 @@ mod tests {
         // 2 M cycles at 1 GHz = 2 ms. Accelerate at 1 ms (progress 0.5):
         // remaining 1 M cycles at 2 GHz = 0.5 ms → finishes at 1.5 ms.
         let p = ExecProfile::new(2_000_000, 0);
-        let mut t = RunningTask::start(p, SimTime::ZERO, GHZ1);
+        let mut t = RunningTask::start(&p, SimTime::ZERO, GHZ1);
         let g0 = t.generation();
         t.set_frequency(SimTime::from_ms(1), GHZ2);
         assert!(
@@ -357,7 +363,7 @@ mod tests {
         // 2 M cycles at 2 GHz = 1 ms. Decelerate at 0.5 ms (progress 0.5):
         // remaining 1 M cycles at 1 GHz = 1 ms → finishes at 1.5 ms.
         let p = ExecProfile::new(2_000_000, 0);
-        let mut t = RunningTask::start(p, SimTime::ZERO, GHZ2);
+        let mut t = RunningTask::start(&p, SimTime::ZERO, GHZ2);
         t.set_frequency(SimTime::from_us(500), GHZ1);
         let m = t.next_milestone().unwrap();
         assert_eq!(m.time(), SimTime::from_us(1500));
@@ -367,7 +373,7 @@ mod tests {
     fn memory_time_is_not_scaled_by_frequency_change() {
         // Pure-memory task: 1 ms regardless of frequency.
         let p = ExecProfile::new(0, SimDuration::from_ms(1).as_ps());
-        let mut t = RunningTask::start(p, SimTime::ZERO, GHZ1);
+        let mut t = RunningTask::start(&p, SimTime::ZERO, GHZ1);
         t.set_frequency(SimTime::from_us(300), GHZ2);
         let m = t.next_milestone().unwrap();
         assert_eq!(m.time(), SimTime::from_ms(1));
@@ -377,7 +383,7 @@ mod tests {
     fn blocking_point_halts_then_resumes() {
         // 1 M cycles at 1 GHz = 1 ms, blocks at p=0.5 for 2 ms.
         let p = ExecProfile::new(1_000_000, 0).with_block(0.5, SimDuration::from_ms(2));
-        let mut t = RunningTask::start(p, SimTime::ZERO, GHZ1);
+        let mut t = RunningTask::start(&p, SimTime::ZERO, GHZ1);
 
         let m1 = t.next_milestone().unwrap();
         assert_eq!(m1, Milestone::BlockStart(SimTime::from_us(500)));
@@ -398,7 +404,7 @@ mod tests {
     #[test]
     fn frequency_change_while_blocked_applies_after_resume() {
         let p = ExecProfile::new(1_000_000, 0).with_block(0.5, SimDuration::from_ms(1));
-        let mut t = RunningTask::start(p, SimTime::ZERO, GHZ1);
+        let mut t = RunningTask::start(&p, SimTime::ZERO, GHZ1);
         let m1 = t.next_milestone().unwrap();
         t.advance_to(m1.time()); // blocked at 500 µs until 1500 µs
         t.set_frequency(SimTime::from_us(700), GHZ2);
@@ -414,7 +420,7 @@ mod tests {
     #[test]
     fn zero_cost_task_completes_immediately() {
         let p = ExecProfile::new(0, 0);
-        let mut t = RunningTask::start(p, SimTime::from_us(3), GHZ1);
+        let mut t = RunningTask::start(&p, SimTime::from_us(3), GHZ1);
         let m = t.next_milestone().unwrap();
         assert_eq!(m, Milestone::Completion(SimTime::from_us(3)));
         t.advance_to(m.time());
@@ -424,7 +430,7 @@ mod tests {
     #[test]
     fn early_advance_does_not_fire_milestone() {
         let p = ExecProfile::new(1_000_000, 0);
-        let mut t = RunningTask::start(p, SimTime::ZERO, GHZ1);
+        let mut t = RunningTask::start(&p, SimTime::ZERO, GHZ1);
         assert_eq!(t.advance_to(SimTime::from_us(400)), None);
         assert!((t.progress() - 0.4).abs() < 1e-9);
         // Milestone from the partial state still lands at 1 ms total.
@@ -438,7 +444,7 @@ mod tests {
             .with_block(0.75, SimDuration::from_us(10))
             .with_block(0.25, SimDuration::from_us(20));
         assert!(p.blocks[0].at_progress < p.blocks[1].at_progress);
-        let mut t = RunningTask::start(p, SimTime::ZERO, GHZ1);
+        let mut t = RunningTask::start(&p, SimTime::ZERO, GHZ1);
         let mut kinds = Vec::new();
         while let Some(m) = t.next_milestone() {
             t.advance_to(m.time());
@@ -446,7 +452,7 @@ mod tests {
         }
         assert_eq!(kinds.len(), 5); // 2×(start+end) + completion
         assert_eq!(p_total(&t), 1.0);
-        fn p_total(t: &RunningTask) -> f64 {
+        fn p_total(t: &RunningTask<'_>) -> f64 {
             t.progress()
         }
     }

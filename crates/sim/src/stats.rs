@@ -121,6 +121,9 @@ pub struct Counters {
     pub cross_queue_steals: u64,
     /// Core halt (C1 entry) events.
     pub halts: u64,
+    /// Discrete events processed by the simulation engine (the denominator
+    /// of the events/sec perf metric; zero for native runs).
+    pub sim_events: u64,
 }
 
 impl Counters {
@@ -134,6 +137,7 @@ impl Counters {
         self.accel_swaps += o.accel_swaps;
         self.cross_queue_steals += o.cross_queue_steals;
         self.halts += o.halts;
+        self.sim_events += o.sim_events;
     }
 }
 

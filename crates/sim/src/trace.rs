@@ -3,12 +3,23 @@
 //! Traces are the simulator's equivalent of the paper's Paraver timelines:
 //! an ordered record of scheduling and reconfiguration events used by tests
 //! (to assert causality and budget invariants at every instant) and by the
-//! examples (to visualize schedules). Tracing is off by default and costs
-//! nothing when disabled.
+//! examples (to visualize schedules). Collection is governed by
+//! [`TraceMode`]:
+//!
+//! - [`Off`](TraceMode::Off) (the default, and what `Suite` runs use):
+//!   every record is dropped; the hot path costs one branch and never
+//!   allocates.
+//! - [`Counters`](TraceMode::Counters): events are tallied per kind
+//!   ([`TraceCounts`]) without storing records — constant memory, enough
+//!   for sanity dashboards over million-run sweeps.
+//! - [`Full`](TraceMode::Full): records are kept in a bounded ring buffer
+//!   (default [`Trace::DEFAULT_RING_CAPACITY`]); once full, the oldest
+//!   half is discarded and counted in [`Trace::dropped`], so a runaway
+//!   workload bounds memory instead of exhausting it.
 
 use crate::machine::{CoreId, PowerLevel};
 use crate::time::SimTime;
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// One traced simulation event.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -64,21 +75,139 @@ pub struct TraceRecord {
     pub event: TraceEvent,
 }
 
-/// An event trace. Construct with [`Trace::enabled`] or [`Trace::disabled`];
-/// a disabled trace drops all records.
+/// How much of the event stream a run collects.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum TraceMode {
+    /// Drop everything (the default; zero steady-state cost).
+    #[default]
+    Off,
+    /// Tally events per kind without storing records.
+    Counters,
+    /// Keep records in a bounded ring buffer.
+    Full,
+}
+
+impl TraceMode {
+    /// True when no per-event work happens at all.
+    pub fn is_off(self) -> bool {
+        self == TraceMode::Off
+    }
+
+    /// Lowercase label for reports/serialization.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceMode::Off => "off",
+            TraceMode::Counters => "counters",
+            TraceMode::Full => "full",
+        }
+    }
+}
+
+impl Serialize for TraceMode {
+    fn to_value(&self) -> Value {
+        Value::Str(self.name().to_string())
+    }
+}
+
+impl Deserialize for TraceMode {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            // Back-compat: specs used to carry `trace: bool`, and an
+            // omitted field (Null) means the default.
+            Value::Null | Value::Bool(false) => Ok(TraceMode::Off),
+            Value::Bool(true) => Ok(TraceMode::Full),
+            Value::Str(s) => match s.as_str() {
+                "off" | "Off" => Ok(TraceMode::Off),
+                "counters" | "Counters" => Ok(TraceMode::Counters),
+                "full" | "Full" => Ok(TraceMode::Full),
+                other => Err(DeError::new(format!("unknown trace mode `{other}`"))),
+            },
+            other => Err(DeError::new(format!(
+                "trace mode: expected a string or bool, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+/// Per-kind event tallies, maintained in `Counters` and `Full` modes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceCounts {
+    /// Task body starts.
+    pub task_starts: u64,
+    /// Task completions.
+    pub task_ends: u64,
+    /// DVFS transitions requested.
+    pub reconfig_requests: u64,
+    /// DVFS transitions settled.
+    pub reconfigs_applied: u64,
+    /// C1 entries.
+    pub halts: u64,
+    /// C1 exits.
+    pub wakes: u64,
+}
+
+impl TraceCounts {
+    fn bump(&mut self, event: &TraceEvent) {
+        match event {
+            TraceEvent::TaskStart { .. } => self.task_starts += 1,
+            TraceEvent::TaskEnd { .. } => self.task_ends += 1,
+            TraceEvent::ReconfigRequest { .. } => self.reconfig_requests += 1,
+            TraceEvent::ReconfigApplied { .. } => self.reconfigs_applied += 1,
+            TraceEvent::Halt { .. } => self.halts += 1,
+            TraceEvent::Wake { .. } => self.wakes += 1,
+        }
+    }
+
+    /// Sum over all kinds.
+    pub fn total(&self) -> u64 {
+        self.task_starts
+            + self.task_ends
+            + self.reconfig_requests
+            + self.reconfigs_applied
+            + self.halts
+            + self.wakes
+    }
+}
+
+/// An event trace. Construct with [`Trace::with_mode`] (or the
+/// [`enabled`](Trace::enabled)/[`disabled`](Trace::disabled) shorthands);
+/// an `Off` trace drops all records.
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
     records: Vec<TraceRecord>,
-    enabled: bool,
+    counts: TraceCounts,
+    mode: TraceMode,
+    capacity: usize,
+    dropped: u64,
 }
 
 impl Trace {
-    /// A trace that records events.
-    pub fn enabled() -> Self {
+    /// Ring-buffer bound of `Full` traces: enough for every test and
+    /// example while capping memory at tens of MB for runaway workloads.
+    pub const DEFAULT_RING_CAPACITY: usize = 1 << 20;
+
+    /// A trace collecting in the given mode.
+    pub fn with_mode(mode: TraceMode) -> Self {
         Trace {
             records: Vec::new(),
-            enabled: true,
+            counts: TraceCounts::default(),
+            mode,
+            capacity: Trace::DEFAULT_RING_CAPACITY,
+            dropped: 0,
         }
+    }
+
+    /// A `Full` trace with a custom ring-buffer capacity (≥ 2).
+    pub fn with_ring_capacity(capacity: usize) -> Self {
+        let mut t = Trace::with_mode(TraceMode::Full);
+        t.capacity = capacity.max(2);
+        t
+    }
+
+    /// A trace that records events (`Full` mode).
+    pub fn enabled() -> Self {
+        Trace::with_mode(TraceMode::Full)
     }
 
     /// A trace that drops events (zero cost).
@@ -86,20 +215,50 @@ impl Trace {
         Trace::default()
     }
 
-    /// Whether recording is active.
+    /// Whether any per-event collection is active.
     pub fn is_enabled(&self) -> bool {
-        self.enabled
+        !self.mode.is_off()
     }
 
-    /// Records `event` at `time` if enabled.
+    /// The collection mode.
+    pub fn mode(&self) -> TraceMode {
+        self.mode
+    }
+
+    /// Records `event` at `time` according to the mode.
     #[inline]
     pub fn record(&mut self, time: SimTime, event: TraceEvent) {
-        if self.enabled {
-            self.records.push(TraceRecord { time, event });
+        match self.mode {
+            TraceMode::Off => {}
+            TraceMode::Counters => self.counts.bump(&event),
+            TraceMode::Full => {
+                self.counts.bump(&event);
+                if self.records.len() >= self.capacity {
+                    // Ring behaviour: discard the oldest half in one move
+                    // (amortized O(1) per record) and keep counting.
+                    let drop = self.capacity / 2;
+                    self.records.drain(..drop);
+                    self.dropped += drop as u64;
+                }
+                self.records.push(TraceRecord { time, event });
+            }
         }
     }
 
-    /// All recorded entries, in emission order (non-decreasing time).
+    /// Per-kind tallies (`Counters` and `Full` modes; zeros when off).
+    pub fn counts(&self) -> &TraceCounts {
+        &self.counts
+    }
+
+    /// Records discarded by the ring bound (0 unless a `Full` trace
+    /// overflowed its capacity).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// All retained entries, in emission order (non-decreasing time). When
+    /// the ring bound was hit this is the most recent window; check
+    /// [`dropped`](Self::dropped).
     pub fn records(&self) -> &[TraceRecord] {
         &self.records
     }
@@ -195,6 +354,70 @@ mod tests {
         t.record(SimTime::from_us(2), TraceEvent::Halt { core: CoreId(2) });
         let halts: Vec<_> = t.filter(|e| matches!(e, TraceEvent::Halt { .. })).collect();
         assert_eq!(halts.len(), 2);
+    }
+
+    #[test]
+    fn counters_mode_tallies_without_storing() {
+        let mut t = Trace::with_mode(TraceMode::Counters);
+        t.record(SimTime::ZERO, TraceEvent::Halt { core: CoreId(0) });
+        t.record(SimTime::from_us(1), TraceEvent::Wake { core: CoreId(0) });
+        t.record(
+            SimTime::from_us(2),
+            TraceEvent::TaskStart {
+                core: CoreId(0),
+                task: 1,
+                critical: false,
+            },
+        );
+        assert!(t.records().is_empty(), "counters mode must not store");
+        assert_eq!(t.counts().halts, 1);
+        assert_eq!(t.counts().wakes, 1);
+        assert_eq!(t.counts().task_starts, 1);
+        assert_eq!(t.counts().total(), 3);
+        assert!(t.is_enabled());
+    }
+
+    #[test]
+    fn full_ring_discards_oldest_half() {
+        let mut t = Trace::with_ring_capacity(4);
+        for i in 0..6u32 {
+            t.record(
+                SimTime::from_ns(i as u64),
+                TraceEvent::Halt { core: CoreId(i) },
+            );
+        }
+        // Capacity 4: the 5th record triggers a half-drain (2 dropped).
+        assert_eq!(t.dropped(), 2);
+        assert_eq!(t.counts().halts, 6, "counts see every event");
+        let cores: Vec<u32> = t
+            .records()
+            .iter()
+            .map(|r| match r.event {
+                TraceEvent::Halt { core } => core.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(cores, vec![2, 3, 4, 5], "most recent window retained");
+    }
+
+    #[test]
+    fn trace_mode_serde_accepts_legacy_bools() {
+        use serde::{Deserialize as _, Serialize as _, Value};
+        assert_eq!(
+            TraceMode::Counters.to_value(),
+            Value::Str("counters".into())
+        );
+        for (v, want) in [
+            (Value::Null, TraceMode::Off),
+            (Value::Bool(false), TraceMode::Off),
+            (Value::Bool(true), TraceMode::Full),
+            (Value::Str("full".into()), TraceMode::Full),
+            (Value::Str("counters".into()), TraceMode::Counters),
+            (Value::Str("off".into()), TraceMode::Off),
+        ] {
+            assert_eq!(TraceMode::from_value(&v).unwrap(), want);
+        }
+        assert!(TraceMode::from_value(&Value::Str("paraver".into())).is_err());
     }
 
     #[test]

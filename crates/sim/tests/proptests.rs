@@ -76,7 +76,7 @@ proptest! {
         let d1 = p.duration_at(f1);
         let switch_at = SimTime::ZERO + d1.mul_f64(switch_fraction);
 
-        let mut rt = RunningTask::start(p.clone(), SimTime::ZERO, f1);
+        let mut rt = RunningTask::start(&p, SimTime::ZERO, f1);
         rt.advance_to(switch_at);
         rt.set_frequency(switch_at, f2);
         let finish = rt.next_milestone().unwrap().time();

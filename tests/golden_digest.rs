@@ -1,0 +1,115 @@
+//! Golden determinism digests for the six paper presets.
+//!
+//! The engine promises bit-identical `RunReport`s for identical specs, and
+//! PR 2's hot-path refactor (persistent idle-core index, bucket-array
+//! HPRQ, borrowed profiles, scratch reuse) promises to preserve every
+//! scheduling decision. These digests — recorded from the pre-refactor
+//! engine on fixed seeded workloads — pin that contract: any change to
+//! makespan, energy, or a counter on any preset is a behavioural change,
+//! not an optimization, and must be called out loudly.
+//!
+//! To regenerate after an *intentional* semantic change:
+//! `cargo test --test golden_digest -- --nocapture print_current_digests`
+//! and paste the printed table over `GOLDEN`.
+
+use cata_core::exp::{ScenarioSpec, WorkloadSpec};
+use cata_core::SimExecutor;
+use cata_workloads::{Benchmark, Scale};
+
+const SEED: u64 = 42;
+
+/// Two fixed workloads: the Dedup pipeline (deep, criticality-annotated)
+/// and Fluidanimate (the max-fan-in TDG that stresses CATS+BL walks).
+fn workloads() -> Vec<(&'static str, WorkloadSpec)> {
+    vec![
+        (
+            "dedup-tiny",
+            WorkloadSpec::parsec(Benchmark::Dedup, Scale::Tiny, SEED),
+        ),
+        (
+            "fluid-tiny",
+            WorkloadSpec::parsec(Benchmark::Fluidanimate, Scale::Tiny, SEED),
+        ),
+    ]
+}
+
+const PRESETS: [&str; 6] = [
+    "FIFO",
+    "CATS+BL",
+    "CATS+SA",
+    "CATA",
+    "CATA+RSU",
+    "TurboMode",
+];
+
+/// A compact, bit-exact digest of one run: makespan (ps), energy (f64
+/// bits), and the counters that witness every scheduling decision.
+fn digest(preset: &str, workload: &WorkloadSpec) -> String {
+    let spec = ScenarioSpec::preset(preset, 16, workload.clone()).expect("preset");
+    let (r, _) = SimExecutor::default()
+        .run_spec(&spec, cata_core::exp::default_registries())
+        .expect("run");
+    let c = &r.counters;
+    format!(
+        "t={} e={:016x} edp={:016x} done={} req={} app={} noop={} denied={} swaps={} steals={} halts={} ovh={}",
+        r.exec_time.as_ps(),
+        r.energy.energy_j.to_bits(),
+        r.energy.edp.to_bits(),
+        c.tasks_completed,
+        c.reconfigs_requested,
+        c.reconfigs_applied,
+        c.reconfigs_noop,
+        c.accel_denied,
+        c.accel_swaps,
+        c.cross_queue_steals,
+        c.halts,
+        r.reconfig_overhead.as_ps(),
+    )
+}
+
+/// The recorded pre-refactor digests, `(workload, preset) -> digest`.
+const GOLDEN: &[(&str, &str, &str)] = &[
+    ("dedup-tiny", "FIFO", "t=10324572707 e=3fdc9a2ef0b74556 edp=3f72e64c6c3f0f3c done=516 req=0 app=0 noop=0 denied=0 swaps=0 steals=0 halts=157 ovh=0"),
+    ("dedup-tiny", "CATS+BL", "t=8943981717 e=3fda0e239c749d63 edp=3f6dd42c4f32a475 done=516 req=0 app=0 noop=0 denied=0 swaps=0 steals=296 halts=157 ovh=0"),
+    ("dedup-tiny", "CATS+SA", "t=8605258874 e=3fd977f0222951f8 edp=3f6c0d895d2c81d0 done=516 req=0 app=0 noop=0 denied=0 swaps=0 steals=298 halts=157 ovh=0"),
+    ("dedup-tiny", "CATA", "t=8717360226 e=3fd8107e4d2d5dfa edp=3f6ada03c34b8de6 done=516 req=107 app=107 noop=0 denied=0 swaps=0 steals=492 halts=157 ovh=2193302300"),
+    ("dedup-tiny", "CATA+RSU", "t=8645288086 e=3fd7e23abaf68118 edp=3f6a6dfcb6c90e4f done=516 req=107 app=107 noop=0 denied=0 swaps=0 steals=492 halts=157 ovh=23744000"),
+    ("dedup-tiny", "TurboMode", "t=9911825754 e=3fd898d43e31173e edp=3f6f34df8ffb687f done=516 req=677 app=677 noop=0 denied=0 swaps=0 steals=0 halts=430 ovh=0"),
+    ("fluid-tiny", "FIFO", "t=3370990850 e=3fc189ab21b86612 edp=3f3e44ee675fa8ba done=200 req=0 app=0 noop=0 denied=0 swaps=0 steals=0 halts=0 ovh=0"),
+    ("fluid-tiny", "CATS+BL", "t=2814048457 e=3fc05d1611a2922e edp=3f37939af4145832 done=200 req=0 app=0 noop=0 denied=0 swaps=0 steals=143 halts=0 ovh=0"),
+    ("fluid-tiny", "CATS+SA", "t=2808798457 e=3fc0580bde0f5f2d edp=3f378118e1888cdd done=200 req=0 app=0 noop=0 denied=0 swaps=0 steals=106 halts=0 ovh=0"),
+    ("fluid-tiny", "CATA", "t=2831224255 e=3fc01f757be2e240 edp=3f375f1c2c08b484 done=200 req=391 app=391 noop=0 denied=32 swaps=26 steals=100 halts=0 ovh=4945571215"),
+    ("fluid-tiny", "CATA+RSU", "t=2668613612 e=3fbe89d95736954a edp=3f34dce1a7b389da done=200 req=393 app=393 noop=0 denied=23 swaps=34 steals=100 halts=0 ovh=11984000"),
+    ("fluid-tiny", "TurboMode", "t=2764280898 e=3fbce2e61da5fc24 edp=3f34710b3d311145 done=200 req=381 app=381 noop=0 denied=0 swaps=0 steals=0 halts=206 ovh=0"),
+];
+
+#[test]
+fn print_current_digests() {
+    // Not an assertion: prints the digest table for regeneration (see the
+    // module docs). Kept as a test so it builds against the same engine.
+    for (wname, w) in workloads() {
+        for preset in PRESETS {
+            println!(
+                "    (\"{wname}\", \"{preset}\", \"{}\"),",
+                digest(preset, &w)
+            );
+        }
+    }
+}
+
+#[test]
+fn six_presets_match_recorded_digests() {
+    assert_eq!(GOLDEN.len(), 12, "6 presets x 2 workloads");
+    let all = workloads();
+    for &(wname, preset, want) in GOLDEN {
+        let (_, w) = all
+            .iter()
+            .find(|(n, _)| *n == wname)
+            .expect("known workload");
+        let got = digest(preset, w);
+        assert_eq!(
+            got, want,
+            "{preset} on {wname} diverged from the golden digest"
+        );
+    }
+}

@@ -35,6 +35,41 @@ fn run_traced(spec: ScenarioSpec) -> (RunReport, Trace) {
         .expect("traced scenario run")
 }
 
+/// The three trace modes through the facade: `Counters` tallies every kind
+/// a `Full` trace stores — without storing anything — and `Off` (the suite
+/// default) collects nothing at all. All three produce the identical
+/// report: collection must never perturb the simulation.
+#[test]
+fn trace_modes_agree_and_only_full_stores() {
+    use cata_core::exp::TraceMode;
+    let spec = ScenarioSpec::preset("CATA", 2, workload(Benchmark::Dedup))
+        .expect("preset")
+        .with_small_machine(4, 2);
+    let exec = SimExecutor::default();
+    let run = |mode: TraceMode| {
+        exec.run_scenario_traced(&Scenario::from_spec(spec.clone().with_trace_mode(mode)))
+            .expect("traced run")
+    };
+    let (r_off, t_off) = run(TraceMode::Off);
+    let (r_cnt, t_cnt) = run(TraceMode::Counters);
+    let (r_full, t_full) = run(TraceMode::Full);
+
+    assert!(t_off.records().is_empty() && t_off.counts().total() == 0);
+    assert!(t_cnt.records().is_empty(), "counters mode must not store");
+    assert_eq!(t_cnt.counts(), t_full.counts(), "tallies must agree");
+    assert_eq!(
+        t_full.records().len() as u64,
+        t_full.counts().total(),
+        "full mode stores every tallied record"
+    );
+    assert_eq!(t_full.counts().task_ends, r_full.counters.tasks_completed);
+    for r in [&r_cnt, &r_full] {
+        assert_eq!(r_off.exec_time, r.exec_time, "trace mode changed timing");
+        assert_eq!(r_off.energy.energy_j, r.energy.energy_j);
+        assert_eq!(r_off.counters.sim_events, r.counters.sim_events);
+    }
+}
+
 /// Every configuration completes every benchmark and reports the identical
 /// task count — no configuration may lose or duplicate work. The whole
 /// matrix runs as one parallel suite.

@@ -113,7 +113,7 @@ proptest! {
         switch_points in prop::collection::vec(1u64..500_000, 0..24),
     ) {
         let profile = ExecProfile::new(cycles, mem);
-        let mut rt = RunningTask::start(profile, SimTime::ZERO, Frequency::from_ghz(1));
+        let mut rt = RunningTask::start(&profile, SimTime::ZERO, Frequency::from_ghz(1));
         let mut now = SimTime::ZERO;
         let mut fast = false;
         let mut last_progress = 0.0f64;
