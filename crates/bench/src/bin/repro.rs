@@ -15,6 +15,7 @@
 //! repro run SPEC...     run scenario spec files (.json/.toml) as a suite
 //! repro preset NAME...  run paper presets by label (FIFO, CATA, ...)
 //! repro spec NAME       print a preset's spec as JSON (edit → `repro run`)
+//! repro merge STORE...  merge JSONL result shards, render, gate vs baseline
 //! repro perf            engine perf harness: events/sec -> BENCH_engine.json
 //! ```
 //!
@@ -22,10 +23,22 @@
 //! `--csv DIR` (also writes CSV files), `--jobs N` (parallel suite
 //! workers; 0 = all host cores, default 0), `--bench NAME` (workload for
 //! `preset`/`spec`), `--fast N` (fast cores for `preset`/`spec`),
-//! `--toml` (emit TOML from `spec`). `perf` options: `--smoke` (CI-sized),
-//! `--reps N` (timing repetitions, default 5), `--out FILE` (default
-//! `BENCH_engine.json`), `--baseline FILE` (embed a previous report's
-//! medium summary + speedup).
+//! `--toml` (emit TOML from `spec`).
+//!
+//! Sharded/stored suites (`run`/`preset`): `--shard K/N` keeps the
+//! deterministic `K`-th of `N` slices of the cell grid, `--store FILE`
+//! streams each completed cell into a JSONL results store and *resumes*
+//! from it (already-completed cells are loaded, not re-run). `merge`
+//! combines shard stores, prints the suite table from the store, writes
+//! `--out FILE` if given, and — with `--baseline BENCH_engine.json` —
+//! fails (exit 1) when merged events/sec drops below `--min-ratio`
+//! (default 0.75) of the baseline's medium summary: the CI perf gate.
+//!
+//! `perf` options: `--smoke` (CI-sized), `--reps N` (timing repetitions,
+//! default 5), `--out FILE` (default `BENCH_engine.json`), `--baseline
+//! FILE` (embed a previous report's medium summary + speedup),
+//! `--trajectory FILE` (append this run as one JSONL point to the
+//! append-only perf trajectory).
 
 use cata_bench::figures::{
     fig4_configs, fig5_configs, render_latency_analysis, render_panel, render_rsu_overhead,
@@ -34,14 +47,15 @@ use cata_bench::figures::{
 use cata_bench::matrix::{run_matrix, DEFAULT_SEED};
 use cata_bench::sweeps;
 use cata_bench::tables::Table;
-use cata_core::exp::{ScenarioSpec, Suite, WorkloadSpec};
-use cata_core::SimExecutor;
+use cata_core::exp::{CellRecord, ResultsStore, ScenarioSpec, Suite, WorkloadSpec};
+use cata_core::{RunReport, SimExecutor};
 use cata_workloads::{Benchmark, Scale};
 use std::time::Instant;
 
 struct Opts {
     cmd: String,
-    /// Spec files (`run`) or preset labels (`preset`/`spec`).
+    /// Spec files (`run`), preset labels (`preset`/`spec`), or shard
+    /// stores (`merge`).
     args: Vec<String>,
     scale: Scale,
     seed: u64,
@@ -52,8 +66,12 @@ struct Opts {
     emit_toml: bool,
     smoke: bool,
     reps: usize,
-    out: String,
+    out: Option<String>,
     baseline: Option<String>,
+    shard: Option<(usize, usize)>,
+    store: Option<String>,
+    min_ratio: f64,
+    trajectory: Option<String>,
 }
 
 fn parse_args() -> Opts {
@@ -69,8 +87,12 @@ fn parse_args() -> Opts {
     let mut emit_toml = false;
     let mut smoke = false;
     let mut reps = 5usize;
-    let mut out = "BENCH_engine.json".to_string();
+    let mut out = None;
     let mut baseline = None;
+    let mut shard = None;
+    let mut store = None;
+    let mut min_ratio = 0.75f64;
+    let mut trajectory = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--scale" => {
@@ -118,12 +140,34 @@ fn parse_args() -> Opts {
                     .unwrap_or_else(|| die("bad --reps"));
             }
             "--out" => {
-                out = args.next().unwrap_or_else(|| die("missing --out path"));
+                out = Some(args.next().unwrap_or_else(|| die("missing --out path")));
             }
             "--baseline" => {
                 baseline = Some(
                     args.next()
                         .unwrap_or_else(|| die("missing --baseline path")),
+                );
+            }
+            "--shard" => {
+                let text = args.next().unwrap_or_else(|| die("missing --shard K/N"));
+                let parsed = text
+                    .split_once('/')
+                    .and_then(|(k, n)| Some((k.parse::<usize>().ok()?, n.parse::<usize>().ok()?)));
+                shard = Some(parsed.unwrap_or_else(|| die(&format!("bad --shard {text}"))));
+            }
+            "--store" => {
+                store = Some(args.next().unwrap_or_else(|| die("missing --store path")));
+            }
+            "--min-ratio" => {
+                min_ratio = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("bad --min-ratio"));
+            }
+            "--trajectory" => {
+                trajectory = Some(
+                    args.next()
+                        .unwrap_or_else(|| die("missing --trajectory path")),
                 );
             }
             "--help" | "-h" => {
@@ -132,7 +176,7 @@ fn parse_args() -> Opts {
             }
             other if cmd.is_none() && !other.starts_with('-') => cmd = Some(other.to_string()),
             other
-                if matches!(cmd.as_deref(), Some("run" | "preset" | "spec"))
+                if matches!(cmd.as_deref(), Some("run" | "preset" | "spec" | "merge"))
                     && !other.starts_with('-') =>
             {
                 rest.push(other.to_string())
@@ -154,6 +198,10 @@ fn parse_args() -> Opts {
         reps,
         out,
         baseline,
+        shard,
+        store,
+        min_ratio,
+        trajectory,
     }
 }
 
@@ -170,7 +218,10 @@ fn print_help() {
          commands: table1 fig4 fig5 latency rsu-overhead sweep-budget sweep-latency\n\
          \x20         sweep-threshold multilevel all\n\
          \x20         run SPEC.json|SPEC.toml...   preset LABEL...   spec LABEL\n\
-         \x20         perf [--smoke] [--reps N] [--out FILE] [--baseline FILE]"
+         \x20             [--shard K/N] [--store FILE.jsonl]\n\
+         \x20         merge STORE.jsonl... [--out FILE] [--baseline FILE] [--min-ratio R]\n\
+         \x20         perf [--smoke] [--reps N] [--out FILE] [--baseline FILE]\n\
+         \x20             [--trajectory FILE]"
     );
 }
 
@@ -195,14 +246,8 @@ fn load_spec(path: &str) -> ScenarioSpec {
     parsed.unwrap_or_else(|e| die(&format!("{path}: {e}")))
 }
 
-/// `repro run a.json b.toml …`: parse specs, fan them across the suite,
-/// print one summary line per run.
-fn run_specs(opts: &Opts, specs: Vec<ScenarioSpec>) {
-    if specs.is_empty() {
-        die("no specs given");
-    }
-    let suite = Suite::from_specs(specs).jobs(opts.jobs);
-    let results = suite.run(&SimExecutor::default());
+/// The run-summary table every suite/merge rendering shares.
+fn report_table<'a>(reports: impl IntoIterator<Item = &'a RunReport>) -> Table {
     let mut table = Table::new(&[
         "config",
         "workload",
@@ -213,21 +258,56 @@ fn run_specs(opts: &Opts, specs: Vec<ScenarioSpec>) {
         "tasks",
         "reconfigs",
     ]);
+    for report in reports {
+        table.row(vec![
+            report.label.clone(),
+            report.workload.clone(),
+            report.fast_cores.to_string(),
+            report.exec_time.to_string(),
+            format!("{:.6}", report.energy.energy_j),
+            format!("{:.6}", report.energy.edp),
+            report.tasks.to_string(),
+            report.counters.reconfigs_applied.to_string(),
+        ]);
+    }
+    table
+}
+
+/// `repro run a.json b.toml …`: parse specs, fan them across the suite —
+/// optionally a `--shard K/N` slice streamed into/resumed from a
+/// `--store` JSONL file — and print one summary line per run.
+fn run_specs(opts: &Opts, specs: Vec<ScenarioSpec>) {
+    if specs.is_empty() {
+        die("no specs given");
+    }
+    let mut suite = Suite::from_specs(specs).jobs(opts.jobs);
+    if let Some((k, n)) = opts.shard {
+        suite = suite.shard(k, n).unwrap_or_else(|e| die(&e.to_string()));
+        println!("[shard {k}/{n}: {} of the grid's cells]", suite.len());
+    }
+    let exec = SimExecutor::default();
+    let results = match &opts.store {
+        Some(path) => {
+            let store = ResultsStore::open(path).unwrap_or_else(|e| die(&e.to_string()));
+            if store.recovered_torn_tail() {
+                eprintln!("[store {path}: discarded a torn trailing line]");
+            }
+            let outcome = suite.run_with_store(&exec, &store);
+            println!(
+                "[store {path}: {} resumed, {} executed]",
+                outcome.resumed, outcome.executed
+            );
+            outcome.results
+        }
+        None => suite.run(&exec),
+    };
+    let mut ok = Vec::new();
     let mut failed = 0;
     for result in results {
         match result {
             Ok(report) => {
                 println!("{}", report.summary());
-                table.row(vec![
-                    report.label.clone(),
-                    report.workload.clone(),
-                    report.fast_cores.to_string(),
-                    report.exec_time.to_string(),
-                    format!("{:.6}", report.energy.energy_j),
-                    format!("{:.6}", report.energy.edp),
-                    report.tasks.to_string(),
-                    report.counters.reconfigs_applied.to_string(),
-                ]);
+                ok.push(report);
             }
             Err(e) => {
                 failed += 1;
@@ -238,11 +318,82 @@ fn run_specs(opts: &Opts, specs: Vec<ScenarioSpec>) {
     if let Some(dir) = &opts.csv_dir {
         std::fs::create_dir_all(dir).expect("create csv dir");
         let path = format!("{dir}/runs.csv");
-        std::fs::write(&path, table.to_csv()).expect("write csv");
+        std::fs::write(&path, report_table(&ok).to_csv()).expect("write csv");
         println!("[wrote {path}]");
     }
     if failed > 0 {
         std::process::exit(1);
+    }
+}
+
+/// `repro merge a.jsonl b.jsonl …`: combine shard stores, render the
+/// suite table from the store, optionally write the merged store and gate
+/// merged events/sec against a perf baseline.
+fn merge_stores(opts: &Opts) {
+    if opts.args.is_empty() {
+        die("merge needs at least one store file");
+    }
+    let merged = ResultsStore::merge_files(&opts.args).unwrap_or_else(|e| die(&e.to_string()));
+    if merged.truncated_shards > 0 {
+        eprintln!(
+            "[warning: {} shard(s) ended in a torn line — those cells are missing]",
+            merged.truncated_shards
+        );
+    }
+    if merged.distinct_grids > 1 {
+        eprintln!(
+            "[warning: records from {} distinct grids — shards of different \
+             experiments may have been mixed, or a store was resumed after a \
+             spec edit]",
+            merged.distinct_grids
+        );
+    }
+    println!(
+        "[merged {} cells from {} shard(s), {} duplicate(s) collapsed]",
+        merged.records.len(),
+        opts.args.len(),
+        merged.duplicates
+    );
+    let table = report_table(merged.records.iter().map(|r: &CellRecord| &r.report));
+    println!("{}", table.render());
+    if let Some(dir) = &opts.csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+        let path = format!("{dir}/merged.csv");
+        std::fs::write(&path, table.to_csv()).expect("write csv");
+        println!("[wrote {path}]");
+    }
+    if let Some(out) = &opts.out {
+        ResultsStore::write_all(out, &merged.records).unwrap_or_else(|e| die(&e.to_string()));
+        println!("[wrote {out}]");
+    }
+    if let Some(bpath) = &opts.baseline {
+        let text = std::fs::read_to_string(bpath)
+            .unwrap_or_else(|e| die(&format!("cannot read {bpath}: {e}")));
+        let base = cata_bench::perf::PerfReport::from_json(&text)
+            .unwrap_or_else(|e| die(&format!("{bpath}: {e}")));
+        let Some(base_medium) = base.medium() else {
+            eprintln!("[gate skipped: {bpath} has no medium summary]");
+            return;
+        };
+        let events: u64 = merged
+            .records
+            .iter()
+            .map(|r| r.report.counters.sim_events)
+            .sum();
+        let wall: f64 = merged.records.iter().map(|r| r.wall_s).sum();
+        let eps = events as f64 / wall.max(1e-12);
+        let ratio = eps / base_medium.events_per_sec.max(1e-12);
+        println!(
+            "[gate: merged {eps:.0} events/sec vs baseline {:.0} = {ratio:.2}x (min {:.2})]",
+            base_medium.events_per_sec, opts.min_ratio
+        );
+        if ratio < opts.min_ratio {
+            eprintln!(
+                "error: merged throughput regressed below {:.0}% of the baseline",
+                opts.min_ratio * 100.0
+            );
+            std::process::exit(1);
+        }
     }
 }
 
@@ -298,6 +449,11 @@ fn main() {
             }
             return;
         }
+        "merge" => {
+            merge_stores(&opts);
+            eprintln!("[done in {:.1}s]", t0.elapsed().as_secs_f64());
+            return;
+        }
         "perf" => {
             println!(
                 "[perf: {} mode, {} reps per cell, trace off]",
@@ -313,8 +469,14 @@ fn main() {
                 report = report.with_baseline(&base);
             }
             print!("{}", report.render());
-            std::fs::write(&opts.out, report.to_json_pretty()).expect("write perf report");
-            println!("[wrote {}]", opts.out);
+            let out = opts.out.as_deref().unwrap_or("BENCH_engine.json");
+            std::fs::write(out, report.to_json_pretty()).expect("write perf report");
+            println!("[wrote {out}]");
+            if let Some(path) = &opts.trajectory {
+                cata_bench::perf::append_trajectory(path, &report)
+                    .unwrap_or_else(|e| die(&format!("{path}: {e}")));
+                println!("[appended trajectory point to {path}]");
+            }
             eprintln!("[done in {:.1}s]", t0.elapsed().as_secs_f64());
             return;
         }

@@ -55,6 +55,41 @@ pub struct PerfSummary {
     pub events_per_sec: f64,
 }
 
+/// One point of the append-only perf trajectory: a harness run boiled
+/// down to its per-size aggregates, stored as a single JSONL line so
+/// every PR/CI run *appends* to the history instead of overwriting it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerfPoint {
+    /// Format tag.
+    pub schema: String,
+    /// `full` or `smoke`.
+    pub mode: String,
+    /// Timing repetitions per cell.
+    pub reps: u64,
+    /// Per-size aggregates of the run.
+    pub summaries: Vec<PerfSummary>,
+    /// Medium-workload speedup over the baseline the run was gated
+    /// against, if one was given.
+    pub speedup_vs_baseline: Option<f64>,
+}
+
+/// Schema tag of [`PerfPoint`] trajectory records.
+pub const TRAJECTORY_SCHEMA: &str = "cata-perf-point/v1";
+
+/// Appends `report` to the JSONL trajectory at `path` (one atomic line:
+/// serialize + `\n`, a single `write_all` on an append handle).
+pub fn append_trajectory(path: &str, report: &PerfReport) -> Result<(), String> {
+    use std::io::Write as _;
+    let mut line = serde_json::to_string(&report.trajectory_point()).map_err(|e| e.to_string())?;
+    line.push('\n');
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| e.to_string())?;
+    f.write_all(line.as_bytes()).map_err(|e| e.to_string())
+}
+
 /// The full harness output (`BENCH_engine.json`).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PerfReport {
@@ -180,6 +215,17 @@ impl PerfReport {
         self.baseline_medium = Some(base.clone());
         self.speedup_vs_baseline = Some(ratio);
         self
+    }
+
+    /// Boils the report down to its trajectory point (see [`PerfPoint`]).
+    pub fn trajectory_point(&self) -> PerfPoint {
+        PerfPoint {
+            schema: TRAJECTORY_SCHEMA.to_string(),
+            mode: self.mode.clone(),
+            reps: self.reps,
+            summaries: self.summaries.clone(),
+            speedup_vs_baseline: self.speedup_vs_baseline,
+        }
     }
 
     /// Serializes to pretty JSON.

@@ -33,6 +33,8 @@ pub enum ExpError {
     InvalidSpec(String),
     /// A serialized spec failed to parse.
     Parse(String),
+    /// The results store could not be read, validated, or written.
+    Store(String),
 }
 
 impl fmt::Display for ExpError {
@@ -60,6 +62,7 @@ impl fmt::Display for ExpError {
             }
             ExpError::InvalidSpec(msg) => write!(f, "invalid scenario: {msg}"),
             ExpError::Parse(msg) => write!(f, "spec parse error: {msg}"),
+            ExpError::Store(msg) => write!(f, "results store: {msg}"),
         }
     }
 }

@@ -34,10 +34,13 @@ impl Executor for SimExecutor {
 
     fn execute(&self, scenario: &Scenario) -> Result<RunReport, ExpError> {
         // This entry point cannot return the trace, so don't pay for
-        // recording one; use `run_scenario_traced` to keep it.
-        if !scenario.spec().trace.is_off() {
+        // *recording* one — a `Full` spec drops to `Counters`, which keeps
+        // the per-kind tallies (they surface as `RunReport::trace_counts`)
+        // without storing records; use `run_scenario_traced` to keep the
+        // ring buffer.
+        if scenario.spec().trace == cata_sim::trace::TraceMode::Full {
             let mut spec = scenario.spec().clone();
-            spec.trace = cata_sim::trace::TraceMode::Off;
+            spec.trace = cata_sim::trace::TraceMode::Counters;
             return self
                 .run_spec(&spec, scenario.registries())
                 .map(|(report, _trace)| report);
@@ -219,6 +222,8 @@ impl Executor for NativeExecutor {
             },
             core_utilization: Vec::new(),
             tasks: graph.num_tasks(),
+            // The native backend has no event-trace plumbing.
+            trace_counts: None,
         })
     }
 }

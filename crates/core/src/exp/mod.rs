@@ -20,7 +20,12 @@
 //!   simulation) and [`NativeExecutor`] (real threads + DVFS backend).
 //! - [`Suite`] — fans `Vec<ScenarioSpec>` across a thread pool with
 //!   deterministic per-run seeding; parallel and serial runs are
-//!   bit-identical.
+//!   bit-identical. [`Suite::shard`] partitions the cell grid across
+//!   processes/machines, and [`Suite::run_with_store`] streams completed
+//!   cells into a [`ResultsStore`] and resumes interrupted sweeps.
+//! - [`ResultsStore`] — a JSONL store of [`CellRecord`]s (one completed
+//!   cell per line, atomic append) with a validating reader and a shard
+//!   merger, so long sweeps survive crashes and fan out across CI jobs.
 //!
 //! ```
 //! use cata_core::exp::{Scenario, Suite, WorkloadSpec, ScenarioSpec};
@@ -53,6 +58,7 @@ pub mod executor;
 pub mod registry;
 pub mod scenario;
 pub mod spec;
+pub mod store;
 pub mod suite;
 
 pub use error::ExpError;
@@ -63,7 +69,8 @@ pub use registry::{
 };
 pub use scenario::{Scenario, ScenarioBuilder};
 pub use spec::{PolicyParams, ScenarioSpec, WorkloadSpec};
-pub use suite::{derive_seed, Suite};
+pub use store::{spec_digest, CellRecord, MergedRecords, ResultsStore, STORE_SCHEMA};
+pub use suite::{derive_seed, StoreRunOutcome, Suite};
 
 // Trace collection is selected per spec (`ScenarioSpec::trace`); re-export
 // the mode enum so facade users don't need a `cata_sim` import for it.

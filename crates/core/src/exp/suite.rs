@@ -1,18 +1,31 @@
-//! `Suite`: fan a list of scenarios across a thread pool.
+//! `Suite`: fan a list of scenarios across a thread pool — and, with a
+//! [`ResultsStore`], across processes and machines.
 //!
 //! Each scenario is an independent deterministic run (its spec pins the
 //! seed), so a suite's results are bit-identical whether executed serially
 //! or in parallel — only wall-clock time changes. Result order always
 //! matches input order.
+//!
+//! Every cell carries a stable *global index* in the full grid.
+//! [`shard`](Suite::shard) keeps a deterministic `1/N`th of the grid by
+//! that index, so independent processes (CI jobs, cluster nodes) each
+//! compute a disjoint slice into their own JSONL store, and
+//! [`ResultsStore::merge_files`] recombines them.
+//! [`run_with_store`](Suite::run_with_store) streams each completed cell
+//! to the store and, on a re-run, loads completed cells instead of
+//! recomputing them — the resume path for interrupted sweeps.
 
 use super::error::ExpError;
 use super::executor::Executor;
 use super::registry::PolicyRegistries;
 use super::scenario::Scenario;
 use super::spec::ScenarioSpec;
+use super::store::{grid_digest, spec_digest, CellRecord, ResultsStore};
 use crate::report::RunReport;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Derives the `index`-th run seed from a suite base seed (splitmix64).
 /// Deterministic and stable across platforms.
@@ -25,10 +38,33 @@ pub fn derive_seed(base: u64, index: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// What a store-backed suite run did: the full in-order results plus how
+/// many cells were served from the store versus freshly executed.
+#[derive(Debug)]
+pub struct StoreRunOutcome {
+    /// Per-cell results, in input order (loaded and fresh interleaved).
+    pub results: Vec<Result<RunReport, ExpError>>,
+    /// Cells skipped because the store already held their record.
+    pub resumed: usize,
+    /// Cells executed (and appended to the store) by this run.
+    pub executed: usize,
+}
+
 /// A batch of scenarios plus a parallelism setting.
 #[derive(Debug, Clone, Default)]
 pub struct Suite {
     scenarios: Vec<Scenario>,
+    /// Global cell index of each scenario within the full (unsharded)
+    /// grid. Stable under [`shard`](Self::shard); the store keys on it.
+    indices: Vec<u64>,
+    /// `(shard - 1, of)` once [`shard`](Self::shard) filtered this suite;
+    /// [`push`](Self::push) then stays inside the residue class so shards
+    /// remain disjoint.
+    shard_of: Option<(u64, u64)>,
+    /// The *full* grid's digest, captured by [`shard`](Self::shard)
+    /// before filtering, so every shard stamps its records with the same
+    /// provenance tag (unsharded suites compute it from their own cells).
+    grid: Option<String>,
     jobs: usize,
 }
 
@@ -37,6 +73,9 @@ impl Suite {
     pub fn new() -> Self {
         Suite {
             scenarios: Vec::new(),
+            indices: Vec::new(),
+            shard_of: None,
+            grid: None,
             jobs: 1,
         }
     }
@@ -51,7 +90,7 @@ impl Suite {
         specs: Vec<ScenarioSpec>,
         registries: Option<Arc<PolicyRegistries>>,
     ) -> Self {
-        let scenarios = specs
+        let scenarios: Vec<Scenario> = specs
             .into_iter()
             .map(|spec| {
                 let s = Scenario::from_spec(spec);
@@ -61,12 +100,29 @@ impl Suite {
                 }
             })
             .collect();
-        Suite { scenarios, jobs: 1 }
+        let indices = (0..scenarios.len() as u64).collect();
+        Suite {
+            scenarios,
+            indices,
+            shard_of: None,
+            grid: None,
+            jobs: 1,
+        }
     }
 
-    /// Adds one scenario.
+    /// Adds one scenario at the next free grid index. On a sharded suite
+    /// the index advances *within the shard's residue class* (by `of`
+    /// instead of 1), so pushed cells can never collide with an index
+    /// another shard owns.
     pub fn push(&mut self, scenario: Scenario) {
+        let next = match (self.indices.iter().max(), self.shard_of) {
+            (Some(&m), Some((_, of))) => m + of,
+            (Some(&m), None) => m + 1,
+            (None, Some((rem, _))) => rem,
+            (None, None) => 0,
+        };
         self.scenarios.push(scenario);
+        self.indices.push(next);
     }
 
     /// Sets the worker-thread count (`0` ⇒ the host's parallelism).
@@ -91,11 +147,62 @@ impl Suite {
         self.scenarios.is_empty()
     }
 
-    /// Reseeds scenario `i` with `derive_seed(base, i)` — one knob for a
-    /// deterministic sweep over otherwise-identical specs.
+    /// The global grid index of each queued cell (parallel to the
+    /// scenario list; `0..n` until [`shard`](Self::shard) filters it).
+    pub fn cell_indices(&self) -> &[u64] {
+        &self.indices
+    }
+
+    /// Keeps the deterministic `shard`-th of `of` slices of the cell grid
+    /// (1-based): cell `i` belongs to shard `(i % of) + 1`. Shards of the
+    /// same grid are disjoint and together cover it exactly, so `N`
+    /// processes each running one shard into their own store compute the
+    /// whole suite with no coordination.
+    pub fn shard(self, shard: usize, of: usize) -> Result<Self, ExpError> {
+        if of == 0 || shard == 0 || shard > of {
+            return Err(ExpError::InvalidSpec(format!(
+                "shard {shard}/{of}: want 1 <= shard <= of"
+            )));
+        }
+        // Capture the *full* grid's provenance digest before filtering,
+        // so every shard stamps its store records identically.
+        let grid = Some(self.grid.clone().unwrap_or_else(|| self.own_grid_digest()));
+        let (scenarios, indices) = self
+            .scenarios
+            .into_iter()
+            .zip(self.indices)
+            .filter(|&(_, i)| i % of as u64 == (shard as u64 - 1))
+            .unzip();
+        Ok(Suite {
+            scenarios,
+            indices,
+            shard_of: Some((shard as u64 - 1, of as u64)),
+            grid,
+            jobs: self.jobs,
+        })
+    }
+
+    /// The grid digest over this suite's own cells.
+    fn own_grid_digest(&self) -> String {
+        let digests: Vec<String> = self
+            .scenarios
+            .iter()
+            .map(|s| spec_digest(s.spec()))
+            .collect();
+        grid_digest(
+            self.indices
+                .iter()
+                .copied()
+                .zip(digests.iter().map(String::as_str)),
+        )
+    }
+
+    /// Reseeds each cell with `derive_seed(base, index)` over its *global*
+    /// grid index — one knob for a deterministic sweep over
+    /// otherwise-identical specs that stays consistent across shards.
     pub fn reseed(mut self, base: u64) -> Self {
         for (i, s) in self.scenarios.iter_mut().enumerate() {
-            s.spec_mut().seed = derive_seed(base, i as u64);
+            s.spec_mut().seed = derive_seed(base, self.indices[i]);
         }
         self
     }
@@ -136,6 +243,120 @@ impl Suite {
                     .expect("every scenario executed")
             })
             .collect()
+    }
+
+    /// Like [`run`](Self::run), but every completed cell is streamed into
+    /// `store` as one JSONL record, and cells whose `(index, spec_digest)`
+    /// the store already holds are *loaded instead of executed* — the
+    /// resume path. Results come back in input order either way; loaded
+    /// reports are bit-identical to freshly computed ones (deterministic
+    /// engine + exact serialization).
+    pub fn run_with_store<E: Executor + ?Sized>(
+        &self,
+        executor: &E,
+        store: &ResultsStore,
+    ) -> StoreRunOutcome {
+        let n = self.scenarios.len();
+        let digests: Vec<String> = self
+            .scenarios
+            .iter()
+            .map(|s| spec_digest(s.spec()))
+            .collect();
+        // Provenance tag for the records: the full grid's digest when
+        // this suite is a shard, else the digest of its own cells.
+        let grid = self.grid.clone().unwrap_or_else(|| {
+            grid_digest(
+                self.indices
+                    .iter()
+                    .copied()
+                    .zip(digests.iter().map(String::as_str)),
+            )
+        });
+        let completed: HashMap<(u64, &str), &CellRecord> = store
+            .records()
+            .iter()
+            .map(|r| ((r.index, r.spec_digest.as_str()), r))
+            .collect();
+
+        // Positions still to execute, in input order.
+        let pending: Vec<usize> = (0..n)
+            .filter(|&i| !completed.contains_key(&(self.indices[i], digests[i].as_str())))
+            .collect();
+
+        let execute_one = |pos: usize| -> Result<RunReport, ExpError> {
+            // Warm the shared graph cache outside the timed window, so
+            // `wall_s` measures execution rather than workload generation
+            // — the same methodology as the perf harness, keeping stored
+            // timings comparable to `BENCH_engine.json` summaries.
+            let _ = self.scenarios[pos].spec().workload.build_graph_shared();
+            let t0 = Instant::now();
+            let result = executor.execute(&self.scenarios[pos]);
+            let wall_s = t0.elapsed().as_secs_f64();
+            match result {
+                Ok(report) => {
+                    let rec = CellRecord::new(
+                        self.indices[pos],
+                        self.scenarios[pos].spec(),
+                        grid.clone(),
+                        wall_s,
+                        report,
+                    );
+                    store.append(&rec)?;
+                    Ok(rec.report)
+                }
+                Err(e) => Err(e),
+            }
+        };
+
+        let workers = self.jobs.clamp(1, pending.len().max(1));
+        let mut fresh: Vec<Option<Result<RunReport, ExpError>>> = Vec::new();
+        if workers <= 1 {
+            fresh.extend(pending.iter().map(|&pos| Some(execute_one(pos))));
+        } else {
+            let next = AtomicUsize::new(0);
+            let slots: Vec<Mutex<Option<Result<RunReport, ExpError>>>> =
+                (0..pending.len()).map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        if k >= pending.len() {
+                            break;
+                        }
+                        let result = execute_one(pending[k]);
+                        *slots[k].lock().expect("result slot") = Some(result);
+                    });
+                }
+            });
+            fresh.extend(
+                slots
+                    .into_iter()
+                    .map(|slot| slot.into_inner().expect("result slot")),
+            );
+        }
+
+        let mut by_pos: HashMap<usize, Result<RunReport, ExpError>> = pending
+            .iter()
+            .zip(fresh)
+            .map(|(&pos, r)| (pos, r.expect("every pending cell executed")))
+            .collect();
+        let mut results = Vec::with_capacity(n);
+        let mut resumed = 0;
+        for i in 0..n {
+            match by_pos.remove(&i) {
+                Some(r) => results.push(r),
+                None => {
+                    let rec = completed[&(self.indices[i], digests[i].as_str())];
+                    results.push(Ok(rec.report.clone()));
+                    resumed += 1;
+                }
+            }
+        }
+        StoreRunOutcome {
+            results,
+            resumed,
+            executed: pending.len(),
+        }
     }
 
     /// Like [`run`](Self::run), but panics on the first error — the
@@ -200,5 +421,36 @@ mod tests {
         let b = derive_seed(1, 1);
         assert_ne!(a, b);
         assert_eq!(a, derive_seed(1, 0));
+    }
+
+    #[test]
+    fn shard_keeps_a_deterministic_disjoint_slice() {
+        let all = Suite::from_specs(small_matrix());
+        assert_eq!(all.cell_indices(), &[0, 1, 2, 3, 4, 5]);
+        let a = all.clone().shard(1, 2).unwrap();
+        let b = all.clone().shard(2, 2).unwrap();
+        assert_eq!(a.cell_indices(), &[0, 2, 4]);
+        assert_eq!(b.cell_indices(), &[1, 3, 5]);
+        assert_eq!(a.len() + b.len(), all.len());
+        assert!(all.clone().shard(0, 2).is_err());
+        assert!(all.clone().shard(3, 2).is_err());
+        assert!(all.shard(1, 0).is_err());
+    }
+
+    #[test]
+    fn reseed_matches_across_sharding() {
+        let full = Suite::from_specs(small_matrix()).reseed(7);
+        let sharded = Suite::from_specs(small_matrix())
+            .shard(2, 2)
+            .unwrap()
+            .reseed(7);
+        // Shard 2/2 holds global cells 1, 3, 5; seeds must match the
+        // unsharded suite's cells at those indices.
+        let full_seeds: Vec<u64> = full.scenarios.iter().map(|s| s.spec().seed).collect();
+        let shard_seeds: Vec<u64> = sharded.scenarios.iter().map(|s| s.spec().seed).collect();
+        assert_eq!(
+            shard_seeds,
+            vec![full_seeds[1], full_seeds[3], full_seeds[5]]
+        );
     }
 }

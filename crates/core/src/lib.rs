@@ -47,8 +47,8 @@ pub mod sim_exec;
 
 pub use config::{AccelKind, EstimatorKind, RunConfig, SchedulerKind};
 pub use exp::{
-    Executor, ExpError, NativeExecutor, PolicyRegistries, Scenario, ScenarioSpec, Suite,
-    WorkloadSpec,
+    CellRecord, Executor, ExpError, NativeExecutor, PolicyRegistries, ResultsStore, Scenario,
+    ScenarioSpec, Suite, WorkloadSpec,
 };
 pub use report::RunReport;
 pub use sim_exec::SimExecutor;

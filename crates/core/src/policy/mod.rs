@@ -149,7 +149,7 @@ mod tests {
         let later = now + SimDuration::from_us(3);
         let charged = AccelEffects {
             resume_at: Some(later),
-            settles: Vec::new(),
+            settles: crate::accel::SettleList::new(),
         };
         assert_eq!(charged.resume_or(now), later);
     }

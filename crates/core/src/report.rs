@@ -3,10 +3,11 @@
 use cata_power::EnergyReport;
 use cata_sim::stats::{Counters, LatencySamples};
 use cata_sim::time::SimDuration;
-use serde::{Deserialize, Serialize};
+use cata_sim::trace::TraceCounts;
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// The result of one simulated execution.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunReport {
     /// Configuration label ("FIFO", "CATA+RSU", …).
     pub label: String,
@@ -33,6 +34,68 @@ pub struct RunReport {
     pub core_utilization: Vec<f64>,
     /// Number of tasks executed.
     pub tasks: usize,
+    /// Per-kind event tallies, present when the run collected them
+    /// (`TraceMode::Counters` or `Full`); `None` — and skipped in the
+    /// serialized form — when tracing was off, so stored JSONL cells only
+    /// pay for counts that exist.
+    pub trace_counts: Option<TraceCounts>,
+}
+
+// Serde is hand-written (the vendored derive has no `#[serde(skip…)]`
+// attributes) so `trace_counts: None` is *omitted* from the serialized map
+// rather than emitted as `null` — sweep stores stay compact and old
+// readers see the exact pre-field layout.
+impl Serialize for RunReport {
+    fn to_value(&self) -> Value {
+        let mut m: Vec<(String, Value)> = vec![
+            ("label".into(), self.label.to_value()),
+            ("workload".into(), self.workload.to_value()),
+            ("fast_cores".into(), self.fast_cores.to_value()),
+            ("exec_time".into(), self.exec_time.to_value()),
+            ("energy".into(), self.energy.to_value()),
+            ("counters".into(), self.counters.to_value()),
+            ("lock_waits".into(), self.lock_waits.to_value()),
+            (
+                "reconfig_latencies".into(),
+                self.reconfig_latencies.to_value(),
+            ),
+            (
+                "reconfig_overhead".into(),
+                self.reconfig_overhead.to_value(),
+            ),
+            (
+                "reconfig_time_share".into(),
+                self.reconfig_time_share.to_value(),
+            ),
+            ("core_utilization".into(), self.core_utilization.to_value()),
+            ("tasks".into(), self.tasks.to_value()),
+        ];
+        if let Some(tc) = &self.trace_counts {
+            m.push(("trace_counts".into(), tc.to_value()));
+        }
+        Value::Map(m)
+    }
+}
+
+impl Deserialize for RunReport {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let m = v.as_map_for("RunReport")?;
+        Ok(RunReport {
+            label: serde::field(m, "label", "RunReport")?,
+            workload: serde::field(m, "workload", "RunReport")?,
+            fast_cores: serde::field(m, "fast_cores", "RunReport")?,
+            exec_time: serde::field(m, "exec_time", "RunReport")?,
+            energy: serde::field(m, "energy", "RunReport")?,
+            counters: serde::field(m, "counters", "RunReport")?,
+            lock_waits: serde::field(m, "lock_waits", "RunReport")?,
+            reconfig_latencies: serde::field(m, "reconfig_latencies", "RunReport")?,
+            reconfig_overhead: serde::field(m, "reconfig_overhead", "RunReport")?,
+            reconfig_time_share: serde::field(m, "reconfig_time_share", "RunReport")?,
+            core_utilization: serde::field(m, "core_utilization", "RunReport")?,
+            tasks: serde::field(m, "tasks", "RunReport")?,
+            trace_counts: serde::field(m, "trace_counts", "RunReport")?,
+        })
+    }
 }
 
 impl RunReport {
@@ -100,6 +163,7 @@ mod tests {
             reconfig_time_share: 0.0,
             core_utilization: vec![0.5, 1.0],
             tasks: 10,
+            trace_counts: None,
         }
     }
 
@@ -120,5 +184,33 @@ mod tests {
         assert!(s.contains("X"));
         assert!(s.contains("fast=8"));
         assert!(s.contains("tasks=10"));
+    }
+
+    #[test]
+    fn trace_counts_are_skipped_when_absent_and_round_trip_when_present() {
+        let r = report(100, 1.0);
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(
+            !json.contains("trace_counts"),
+            "absent counts must be omitted, not null: {json}"
+        );
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert!(back.trace_counts.is_none());
+        assert_eq!(back.exec_time, r.exec_time);
+        assert_eq!(back.core_utilization, r.core_utilization);
+
+        let mut with = report(100, 1.0);
+        with.trace_counts = Some(TraceCounts {
+            task_starts: 10,
+            task_ends: 10,
+            reconfig_requests: 3,
+            reconfigs_applied: 3,
+            halts: 1,
+            wakes: 1,
+        });
+        let json = serde_json::to_string(&with).unwrap();
+        assert!(json.contains("trace_counts"));
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.trace_counts, with.trace_counts);
     }
 }

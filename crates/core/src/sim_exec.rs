@@ -536,6 +536,9 @@ impl<'g> Engine<'g> {
                 .map(|c| c.timeline().utilization())
                 .collect(),
             tasks: total,
+            // Counters/Full runs tally every event kind; surface the
+            // tallies so stored sweep cells carry them for dashboards.
+            trace_counts: self.trace.is_enabled().then(|| *self.trace.counts()),
         };
         let scratch = EngineScratch {
             events: self.events,
