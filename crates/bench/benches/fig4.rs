@@ -29,7 +29,7 @@ fn fig4(c: &mut Criterion) {
                 bench.name(),
                 label,
                 r.speedup_over(&fifo),
-                r.edp_normalized_to(&fifo)
+                r.edp_normalized_to(&fifo).unwrap_or(f64::NAN)
             );
             group.bench_with_input(BenchmarkId::new(label, bench.name()), &cfg, |b, cfg| {
                 b.iter(|| run_one(bench, cfg.clone(), Scale::Tiny, DEFAULT_SEED));

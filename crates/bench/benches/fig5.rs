@@ -24,7 +24,7 @@ fn fig5(c: &mut Criterion) {
                 bench.name(),
                 label,
                 r.speedup_over(&fifo),
-                r.edp_normalized_to(&fifo)
+                r.edp_normalized_to(&fifo).unwrap_or(f64::NAN)
             );
             group.bench_with_input(BenchmarkId::new(label, bench.name()), &cfg, |b, cfg| {
                 b.iter(|| run_one(bench, cfg.clone(), Scale::Tiny, DEFAULT_SEED));

@@ -16,6 +16,7 @@
 //! repro preset NAME...  run paper presets by label (FIFO, CATA, ...)
 //! repro spec NAME       print a preset's spec as JSON (edit → `repro run`)
 //! repro merge STORE...  merge JSONL result shards, render, gate vs baseline
+//! repro gc STORE SPEC.. drop stored cells whose grid no longer names them
 //! repro perf            engine perf harness: events/sec -> BENCH_engine.json
 //! ```
 //!
@@ -25,14 +26,25 @@
 //! `preset`/`spec`), `--fast N` (fast cores for `preset`/`spec`),
 //! `--toml` (emit TOML from `spec`).
 //!
+//! Backends (`run`/`preset`/`gc`): `--backend sim|native|both` selects the
+//! executor per cell (`both` duplicates every spec into a sim + native
+//! pair, side by side in the grid); native cells run the thread-pool
+//! runtime on a mock DVFS backend and report calibrated modeled energy —
+//! or RAPL-measured joules with `--native-energy auto` on a host whose
+//! powercap counters are readable.
+//!
 //! Sharded/stored suites (`run`/`preset`): `--shard K/N` keeps the
-//! deterministic `K`-th of `N` slices of the cell grid, `--store FILE`
-//! streams each completed cell into a JSONL results store and *resumes*
-//! from it (already-completed cells are loaded, not re-run). `merge`
-//! combines shard stores, prints the suite table from the store, writes
-//! `--out FILE` if given, and — with `--baseline BENCH_engine.json` —
-//! fails (exit 1) when merged events/sec drops below `--min-ratio`
-//! (default 0.75) of the baseline's medium summary: the CI perf gate.
+//! deterministic `K`-th of `N` slices of the cell grid (`--shard-order
+//! snake` deals cells cost-aware serpentine instead of `i % N` striping),
+//! `--store FILE` streams each completed cell into a JSONL results store
+//! and *resumes* from it (already-completed cells are loaded, not
+//! re-run). `merge` combines shard stores, prints the suite table from
+//! the store, writes `--out FILE` if given, renders paper-figure panels
+//! from the records with `--fig fig4|fig5`, and — with `--baseline
+//! BENCH_engine.json` — fails (exit 1) when merged events/sec drops below
+//! `--min-ratio` (default 0.75) of the baseline's medium summary: the CI
+//! perf gate. `gc STORE SPEC... [--spec FILE]` rewrites a store keeping
+//! only records whose `(index, spec_digest)` the given grid still names.
 //!
 //! `perf` options: `--smoke` (CI-sized), `--reps N` (timing repetitions,
 //! default 5), `--out FILE` (default `BENCH_engine.json`), `--baseline
@@ -41,20 +53,25 @@
 //! append-only perf trajectory).
 
 use cata_bench::figures::{
-    fig4_configs, fig5_configs, render_latency_analysis, render_panel, render_rsu_overhead,
-    render_table1, Metric, FAST_CORE_COUNTS,
+    fig4_configs, fig5_configs, figure_labels, render_latency_analysis, render_panel,
+    render_panel_at, render_rsu_overhead, render_table1, Metric, FAST_CORE_COUNTS,
 };
-use cata_bench::matrix::{run_matrix, DEFAULT_SEED};
+use cata_bench::matrix::{run_matrix, MatrixResult, DEFAULT_SEED};
 use cata_bench::sweeps;
-use cata_bench::tables::Table;
-use cata_core::exp::{CellRecord, ResultsStore, ScenarioSpec, Suite, WorkloadSpec};
-use cata_core::{RunReport, SimExecutor};
+use cata_bench::tables::{fmt_energy, Table};
+use cata_core::exp::{
+    Backend, BackendDispatch, CellRecord, EnergySource, NativeExecutor, ResultsStore, ScenarioSpec,
+    ShardOrder, Suite, WorkloadSpec,
+};
+use cata_core::RunReport;
+use cata_cpufreq::backend::{DvfsBackend, MockDvfs};
 use cata_workloads::{Benchmark, Scale};
+use std::sync::Arc;
 use std::time::Instant;
 
 struct Opts {
     cmd: String,
-    /// Spec files (`run`), preset labels (`preset`/`spec`), or shard
+    /// Spec files (`run`/`gc`), preset labels (`preset`/`spec`), or shard
     /// stores (`merge`).
     args: Vec<String>,
     scale: Scale,
@@ -69,9 +86,43 @@ struct Opts {
     out: Option<String>,
     baseline: Option<String>,
     shard: Option<(usize, usize)>,
+    shard_order: ShardOrder,
     store: Option<String>,
     min_ratio: f64,
     trajectory: Option<String>,
+    /// Which backend(s) `run`/`preset`/`gc` grids use. `None` (no
+    /// `--backend` flag) keeps each spec's own backend field — a spec
+    /// file that says `"backend": "native"` runs native; `both`
+    /// duplicates every spec into a sim + native pair.
+    backend: Option<BackendSel>,
+    /// Native energy policy (`auto` = RAPL when readable, else model).
+    native_energy: EnergySource,
+    /// `--spec FILE` grid files for `gc`.
+    spec_files: Vec<String>,
+    /// `merge --fig fig4|fig5`: render figure panels from the merged store.
+    fig: Option<String>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BackendSel {
+    Sim,
+    Native,
+    Both,
+}
+
+impl BackendSel {
+    /// Expands one spec into the selected backend cells (`both` keeps the
+    /// sim cell first, then its native twin — side by side in the grid).
+    fn expand(self, spec: ScenarioSpec) -> Vec<ScenarioSpec> {
+        match self {
+            BackendSel::Sim => vec![spec.with_backend(Backend::Sim)],
+            BackendSel::Native => vec![spec.with_backend(Backend::Native)],
+            BackendSel::Both => vec![
+                spec.clone().with_backend(Backend::Sim),
+                spec.with_backend(Backend::Native),
+            ],
+        }
+    }
 }
 
 fn parse_args() -> Opts {
@@ -90,9 +141,14 @@ fn parse_args() -> Opts {
     let mut out = None;
     let mut baseline = None;
     let mut shard = None;
+    let mut shard_order = ShardOrder::Striped;
     let mut store = None;
     let mut min_ratio = 0.75f64;
     let mut trajectory = None;
+    let mut backend = None;
+    let mut native_energy = EnergySource::Auto;
+    let mut spec_files = Vec::new();
+    let mut fig = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--scale" => {
@@ -158,6 +214,37 @@ fn parse_args() -> Opts {
             "--store" => {
                 store = Some(args.next().unwrap_or_else(|| die("missing --store path")));
             }
+            "--shard-order" => {
+                let text = args
+                    .next()
+                    .unwrap_or_else(|| die("missing --shard-order striped|snake"));
+                shard_order = text.parse().unwrap_or_else(|e: String| die(&e));
+            }
+            "--backend" => {
+                backend = Some(match args.next().as_deref() {
+                    Some("sim") => BackendSel::Sim,
+                    Some("native") => BackendSel::Native,
+                    Some("both") => BackendSel::Both,
+                    other => die(&format!("bad --backend {other:?} (want sim|native|both)")),
+                });
+            }
+            "--native-energy" => {
+                native_energy = match args.next().as_deref() {
+                    Some("auto") => EnergySource::Auto,
+                    Some("model") => EnergySource::Model,
+                    other => die(&format!("bad --native-energy {other:?} (want auto|model)")),
+                };
+            }
+            "--spec" => {
+                spec_files.push(args.next().unwrap_or_else(|| die("missing --spec file")));
+            }
+            "--fig" => {
+                let name = args.next().unwrap_or_else(|| die("missing --fig name"));
+                if figure_labels(&name).is_none() {
+                    die(&format!("bad --fig {name} (want fig4|fig5)"));
+                }
+                fig = Some(name);
+            }
             "--min-ratio" => {
                 min_ratio = args
                     .next()
@@ -176,8 +263,10 @@ fn parse_args() -> Opts {
             }
             other if cmd.is_none() && !other.starts_with('-') => cmd = Some(other.to_string()),
             other
-                if matches!(cmd.as_deref(), Some("run" | "preset" | "spec" | "merge"))
-                    && !other.starts_with('-') =>
+                if matches!(
+                    cmd.as_deref(),
+                    Some("run" | "preset" | "spec" | "merge" | "gc")
+                ) && !other.starts_with('-') =>
             {
                 rest.push(other.to_string())
             }
@@ -199,9 +288,14 @@ fn parse_args() -> Opts {
         out,
         baseline,
         shard,
+        shard_order,
         store,
         min_ratio,
         trajectory,
+        backend,
+        native_energy,
+        spec_files,
+        fig,
     }
 }
 
@@ -218,8 +312,11 @@ fn print_help() {
          commands: table1 fig4 fig5 latency rsu-overhead sweep-budget sweep-latency\n\
          \x20         sweep-threshold multilevel all\n\
          \x20         run SPEC.json|SPEC.toml...   preset LABEL...   spec LABEL\n\
-         \x20             [--shard K/N] [--store FILE.jsonl]\n\
+         \x20             [--backend sim|native|both] [--native-energy auto|model]\n\
+         \x20             [--shard K/N] [--shard-order striped|snake] [--store FILE.jsonl]\n\
          \x20         merge STORE.jsonl... [--out FILE] [--baseline FILE] [--min-ratio R]\n\
+         \x20             [--fig fig4|fig5]\n\
+         \x20         gc STORE.jsonl SPEC... [--spec FILE] [--backend sim|native|both]\n\
          \x20         perf [--smoke] [--reps N] [--out FILE] [--baseline FILE]\n\
          \x20             [--trajectory FILE]"
     );
@@ -246,7 +343,10 @@ fn load_spec(path: &str) -> ScenarioSpec {
     parsed.unwrap_or_else(|e| die(&format!("{path}: {e}")))
 }
 
-/// The run-summary table every suite/merge rendering shares.
+/// The run-summary table every suite/merge rendering shares. Energy-less
+/// runs (legacy 0 J native records) render `n/a` in the energy/EDP columns
+/// instead of `0.000000`, and the `src` column names each cell's energy
+/// provenance (simulated / modeled / rapl / none).
 fn report_table<'a>(reports: impl IntoIterator<Item = &'a RunReport>) -> Table {
     let mut table = Table::new(&[
         "config",
@@ -255,22 +355,52 @@ fn report_table<'a>(reports: impl IntoIterator<Item = &'a RunReport>) -> Table {
         "time",
         "energy J",
         "EDP",
+        "src",
         "tasks",
         "reconfigs",
     ]);
     for report in reports {
+        let has = report.energy.has_energy();
         table.row(vec![
             report.label.clone(),
             report.workload.clone(),
             report.fast_cores.to_string(),
             report.exec_time.to_string(),
-            format!("{:.6}", report.energy.energy_j),
-            format!("{:.6}", report.energy.edp),
+            fmt_energy(report.energy.energy_j, has),
+            fmt_energy(report.energy.edp, has),
+            report.energy.measurement.name().to_string(),
             report.tasks.to_string(),
             report.counters.reconfigs_applied.to_string(),
         ]);
     }
     table
+}
+
+/// Expands a spec list across the selected backends. Without `--backend`
+/// each spec keeps its own backend field (a spec file that names
+/// `"backend": "native"` runs native — and `gc` keeps its records);
+/// `--backend both` interleaves each spec's sim and native cells so they
+/// sit side by side in the grid and in every rendered table.
+fn expand_backends(opts: &Opts, specs: Vec<ScenarioSpec>) -> Vec<ScenarioSpec> {
+    match opts.backend {
+        None => specs,
+        Some(sel) => specs.into_iter().flat_map(|s| sel.expand(s)).collect(),
+    }
+}
+
+/// The backend-aware executor `run`/`preset` fan suites across: sim cells
+/// hit the simulator, native cells the thread-pool runtime driving a mock
+/// DVFS backend (a real sysfs backend needs root; the mock records the
+/// same decisions) with the configured energy source.
+fn dispatch_executor(opts: &Opts) -> BackendDispatch {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    BackendDispatch::new().with_native(
+        NativeExecutor::new()
+            .energy_source(opts.native_energy)
+            .backend(Arc::new(MockDvfs::new(workers, 1_000_000)) as Arc<dyn DvfsBackend>),
+    )
 }
 
 /// `repro run a.json b.toml …`: parse specs, fan them across the suite —
@@ -280,12 +410,14 @@ fn run_specs(opts: &Opts, specs: Vec<ScenarioSpec>) {
     if specs.is_empty() {
         die("no specs given");
     }
-    let mut suite = Suite::from_specs(specs).jobs(opts.jobs);
+    let mut suite = Suite::from_specs(expand_backends(opts, specs)).jobs(opts.jobs);
     if let Some((k, n)) = opts.shard {
-        suite = suite.shard(k, n).unwrap_or_else(|e| die(&e.to_string()));
+        suite = suite
+            .shard_ordered(k, n, opts.shard_order)
+            .unwrap_or_else(|e| die(&e.to_string()));
         println!("[shard {k}/{n}: {} of the grid's cells]", suite.len());
     }
-    let exec = SimExecutor::default();
+    let exec = dispatch_executor(opts);
     let results = match &opts.store {
         Some(path) => {
             let store = ResultsStore::open(path).unwrap_or_else(|e| die(&e.to_string()));
@@ -356,6 +488,9 @@ fn merge_stores(opts: &Opts) {
     );
     let table = report_table(merged.records.iter().map(|r: &CellRecord| &r.report));
     println!("{}", table.render());
+    if let Some(fig) = &opts.fig {
+        render_figure_from_records(opts, fig, &merged.records);
+    }
     if let Some(dir) = &opts.csv_dir {
         std::fs::create_dir_all(dir).expect("create csv dir");
         let path = format!("{dir}/merged.csv");
@@ -395,6 +530,108 @@ fn merge_stores(opts: &Opts) {
             std::process::exit(1);
         }
     }
+}
+
+/// The backend a stored cell ran on, recovered from its cell key
+/// (`label@workload/fN/backend`; legacy records lack the suffix = sim).
+fn record_backend(rec: &CellRecord) -> &str {
+    match rec.cell.rsplit('/').next() {
+        Some("native") => "native",
+        _ => "sim",
+    }
+}
+
+/// `repro merge … --fig fig4|fig5`: assemble a `MatrixResult` from the
+/// merged records and render the figure's speedup + EDP panels — paper
+/// figures straight from sharded CI stores, no re-simulation. A
+/// two-backend store renders one figure per backend (sim and native cells
+/// share `(benchmark, fast, label)` and must not be mixed in one panel).
+fn render_figure_from_records(opts: &Opts, fig: &str, records: &[CellRecord]) {
+    let labels = figure_labels(fig).expect("validated at parse time");
+    for backend in ["sim", "native"] {
+        let subset: Vec<&CellRecord> = records
+            .iter()
+            .filter(|r| record_backend(r) == backend)
+            .collect();
+        if subset.is_empty() {
+            continue;
+        }
+        let m = MatrixResult::from_records(subset.iter().copied())
+            .unwrap_or_else(|e| die(&format!("--fig {fig} [{backend}]: {e}")));
+        let benches = m.benchmarks();
+        let fasts = m.fast_core_counts();
+        if benches.is_empty() || fasts.is_empty() {
+            die(&format!(
+                "--fig {fig} [{backend}]: the merged store has no paper-benchmark cells"
+            ));
+        }
+        let present: Vec<&str> = labels
+            .iter()
+            .copied()
+            .filter(|l| m.labels().iter().any(|have| have == l))
+            .collect();
+        if !present.contains(&"FIFO") {
+            die(&format!(
+                "--fig {fig} [{backend}]: the store has no FIFO cells to normalize against"
+            ));
+        }
+        // Figures iterate the full benchmark × fast × label cross product;
+        // a partial store (one shard, or an interrupted sweep) must be a
+        // clear error, not a "missing cell" panic mid-render.
+        let mut missing = Vec::new();
+        for &b in &benches {
+            for &f in &fasts {
+                for &l in &present {
+                    if !m.reports.contains_key(&(b, f, l.to_string())) {
+                        missing.push(format!("{}/{f}/{l}", b.name()));
+                    }
+                }
+            }
+        }
+        if !missing.is_empty() {
+            die(&format!(
+                "--fig {fig} [{backend}]: store is not a complete grid — merge all \
+                 shards first ({} missing cell(s), e.g. {})",
+                missing.len(),
+                missing[..missing.len().min(4)].join(", ")
+            ));
+        }
+        for (metric, title) in [
+            (Metric::Speedup, "speedup over FIFO"),
+            (Metric::Edp, "normalized EDP"),
+        ] {
+            let panel = render_panel_at(&m, &benches, &fasts, &present, metric);
+            let suffix = if metric == Metric::Speedup {
+                "speedup"
+            } else {
+                "edp"
+            };
+            emit(
+                opts,
+                &format!("{fig}_{suffix}_{backend}_merged"),
+                &panel,
+                &format!("{fig} ({title}) from merged store [{backend}]"),
+            );
+        }
+    }
+}
+
+/// `repro gc STORE SPEC…`: drop records whose `(index, spec_digest)` no
+/// longer appears in the grid the spec files (expanded across `--backend`)
+/// describe — store hygiene after spec edits or grid reshapes.
+fn gc_store(opts: &Opts) {
+    let Some((store_path, rest)) = opts.args.split_first() else {
+        die("gc needs a store file (repro gc STORE.jsonl SPEC... [--spec FILE])");
+    };
+    let spec_paths: Vec<&String> = rest.iter().chain(&opts.spec_files).collect();
+    if spec_paths.is_empty() {
+        die("gc needs at least one spec file describing the current grid");
+    }
+    let specs: Vec<ScenarioSpec> = spec_paths.iter().map(|p| load_spec(p)).collect();
+    let suite = Suite::from_specs(expand_backends(opts, specs));
+    let (kept, dropped) =
+        ResultsStore::gc(store_path, &suite.grid_pairs()).unwrap_or_else(|e| die(&e.to_string()));
+    println!("[gc {store_path}: kept {kept}, dropped {dropped} stale record(s)]");
 }
 
 fn main() {
@@ -451,6 +688,11 @@ fn main() {
         }
         "merge" => {
             merge_stores(&opts);
+            eprintln!("[done in {:.1}s]", t0.elapsed().as_secs_f64());
+            return;
+        }
+        "gc" => {
+            gc_store(&opts);
             eprintln!("[done in {:.1}s]", t0.elapsed().as_secs_f64());
             return;
         }

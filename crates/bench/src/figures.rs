@@ -2,7 +2,7 @@
 //! §V-C latency analysis, §III-B-4 RSU overhead).
 
 use crate::matrix::MatrixResult;
-use crate::tables::{r3, Table};
+use crate::tables::{r3, r3_opt, Table};
 use cata_core::{ScenarioSpec, WorkloadSpec};
 use cata_rsu::overhead::{estimate, TechParams};
 use cata_sim::machine::MachineConfig;
@@ -10,6 +10,13 @@ use cata_workloads::Benchmark;
 
 /// The fast-core counts of the paper's heterogeneous configurations.
 pub const FAST_CORE_COUNTS: [usize; 3] = [8, 16, 24];
+
+/// Figure 4's configurations in plot order (FIFO is the baseline) — the
+/// one list behind both [`fig4_configs`] and `merge --fig fig4`.
+pub const FIG4_LABELS: [&str; 4] = ["FIFO", "CATS+BL", "CATS+SA", "CATA"];
+
+/// Figure 5's configurations in plot order.
+pub const FIG5_LABELS: [&str; 4] = ["FIFO", "CATA", "CATA+RSU", "TurboMode"];
 
 fn presets(labels: &[&str], fast: usize, workload: WorkloadSpec) -> Vec<ScenarioSpec> {
     labels
@@ -22,20 +29,34 @@ fn presets(labels: &[&str], fast: usize, workload: WorkloadSpec) -> Vec<Scenario
 
 /// The configurations of Figure 4 on `workload`, in plot order.
 pub fn fig4_configs(fast: usize, workload: WorkloadSpec) -> Vec<ScenarioSpec> {
-    presets(&["FIFO", "CATS+BL", "CATS+SA", "CATA"], fast, workload)
+    presets(&FIG4_LABELS, fast, workload)
 }
 
 /// The configurations of Figure 5 on `workload`, in plot order (FIFO is
 /// included as the normalization baseline).
 pub fn fig5_configs(fast: usize, workload: WorkloadSpec) -> Vec<ScenarioSpec> {
-    presets(&["FIFO", "CATA", "CATA+RSU", "TurboMode"], fast, workload)
+    presets(&FIG5_LABELS, fast, workload)
 }
 
 /// Renders one speedup or EDP panel: rows = benchmark × fast-cores, columns
-/// = configurations (normalized to FIFO).
+/// = configurations (normalized to FIFO). Uses the paper's fast-core axis;
+/// [`render_panel_at`] takes an explicit axis (e.g. whatever a merged
+/// store actually contains).
 pub fn render_panel(
     m: &MatrixResult,
     benches: &[Benchmark],
+    labels: &[&str],
+    metric: Metric,
+) -> Table {
+    render_panel_at(m, benches, &FAST_CORE_COUNTS, labels, metric)
+}
+
+/// [`render_panel`] over an explicit fast-core axis. Undefined EDP cells
+/// (energy-less baseline) render `n/a`, never `0`, `inf` or `NaN`.
+pub fn render_panel_at(
+    m: &MatrixResult,
+    benches: &[Benchmark],
+    fasts: &[usize],
     labels: &[&str],
     metric: Metric,
 ) -> Table {
@@ -43,31 +64,40 @@ pub fn render_panel(
     header.extend(labels.iter().map(|s| s.to_string()));
     let mut t = Table::new(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
     for &b in benches {
-        for &fast in &FAST_CORE_COUNTS {
+        for &fast in fasts {
             let mut row = vec![b.name().to_string(), fast.to_string()];
             for &l in labels {
-                let v = match metric {
-                    Metric::Speedup => m.speedup(b, fast, l),
-                    Metric::Edp => m.edp(b, fast, l),
-                };
-                row.push(r3(v));
+                row.push(match metric {
+                    Metric::Speedup => r3(m.speedup(b, fast, l)),
+                    Metric::Edp => r3_opt(m.edp(b, fast, l)),
+                });
             }
             t.row(row);
         }
     }
     // The figures' "Average" group (geometric mean across benchmarks).
-    for &fast in &FAST_CORE_COUNTS {
+    for &fast in fasts {
         let mut row = vec!["Average".to_string(), fast.to_string()];
         for &l in labels {
-            let v = match metric {
-                Metric::Speedup => m.avg_speedup(benches, fast, l),
-                Metric::Edp => m.avg_edp(benches, fast, l),
-            };
-            row.push(r3(v));
+            row.push(match metric {
+                Metric::Speedup => r3(m.avg_speedup(benches, fast, l)),
+                Metric::Edp => r3_opt(m.avg_edp(benches, fast, l)),
+            });
         }
         t.row(row);
     }
     t
+}
+
+/// The figure label sets, in plot order (FIFO is the baseline column) —
+/// the same lists [`fig4_configs`]/[`fig5_configs`] run, so `repro fig4`
+/// and `repro merge --fig fig4` can never drift apart.
+pub fn figure_labels(fig: &str) -> Option<&'static [&'static str]> {
+    match fig {
+        "fig4" => Some(&FIG4_LABELS),
+        "fig5" => Some(&FIG5_LABELS),
+        _ => None,
+    }
 }
 
 /// Which panel of a figure.

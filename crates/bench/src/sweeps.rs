@@ -3,7 +3,7 @@
 //! shared suite machinery.
 
 use crate::matrix::{run_spec, DEFAULT_SEED};
-use crate::tables::{r3, Table};
+use crate::tables::{r3, r3_opt, Table};
 use cata_core::{ScenarioSpec, WorkloadSpec};
 use cata_sim::machine::PowerLevel;
 use cata_sim::time::{Frequency, SimDuration};
@@ -30,7 +30,7 @@ pub fn budget_sweep(bench: Benchmark, scale: Scale, budgets: &[usize]) -> Table 
             b.to_string(),
             cata.exec_time.to_string(),
             r3(cata.speedup_over(&fifo)),
-            r3(cata.edp_normalized_to(&fifo)),
+            r3_opt(cata.edp_normalized_to(&fifo)),
         ]);
     }
     t
@@ -77,7 +77,7 @@ pub fn threshold_sweep(bench: Benchmark, scale: Scale, alphas: &[f64]) -> Table 
         t.row(vec![
             format!("{a:.2}"),
             r3(r.speedup_over(&fifo)),
-            r3(r.edp_normalized_to(&fifo)),
+            r3_opt(r.edp_normalized_to(&fifo)),
         ]);
     }
     t
@@ -112,7 +112,7 @@ pub fn multilevel_sweep(bench: Benchmark, scale: Scale) -> Table {
         t.row(vec![
             name.to_string(),
             r3(r.speedup_over(&fifo)),
-            r3(r.edp_normalized_to(&fifo)),
+            r3_opt(r.edp_normalized_to(&fifo)),
         ]);
     }
     t

@@ -74,6 +74,24 @@ pub fn r3(x: f64) -> String {
     format!("{x:.3}")
 }
 
+/// Formats an optional ratio: `n/a` when the metric does not exist (e.g.
+/// EDP normalized to an energy-less baseline). Keeps `0`, `inf` and `NaN`
+/// out of every rendered table.
+pub fn r3_opt(x: Option<f64>) -> String {
+    match x {
+        Some(v) if v.is_finite() => r3(v),
+        _ => "n/a".to_string(),
+    }
+}
+
+/// Formats an absolute energy/EDP cell: `n/a` for energy-less runs instead
+/// of a misleading `0.000000`, and scientific notation for tiny-but-real
+/// values that fixed precision would round to zero (the shared
+/// [`cata_power::fmt_metric`] policy).
+pub fn fmt_energy(value: f64, has_energy: bool) -> String {
+    cata_power::fmt_metric(value, has_energy, 6)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,5 +123,15 @@ mod tests {
     fn arity_mismatch_panics() {
         let mut t = Table::new(&["a"]);
         t.row(vec!["x".into(), "y".into()]);
+    }
+
+    #[test]
+    fn optional_ratios_render_na_never_zero_inf_or_nan() {
+        assert_eq!(r3_opt(Some(1.5)), "1.500");
+        assert_eq!(r3_opt(None), "n/a");
+        assert_eq!(r3_opt(Some(f64::INFINITY)), "n/a");
+        assert_eq!(r3_opt(Some(f64::NAN)), "n/a");
+        assert_eq!(fmt_energy(0.25, true), "0.250000");
+        assert_eq!(fmt_energy(0.0, false), "n/a");
     }
 }

@@ -294,6 +294,7 @@ impl RunConfig {
             power: self.power.clone(),
             trace: self.trace,
             seed: self.seed,
+            backend: crate::exp::spec::Backend::Sim,
         }
     }
 

@@ -7,15 +7,16 @@
 
 use super::error::ExpError;
 use super::scenario::Scenario;
+use super::spec::Backend;
 use crate::native::{NativeRuntime, RsmMode};
 use crate::report::RunReport;
 use crate::sim_exec::SimExecutor;
 use cata_cpufreq::backend::DvfsBackend;
-use cata_power::{EnergyBreakdown, EnergyReport};
+use cata_power::{model_native_energy, EnergyReport, Measurement, RaplReader};
 use cata_sim::stats::{Counters, LatencySamples};
-use cata_sim::time::{SimDuration, SimTime};
+use cata_sim::time::SimDuration;
 use cata_sim::trace::Trace;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// A backend that can execute scenarios.
@@ -63,6 +64,36 @@ impl SimExecutor {
     }
 }
 
+/// Where a native run's joules come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EnergySource {
+    /// RAPL counters when `/sys/class/powercap` is readable, else the
+    /// calibrated model — the right choice on real hardware.
+    #[default]
+    Auto,
+    /// Always the calibrated model, even when RAPL is available —
+    /// deterministic provenance for tests and CI.
+    Model,
+}
+
+/// The host RAPL reader, probed once per process (the sysfs scan is not
+/// free, and readability does not change mid-run).
+fn host_rapl() -> Option<&'static RaplReader> {
+    static RAPL: OnceLock<Option<RaplReader>> = OnceLock::new();
+    RAPL.get_or_init(RaplReader::detect).as_ref()
+}
+
+/// RAPL counters are package-wide: two native cells sampling the same
+/// counters around overlapping windows would each book the *whole*
+/// package's joules — including the other cell's work — as their own.
+/// These process-wide counters detect any overlap so the affected runs
+/// fall back to the calibrated model instead of reporting contaminated
+/// measurements. `NATIVE_IN_FLIGHT` counts concurrently executing native
+/// cells; `OVERLAP_EPOCH` bumps whenever a run starts while another is in
+/// flight, so the *earlier* run (which started alone) also notices.
+static NATIVE_IN_FLIGHT: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+static OVERLAP_EPOCH: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
 /// The native thread-pool backend: really runs the scenario's task graph as
 /// busy-work closures on worker threads, with the CATA algorithm driving a
 /// DVFS backend (mock by default; sysfs where permitted).
@@ -71,6 +102,14 @@ impl SimExecutor {
 /// parallelism) and `fast_cores` sets the acceleration budget. Simulated
 /// task durations are scaled down by `work_divisor` so paper-scale
 /// workloads finish in test time.
+///
+/// Energy: the runtime observes per-worker busy time at each frequency
+/// class and the executor prices it through the spec's [`PowerParams`]
+/// calibration ([`Measurement::Modeled`]); when the host exposes readable
+/// RAPL counters the measured package joules are reported instead
+/// ([`Measurement::Rapl`]). Native runs therefore carry nonzero,
+/// sim-comparable energy — they used to hard-code 0 J, which made every
+/// normalized-EDP table divide by zero.
 pub struct NativeExecutor {
     /// Reconfiguration discipline (software lock vs RSU-emulated).
     pub rsm_mode: RsmMode,
@@ -78,6 +117,8 @@ pub struct NativeExecutor {
     pub work_divisor: u64,
     /// Cap on worker threads (the scenario machine may name 32 cores).
     pub max_workers: usize,
+    /// RAPL-vs-model policy.
+    pub energy_source: EnergySource,
     backend: Option<Arc<dyn DvfsBackend>>,
 }
 
@@ -89,6 +130,7 @@ impl Default for NativeExecutor {
             max_workers: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4),
+            energy_source: EnergySource::Auto,
             backend: None,
         }
     }
@@ -121,6 +163,12 @@ impl NativeExecutor {
     /// Caps the worker count.
     pub fn max_workers(mut self, n: usize) -> Self {
         self.max_workers = n.max(1);
+        self
+    }
+
+    /// Selects the energy source (RAPL-auto vs model-only).
+    pub fn energy_source(mut self, source: EnergySource) -> Self {
+        self.energy_source = source;
         self
     }
 }
@@ -169,6 +217,33 @@ impl Executor for NativeExecutor {
         }
         let rt = builder.build();
 
+        use std::sync::atomic::Ordering;
+        // Snapshot the epoch *before* announcing ourselves: a concurrent
+        // run that starts between our announce and a later snapshot would
+        // bump the epoch into our baseline and slip past the end check.
+        let epoch_at_start = OVERLAP_EPOCH.load(Ordering::SeqCst);
+        let already_running = NATIVE_IN_FLIGHT.fetch_add(1, Ordering::SeqCst) > 0;
+        // Decrement even if the run panics (a leaked increment would
+        // disable RAPL for the rest of the process).
+        struct InFlight;
+        impl Drop for InFlight {
+            fn drop(&mut self) {
+                NATIVE_IN_FLIGHT.fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+            }
+        }
+        let _in_flight = InFlight;
+        if already_running {
+            // A later run contaminates the earlier one's window too; the
+            // epoch bump tells it so at sampling time.
+            OVERLAP_EPOCH.fetch_add(1, Ordering::SeqCst);
+        }
+
+        let rapl = match self.energy_source {
+            EnergySource::Auto if !already_running => host_rapl(),
+            _ => None,
+        };
+        let rapl_start = rapl.and_then(|r| r.sample());
+
         let t0 = Instant::now();
         let mut handles = Vec::with_capacity(graph.num_tasks());
         for task in graph.tasks() {
@@ -182,29 +257,53 @@ impl Executor for NativeExecutor {
         }
         rt.wait_all();
         let wall = t0.elapsed();
+        let rapl_end = rapl.and_then(|r| r.sample());
+        // The window is only clean if no other native run overlapped it:
+        // nobody was in flight when we started, and nobody arrived since.
+        let exclusive = !already_running && OVERLAP_EPOCH.load(Ordering::SeqCst) == epoch_at_start;
         let metrics = rt.metrics();
+        let busy = rt.busy_intervals();
         drop(rt);
 
         let exec_time = SimDuration::from_ns(wall.as_nanos().min(u64::MAX as u128) as u64);
+        let wall_s = exec_time.as_secs_f64();
+
+        // Measured joules when the host allows it *and* this run had the
+        // package to itself (RAPL is package-wide — an overlapping native
+        // cell would be double-counted); the calibrated model — the spec's
+        // own PowerParams priced over the observed busy-time-at-frequency
+        // intervals — otherwise.
+        let measured = match (rapl, &rapl_start, &rapl_end) {
+            (Some(r), Some(a), Some(b)) if exclusive => {
+                let j = r.joules_between(a, b);
+                (j > 0.0).then(|| EnergyReport::measured(wall_s, j, Measurement::Rapl))
+            }
+            _ => None,
+        };
+        let energy = measured.unwrap_or_else(|| {
+            model_native_energy(
+                &spec.power,
+                spec.machine.fast_level,
+                spec.machine.slow_level,
+                workers,
+                wall_s,
+                &busy,
+            )
+        });
+
         let mut lock_waits = LatencySamples::new();
         if metrics.rsm_lock_ns > 0 {
             lock_waits.record(SimDuration::from_ns(metrics.rsm_lock_ns));
         }
         let overhead = SimDuration::from_ns(metrics.rsm_lock_ns);
         let agg_core_ps = exec_time.as_ps().saturating_mul(workers as u64);
-        let end = SimTime::ZERO + exec_time;
 
         Ok(RunReport {
             label: spec.name.clone(),
             workload: spec.workload.label(),
             fast_cores: budget,
             exec_time,
-            // The native backend measures time and events; it has no power
-            // sensor, so the energy report is time-only (0 J).
-            energy: EnergyReport::from_parts(
-                end.since(SimTime::ZERO).as_secs_f64(),
-                EnergyBreakdown::default(),
-            ),
+            energy,
             counters: Counters {
                 tasks_completed: metrics.tasks_run,
                 reconfigs_requested: metrics.reconfigs,
@@ -225,6 +324,49 @@ impl Executor for NativeExecutor {
             // The native backend has no event-trace plumbing.
             trace_counts: None,
         })
+    }
+}
+
+/// An executor that routes each scenario to the backend its spec names —
+/// the way a suite runs sim and native cells side by side in one grid.
+pub struct BackendDispatch {
+    sim: SimExecutor,
+    native: NativeExecutor,
+}
+
+impl Default for BackendDispatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BackendDispatch {
+    /// A dispatcher over default sim and native executors.
+    pub fn new() -> Self {
+        BackendDispatch {
+            sim: SimExecutor::default(),
+            native: NativeExecutor::new(),
+        }
+    }
+
+    /// Replaces the native executor (e.g. to pin a mock DVFS backend or a
+    /// deterministic energy source).
+    pub fn with_native(mut self, native: NativeExecutor) -> Self {
+        self.native = native;
+        self
+    }
+}
+
+impl Executor for BackendDispatch {
+    fn name(&self) -> &'static str {
+        "dispatch"
+    }
+
+    fn execute(&self, scenario: &Scenario) -> Result<RunReport, ExpError> {
+        match scenario.spec().backend {
+            Backend::Sim => self.sim.execute(scenario),
+            Backend::Native => self.native.execute(scenario),
+        }
     }
 }
 
@@ -266,5 +408,64 @@ mod tests {
             );
             assert_eq!(report.label, "CATA+RSU");
         }
+    }
+
+    #[test]
+    fn native_runs_report_nonzero_modeled_energy() {
+        let mut scenario = Scenario::preset(
+            "CATA+RSU",
+            2,
+            WorkloadSpec::ForkJoin {
+                waves: 2,
+                width: 8,
+                cycles: 500_000,
+            },
+        )
+        .unwrap();
+        scenario.spec_mut().machine = cata_sim::machine::MachineConfig::small_test(4);
+        scenario.spec_mut().fast_cores = 2;
+
+        let exec = NativeExecutor::new()
+            .max_workers(4)
+            .energy_source(EnergySource::Model);
+        let report = exec.execute(&scenario).unwrap();
+        assert!(
+            report.energy.has_energy(),
+            "native run still reports {} J",
+            report.energy.energy_j
+        );
+        assert_eq!(report.energy.measurement, Measurement::Modeled);
+        assert!(report.energy.edp > 0.0);
+        // Sim and native cells are now comparable: a normalized EDP exists.
+        let sim = SimExecutor::default().execute(&scenario).unwrap();
+        assert_eq!(sim.energy.measurement, Measurement::Simulated);
+        assert!(report.edp_normalized_to(&sim).is_some());
+    }
+
+    #[test]
+    fn dispatch_routes_by_spec_backend() {
+        use crate::exp::spec::Backend;
+        let mut scenario = Scenario::preset(
+            "CATA",
+            2,
+            WorkloadSpec::ForkJoin {
+                waves: 1,
+                width: 4,
+                cycles: 100_000,
+            },
+        )
+        .unwrap();
+        scenario.spec_mut().machine = cata_sim::machine::MachineConfig::small_test(4);
+        scenario.spec_mut().fast_cores = 2;
+
+        let dispatch = BackendDispatch::new()
+            .with_native(NativeExecutor::new().energy_source(EnergySource::Model));
+        let sim = dispatch.execute(&scenario).unwrap();
+        assert_eq!(sim.energy.measurement, Measurement::Simulated);
+
+        scenario.spec_mut().backend = Backend::Native;
+        let native = dispatch.execute(&scenario).unwrap();
+        assert_eq!(native.energy.measurement, Measurement::Modeled);
+        assert!(native.energy.has_energy());
     }
 }

@@ -62,15 +62,15 @@ pub mod store;
 pub mod suite;
 
 pub use error::ExpError;
-pub use executor::{Executor, NativeExecutor};
+pub use executor::{BackendDispatch, EnergySource, Executor, NativeExecutor};
 pub use registry::{
     default_registries, AccelEntry, AllNonCritical, EstimatorEntry, FactoryCtx, PolicyKeys,
     PolicyRegistries, SchedulerEntry,
 };
 pub use scenario::{Scenario, ScenarioBuilder};
-pub use spec::{PolicyParams, ScenarioSpec, WorkloadSpec};
+pub use spec::{Backend, PolicyParams, ScenarioSpec, WorkloadSpec};
 pub use store::{spec_digest, CellRecord, MergedRecords, ResultsStore, STORE_SCHEMA};
-pub use suite::{derive_seed, StoreRunOutcome, Suite};
+pub use suite::{derive_seed, ShardOrder, StoreRunOutcome, Suite};
 
 // Trace collection is selected per spec (`ScenarioSpec::trace`); re-export
 // the mode enum so facade users don't need a `cata_sim` import for it.

@@ -166,6 +166,12 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Selects the execution backend (sim default / native).
+    pub fn backend(mut self, backend: super::spec::Backend) -> Self {
+        self.spec.backend = backend;
+        self
+    }
+
     /// Shrinks the machine for unit tests.
     pub fn small_machine(mut self, n: usize, fast: usize) -> Self {
         self.spec = self.spec.with_small_machine(n, fast);

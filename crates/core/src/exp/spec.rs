@@ -14,8 +14,65 @@ use cata_sim::time::SimDuration;
 use cata_sim::trace::TraceMode;
 use cata_tdg::TaskGraph;
 use cata_workloads::{generate, micro, Benchmark, Scale};
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::sync::{Arc, Mutex, OnceLock};
+
+/// Which executor a scenario runs on. A suite axis: the same spec grid can
+/// carry sim and native cells side by side, and the backend is part of the
+/// cell's identity (it participates in the spec digest for native cells).
+///
+/// Serialized as `"sim"` / `"native"`; the field is *omitted* for `Sim`,
+/// so pre-backend specs — and their store digests — are byte-identical to
+/// what this repo produced before the field existed, and legacy spec files
+/// parse unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// The deterministic discrete-event simulator.
+    #[default]
+    Sim,
+    /// The real thread-pool runtime with a DVFS backend.
+    Native,
+}
+
+impl Backend {
+    /// The serialized / table form ("sim", "native").
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Sim => "sim",
+            Backend::Native => "native",
+        }
+    }
+}
+
+impl std::str::FromStr for Backend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "sim" => Ok(Backend::Sim),
+            "native" => Ok(Backend::Native),
+            other => Err(format!("unknown backend `{other}` (want sim|native)")),
+        }
+    }
+}
+
+impl Serialize for Backend {
+    fn to_value(&self) -> Value {
+        Value::Str(self.name().to_string())
+    }
+}
+
+impl Deserialize for Backend {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => s.parse().map_err(DeError::new),
+            other => Err(DeError::new(format!(
+                "Backend: expected a string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
 
 /// The workload a scenario runs: a PARSECSs-shaped generator or one of the
 /// micro-graphs, with every generation parameter pinned.
@@ -143,6 +200,39 @@ impl WorkloadSpec {
             WorkloadSpec::RandomDag { n, .. } => format!("randdag-{n}"),
         }
     }
+
+    /// A coarse, deterministic estimate of this workload's total work in
+    /// cycles — used only for cost-aware shard assignment
+    /// ([`Suite::shard_ordered`](super::suite::Suite::shard_ordered)), so
+    /// it must be cheap (no graph generation) and stable across processes,
+    /// not accurate in absolute terms.
+    pub fn cost_estimate(&self) -> u64 {
+        match *self {
+            // PARSECSs generators repeat a per-benchmark frame pattern
+            // `scale.factor()` times; a few hundred tasks of ~100k cycles
+            // per factor unit is the right order of magnitude.
+            WorkloadSpec::Parsec { scale, .. } => scale.factor() as u64 * 256 * 200_000,
+            WorkloadSpec::Chain { n, cycles } => (n as u64).saturating_mul(cycles),
+            WorkloadSpec::ForkJoin {
+                waves,
+                width,
+                cycles,
+            } => (waves as u64)
+                .saturating_mul(width as u64)
+                .saturating_mul(cycles),
+            WorkloadSpec::SkewedDiamond {
+                width,
+                cycles,
+                skew,
+            } => (width as u64).saturating_add(skew).saturating_mul(cycles),
+            WorkloadSpec::RandomDag {
+                n,
+                min_cycles,
+                max_cycles,
+                ..
+            } => (n as u64).saturating_mul(min_cycles / 2 + max_cycles / 2),
+        }
+    }
 }
 
 /// Parameters consumed by policy factories. Every field is optional; a
@@ -176,7 +266,7 @@ impl PolicyParams {
 /// [`PolicyRegistries`](super::registry::PolicyRegistries); the six paper
 /// configurations are pre-registered, and third-party policies resolve the
 /// same way without touching any core enum.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioSpec {
     /// Configuration label for reports ("FIFO", "CATA+RSU", …).
     pub name: String,
@@ -211,6 +301,64 @@ pub struct ScenarioSpec {
     pub trace: TraceMode,
     /// Seed of the run's deterministic RNG.
     pub seed: u64,
+    /// Which executor runs this cell (`sim` default / `native`).
+    pub backend: Backend,
+}
+
+// Serde is hand-written (the vendored derive has no `#[serde(skip…)]` or
+// `#[serde(default)]`) so the `backend` field is *omitted* for `Sim`:
+// a sim spec serializes byte-identically to the pre-backend layout —
+// keeping `spec_digest` stable, so existing JSONL stores still resume —
+// and legacy spec files (no `backend` key) parse as sim.
+impl Serialize for ScenarioSpec {
+    fn to_value(&self) -> Value {
+        let mut m: Vec<(String, Value)> = vec![
+            ("name".into(), self.name.to_value()),
+            ("workload".into(), self.workload.to_value()),
+            ("machine".into(), self.machine.to_value()),
+            ("fast_cores".into(), self.fast_cores.to_value()),
+            ("scheduler".into(), self.scheduler.to_value()),
+            ("estimator".into(), self.estimator.to_value()),
+            ("accel".into(), self.accel.to_value()),
+            ("params".into(), self.params.to_value()),
+            ("costs".into(), self.costs.to_value()),
+            ("idle_to_halt".into(), self.idle_to_halt.to_value()),
+            ("idle_decel_delay".into(), self.idle_decel_delay.to_value()),
+            ("wake_latency".into(), self.wake_latency.to_value()),
+            ("power".into(), self.power.to_value()),
+            ("trace".into(), self.trace.to_value()),
+            ("seed".into(), self.seed.to_value()),
+        ];
+        if self.backend != Backend::Sim {
+            m.push(("backend".into(), self.backend.to_value()));
+        }
+        Value::Map(m)
+    }
+}
+
+impl Deserialize for ScenarioSpec {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let m = v.as_map_for("ScenarioSpec")?;
+        let backend: Option<Backend> = serde::field(m, "backend", "ScenarioSpec")?;
+        Ok(ScenarioSpec {
+            name: serde::field(m, "name", "ScenarioSpec")?,
+            workload: serde::field(m, "workload", "ScenarioSpec")?,
+            machine: serde::field(m, "machine", "ScenarioSpec")?,
+            fast_cores: serde::field(m, "fast_cores", "ScenarioSpec")?,
+            scheduler: serde::field(m, "scheduler", "ScenarioSpec")?,
+            estimator: serde::field(m, "estimator", "ScenarioSpec")?,
+            accel: serde::field(m, "accel", "ScenarioSpec")?,
+            params: serde::field(m, "params", "ScenarioSpec")?,
+            costs: serde::field(m, "costs", "ScenarioSpec")?,
+            idle_to_halt: serde::field(m, "idle_to_halt", "ScenarioSpec")?,
+            idle_decel_delay: serde::field(m, "idle_decel_delay", "ScenarioSpec")?,
+            wake_latency: serde::field(m, "wake_latency", "ScenarioSpec")?,
+            power: serde::field(m, "power", "ScenarioSpec")?,
+            trace: serde::field(m, "trace", "ScenarioSpec")?,
+            seed: serde::field(m, "seed", "ScenarioSpec")?,
+            backend: backend.unwrap_or_default(),
+        })
+    }
 }
 
 /// The six paper configuration labels, in figure order — the canonical
@@ -246,6 +394,7 @@ impl ScenarioSpec {
             power: base.power,
             trace: base.trace,
             seed: base.seed,
+            backend: Backend::Sim,
         }
     }
 
@@ -354,6 +503,12 @@ impl ScenarioSpec {
         self.seed = seed;
         self
     }
+
+    /// Selects the execution backend.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -400,6 +555,48 @@ mod tests {
         assert_eq!(ScenarioSpec::from_json(&json).unwrap(), spec);
         let toml_text = spec.to_toml();
         assert_eq!(ScenarioSpec::from_toml(&toml_text).unwrap(), spec);
+    }
+
+    #[test]
+    fn sim_specs_omit_backend_and_legacy_specs_parse() {
+        let w = WorkloadSpec::Chain { n: 2, cycles: 10 };
+        let sim = ScenarioSpec::preset("CATA", 8, w.clone()).unwrap();
+        assert_eq!(sim.backend, Backend::Sim);
+        let json = sim.to_json();
+        assert!(
+            !json.contains("backend"),
+            "sim specs must keep the pre-backend layout (digest stability): {json}"
+        );
+        // A legacy spec (no backend key) parses as sim.
+        let parsed = ScenarioSpec::from_json(&json).unwrap();
+        assert_eq!(parsed.backend, Backend::Sim);
+        assert_eq!(parsed, sim);
+
+        let native = sim.clone().with_backend(Backend::Native);
+        let njson = native.to_json();
+        assert!(njson.contains("\"backend\":\"native\""), "{njson}");
+        assert_eq!(ScenarioSpec::from_json(&njson).unwrap(), native);
+        let ntoml = native.to_toml();
+        assert_eq!(ScenarioSpec::from_toml(&ntoml).unwrap(), native);
+        // The backend is part of the cell identity.
+        assert_ne!(json, njson);
+    }
+
+    #[test]
+    fn cost_estimate_is_deterministic_and_scales() {
+        let small = WorkloadSpec::Parsec {
+            bench: Benchmark::Dedup,
+            scale: Scale::Small,
+            seed: 1,
+        };
+        let paper = WorkloadSpec::Parsec {
+            bench: Benchmark::Dedup,
+            scale: Scale::Paper,
+            seed: 1,
+        };
+        assert!(paper.cost_estimate() > small.cost_estimate());
+        assert_eq!(small.cost_estimate(), small.cost_estimate());
+        assert_eq!(WorkloadSpec::Chain { n: 10, cycles: 7 }.cost_estimate(), 70);
     }
 
     #[test]

@@ -72,8 +72,9 @@ pub struct CellRecord {
     pub schema: String,
     /// Global index of the cell in the full (unsharded) grid.
     pub index: u64,
-    /// Human-readable cell key (`label@workload/fN`), for dashboards and
-    /// error messages; identity is `(index, spec_digest)`.
+    /// Human-readable cell key (`label@workload/fN/backend`), for
+    /// dashboards and error messages; identity is `(index, spec_digest)`
+    /// (the digest also sees the backend: native specs serialize it).
     pub cell: String,
     /// Digest of the full (unsharded) grid this cell belongs to (see
     /// [`grid_digest`]) — the provenance tag the merger uses to flag
@@ -105,10 +106,11 @@ impl CellRecord {
             schema: STORE_SCHEMA.to_string(),
             index,
             cell: format!(
-                "{}@{}/f{}",
+                "{}@{}/f{}/{}",
                 spec.name,
                 spec.workload.label(),
-                spec.fast_cores
+                spec.fast_cores,
+                spec.backend.name()
             ),
             grid,
             spec_digest: spec_digest(spec),
@@ -339,6 +341,35 @@ impl ResultsStore {
         })
     }
 
+    /// Garbage-collects a store against a spec grid: records whose
+    /// `(index, spec_digest)` no longer appears in `grid` — stale cells
+    /// left behind by spec edits, reshapes, or removed presets — are
+    /// dropped and the file is rewritten in place. Returns
+    /// `(kept, dropped)`. A torn trailing line is discarded like any other
+    /// reader would.
+    pub fn gc(path: impl AsRef<Path>, grid: &[(u64, String)]) -> Result<(usize, usize), ExpError> {
+        let path = path.as_ref();
+        let valid: std::collections::HashSet<(u64, &str)> =
+            grid.iter().map(|(i, d)| (*i, d.as_str())).collect();
+        let (records, _) = Self::load(path)?;
+        let total = records.len();
+        let kept: Vec<CellRecord> = records
+            .into_iter()
+            .filter(|r| valid.contains(&(r.index, r.spec_digest.as_str())))
+            .collect();
+        let dropped = total - kept.len();
+        if dropped > 0 {
+            // Rewrite via temp-file + rename: a truncate-in-place write
+            // interrupted midway would silently destroy valid records (and
+            // the torn-tail-tolerant reader would mask the loss as an
+            // ordinary interrupted append).
+            let tmp = path.with_extension("gc-tmp");
+            Self::write_all(&tmp, &kept)?;
+            std::fs::rename(&tmp, path).map_err(|e| store_err(path, e))?;
+        }
+        Ok((kept.len(), dropped))
+    }
+
     /// Writes records to `path` as a fresh JSONL store (e.g. the merged
     /// output of several shards).
     pub fn write_all(path: impl AsRef<Path>, records: &[CellRecord]) -> Result<(), ExpError> {
@@ -506,6 +537,45 @@ mod tests {
         foreign.spec_digest = "0000000000000000".into();
         ResultsStore::write_all(&b_path, &[foreign]).unwrap();
         assert!(ResultsStore::merge_files(&[&a_path, &b_path]).is_err());
+    }
+
+    #[test]
+    fn gc_drops_records_outside_the_grid_and_keeps_the_rest() {
+        let path = tmp("gc.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let r0 = record(0);
+        let r1 = record(1);
+        let mut stale = record(2);
+        stale.spec_digest = "feedfeedfeedfeed".into(); // spec since edited
+        ResultsStore::write_all(&path, &[r0.clone(), r1.clone(), stale]).unwrap();
+
+        // The current grid only has cells 0 and 1 (and cell 2 under a new
+        // digest that no stored record matches).
+        let grid = vec![
+            (0, r0.spec_digest.clone()),
+            (1, r1.spec_digest.clone()),
+            (2, spec_digest(&spec())),
+        ];
+        let (kept, dropped) = ResultsStore::gc(&path, &grid).unwrap();
+        assert_eq!((kept, dropped), (2, 1));
+        let (loaded, _) = ResultsStore::load(&path).unwrap();
+        assert_eq!(
+            loaded.iter().map(|r| r.index).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+
+        // Idempotent: a second pass drops nothing (and rewrites nothing).
+        let (kept, dropped) = ResultsStore::gc(&path, &grid).unwrap();
+        assert_eq!((kept, dropped), (2, 0));
+    }
+
+    #[test]
+    fn cell_key_names_the_backend() {
+        let rec = record(0);
+        assert!(rec.cell.ends_with("/sim"), "{}", rec.cell);
+        let native_spec = spec().with_backend(crate::exp::spec::Backend::Native);
+        let rec = CellRecord::new(1, &native_spec, "g".into(), 0.0, rec.report);
+        assert!(rec.cell.ends_with("/native"), "{}", rec.cell);
     }
 
     #[test]

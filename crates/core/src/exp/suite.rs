@@ -38,6 +38,51 @@ pub fn derive_seed(base: u64, index: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// How [`Suite::shard_ordered`] assigns cells to shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardOrder {
+    /// `i % n` striping by cell index — the default, bit-identical to the
+    /// historical behaviour.
+    #[default]
+    Striped,
+    /// Cost-aware snake order: cells are ranked by estimated workload cost
+    /// (descending, index-ascending tie-break) and dealt to shards
+    /// serpentine-style (1..n, then n..1, …), so a grid whose cell costs
+    /// are very skewed — one paper-scale workload among tiny ones — still
+    /// balances. Deterministic: every process ranks identically.
+    Snake,
+}
+
+impl std::str::FromStr for ShardOrder {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "striped" => Ok(ShardOrder::Striped),
+            "snake" => Ok(ShardOrder::Snake),
+            other => Err(format!(
+                "unknown shard order `{other}` (want striped|snake)"
+            )),
+        }
+    }
+}
+
+/// Sharding bookkeeping a filtered suite carries so later [`Suite::push`]es
+/// stay disjoint across shards.
+#[derive(Debug, Clone, Copy)]
+struct ShardInfo {
+    /// 0-based shard id.
+    rem: u64,
+    /// Total shard count.
+    of: u64,
+    /// Assignment discipline the grid was split with.
+    order: ShardOrder,
+    /// One past the largest index of the full grid at shard time: pushed
+    /// cells on a snake shard start here (snake shards own arbitrary index
+    /// sets inside the grid, so only indices past it are provably free).
+    grid_len: u64,
+}
+
 /// What a store-backed suite run did: the full in-order results plus how
 /// many cells were served from the store versus freshly executed.
 #[derive(Debug)]
@@ -57,10 +102,9 @@ pub struct Suite {
     /// Global cell index of each scenario within the full (unsharded)
     /// grid. Stable under [`shard`](Self::shard); the store keys on it.
     indices: Vec<u64>,
-    /// `(shard - 1, of)` once [`shard`](Self::shard) filtered this suite;
-    /// [`push`](Self::push) then stays inside the residue class so shards
-    /// remain disjoint.
-    shard_of: Option<(u64, u64)>,
+    /// Set once [`shard`](Self::shard) filtered this suite;
+    /// [`push`](Self::push) then picks indices no other shard can own.
+    shard_of: Option<ShardInfo>,
     /// The *full* grid's digest, captured by [`shard`](Self::shard)
     /// before filtering, so every shard stamps its records with the same
     /// provenance tag (unsharded suites compute it from their own cells).
@@ -110,15 +154,28 @@ impl Suite {
         }
     }
 
-    /// Adds one scenario at the next free grid index. On a sharded suite
+    /// Adds one scenario at the next free grid index. On a striped shard
     /// the index advances *within the shard's residue class* (by `of`
-    /// instead of 1), so pushed cells can never collide with an index
-    /// another shard owns.
+    /// instead of 1); on a snake shard — whose cells are arbitrary grid
+    /// indices — pushes land past the grid, in the shard's residue class.
+    /// Either way, pushed cells can never collide with an index another
+    /// shard owns.
     pub fn push(&mut self, scenario: Scenario) {
         let next = match (self.indices.iter().max(), self.shard_of) {
-            (Some(&m), Some((_, of))) => m + of,
+            (max, Some(info)) if info.order == ShardOrder::Snake => {
+                // First index in this shard's residue class at or past both
+                // the grid and everything already queued.
+                let min = info.grid_len.max(max.map_or(0, |&m| m + 1));
+                let r = min % info.of;
+                if r <= info.rem {
+                    min - r + info.rem
+                } else {
+                    min - r + info.of + info.rem
+                }
+            }
+            (Some(&m), Some(info)) => m + info.of,
             (Some(&m), None) => m + 1,
-            (None, Some((rem, _))) => rem,
+            (None, Some(info)) => info.rem,
             (None, None) => 0,
         };
         self.scenarios.push(scenario);
@@ -153,30 +210,88 @@ impl Suite {
         &self.indices
     }
 
+    /// The `(index, spec_digest)` identity of every queued cell — the grid
+    /// a store can be garbage-collected against
+    /// ([`ResultsStore::gc`]).
+    pub fn grid_pairs(&self) -> Vec<(u64, String)> {
+        self.indices
+            .iter()
+            .copied()
+            .zip(self.scenarios.iter().map(|s| spec_digest(s.spec())))
+            .collect()
+    }
+
     /// Keeps the deterministic `shard`-th of `of` slices of the cell grid
     /// (1-based): cell `i` belongs to shard `(i % of) + 1`. Shards of the
     /// same grid are disjoint and together cover it exactly, so `N`
     /// processes each running one shard into their own store compute the
     /// whole suite with no coordination.
     pub fn shard(self, shard: usize, of: usize) -> Result<Self, ExpError> {
+        self.shard_ordered(shard, of, ShardOrder::Striped)
+    }
+
+    /// [`shard`](Self::shard) with an explicit assignment discipline.
+    /// `Striped` is the historical `i % of` split; `Snake` deals cells to
+    /// shards in cost-ranked serpentine order, fixing the load skew
+    /// striping suffers when cell costs vary wildly. Both are
+    /// deterministic, disjoint, and covering; every shard of one grid must
+    /// use the same order.
+    pub fn shard_ordered(
+        self,
+        shard: usize,
+        of: usize,
+        order: ShardOrder,
+    ) -> Result<Self, ExpError> {
         if of == 0 || shard == 0 || shard > of {
             return Err(ExpError::InvalidSpec(format!(
                 "shard {shard}/{of}: want 1 <= shard <= of"
             )));
         }
+        let rem = shard as u64 - 1;
         // Capture the *full* grid's provenance digest before filtering,
         // so every shard stamps its store records identically.
         let grid = Some(self.grid.clone().unwrap_or_else(|| self.own_grid_digest()));
+        let grid_len = self.indices.iter().max().map_or(0, |&m| m + 1);
+        let keep: Vec<bool> = match order {
+            ShardOrder::Striped => self.indices.iter().map(|&i| i % of as u64 == rem).collect(),
+            ShardOrder::Snake => {
+                // Rank positions by estimated cost (heaviest first; grid
+                // index breaks ties so the ranking is total and identical
+                // in every process), then deal serpentine: row r of `of`
+                // cells runs forward on even rows, backward on odd ones,
+                // so no shard collects all the heavy heads.
+                let mut rank: Vec<usize> = (0..self.scenarios.len()).collect();
+                rank.sort_by_key(|&p| {
+                    (
+                        std::cmp::Reverse(self.scenarios[p].spec().workload.cost_estimate()),
+                        self.indices[p],
+                    )
+                });
+                let mut keep = vec![false; self.scenarios.len()];
+                for (pos, &p) in rank.iter().enumerate() {
+                    let (row, col) = (pos / of, pos % of);
+                    let assigned = if row % 2 == 0 { col } else { of - 1 - col };
+                    keep[p] = assigned as u64 == rem;
+                }
+                keep
+            }
+        };
         let (scenarios, indices) = self
             .scenarios
             .into_iter()
             .zip(self.indices)
-            .filter(|&(_, i)| i % of as u64 == (shard as u64 - 1))
+            .zip(keep)
+            .filter_map(|(cell, keep)| keep.then_some(cell))
             .unzip();
         Ok(Suite {
             scenarios,
             indices,
-            shard_of: Some((shard as u64 - 1, of as u64)),
+            shard_of: Some(ShardInfo {
+                rem,
+                of: of as u64,
+                order,
+                grid_len,
+            }),
             grid,
             jobs: self.jobs,
         })
@@ -435,6 +550,84 @@ mod tests {
         assert!(all.clone().shard(0, 2).is_err());
         assert!(all.clone().shard(3, 2).is_err());
         assert!(all.shard(1, 0).is_err());
+    }
+
+    #[test]
+    fn snake_shards_are_disjoint_covering_and_cost_balanced() {
+        // Six cells with wildly skewed costs, heaviest first: striping by
+        // `i % 2` would give shard 1 all of {6000, 400, 20} = 6420 and
+        // shard 2 {5000, 30, 10} = 5040; snake deals 6000+30+20=6050 vs
+        // 5000+400+10=5410 — and, crucially, never both giants to one.
+        let costs = [6000u64, 5000, 400, 30, 20, 10];
+        let specs: Vec<ScenarioSpec> = costs
+            .iter()
+            .map(|&c| {
+                ScenarioSpec::new(format!("w{c}"), WorkloadSpec::Chain { n: 1, cycles: c })
+                    .with_small_machine(2, 1)
+            })
+            .collect();
+        let all = Suite::from_specs(specs);
+        let a = all.clone().shard_ordered(1, 2, ShardOrder::Snake).unwrap();
+        let b = all.clone().shard_ordered(2, 2, ShardOrder::Snake).unwrap();
+        let mut union: Vec<u64> = a
+            .cell_indices()
+            .iter()
+            .chain(b.cell_indices())
+            .copied()
+            .collect();
+        union.sort_unstable();
+        assert_eq!(union, vec![0, 1, 2, 3, 4, 5], "disjoint + covering");
+        // Serpentine deal: ranked [0,1,2,3,4,5] → rows (0,1),(3,2),(4,5).
+        assert_eq!(a.cell_indices(), &[0, 3, 4]);
+        assert_eq!(b.cell_indices(), &[1, 2, 5]);
+        // Cells stay in input order within each shard.
+        assert!(a.cell_indices().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn striped_shard_is_bit_identical_to_the_default() {
+        let all = Suite::from_specs(small_matrix());
+        let explicit = all
+            .clone()
+            .shard_ordered(1, 2, ShardOrder::Striped)
+            .unwrap();
+        let default = all.shard(1, 2).unwrap();
+        assert_eq!(explicit.cell_indices(), default.cell_indices());
+    }
+
+    #[test]
+    fn pushes_after_snake_shard_stay_disjoint() {
+        let all = Suite::from_specs(small_matrix());
+        let mut a = all.clone().shard_ordered(1, 2, ShardOrder::Snake).unwrap();
+        let mut b = all.shard_ordered(2, 2, ShardOrder::Snake).unwrap();
+        let extra = || {
+            Scenario::from_spec(
+                ScenarioSpec::new("extra", WorkloadSpec::Chain { n: 1, cycles: 1 })
+                    .with_small_machine(2, 1),
+            )
+        };
+        for _ in 0..3 {
+            a.push(extra());
+            b.push(extra());
+        }
+        let pushed_a: Vec<u64> = a
+            .cell_indices()
+            .iter()
+            .copied()
+            .filter(|&i| i >= 6)
+            .collect();
+        let pushed_b: Vec<u64> = b
+            .cell_indices()
+            .iter()
+            .copied()
+            .filter(|&i| i >= 6)
+            .collect();
+        assert_eq!(pushed_a.len(), 3);
+        assert_eq!(pushed_b.len(), 3);
+        assert!(
+            pushed_a.iter().all(|i| !pushed_b.contains(i)),
+            "pushed cells collide: {pushed_a:?} vs {pushed_b:?}"
+        );
     }
 
     #[test]

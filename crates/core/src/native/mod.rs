@@ -21,6 +21,7 @@
 //! mock backend records the decisions instead.
 
 use cata_cpufreq::backend::DvfsBackend;
+use cata_power::{BusyIntervals, BusyTracker, FreqClass};
 use cata_rsu::engine::{Cmd, ReconfigEngine};
 use cata_tdg::deps::{AccessMode, DepTracker, RegionId};
 use cata_tdg::TaskId;
@@ -124,20 +125,28 @@ struct Inner {
     slow_khz: u32,
     metrics: NativeMetrics,
     regions: Mutex<DepTracker>,
+    /// Per-core busy-time-at-frequency observations feeding the calibrated
+    /// energy model (`cata_power::modeled`).
+    busy: BusyTracker,
 }
 
 impl Inner {
     fn apply_cmds(&self, cmds: &[Cmd]) {
         for cmd in cmds {
-            let (cpu, khz) = match *cmd {
-                Cmd::Accelerate(c) => (c, self.fast_khz),
-                Cmd::Decelerate(c) => (c, self.slow_khz),
+            let (cpu, khz, class) = match *cmd {
+                Cmd::Accelerate(c) => (c, self.fast_khz, FreqClass::Fast),
+                Cmd::Decelerate(c) => (c, self.slow_khz, FreqClass::Slow),
             };
             self.metrics.reconfigs.fetch_add(1, Ordering::Relaxed);
             if self.backend.set_speed(cpu, khz).is_err() {
                 self.metrics
                     .reconfig_failures
                     .fetch_add(1, Ordering::Relaxed);
+            } else {
+                // Only a write that landed changes the core's operating
+                // point; failed writes leave the energy model at the old
+                // class, matching what the silicon actually did.
+                self.busy.set_class(cpu, class);
             }
         }
     }
@@ -247,6 +256,7 @@ impl NativeRuntimeBuilder {
             slow_khz: self.slow_khz,
             metrics: NativeMetrics::default(),
             regions: Mutex::new(DepTracker::new()),
+            busy: BusyTracker::new(self.workers),
         });
 
         let handles = (0..self.workers)
@@ -306,7 +316,9 @@ fn worker_loop(wid: usize, inner: Arc<Inner>) {
             cmds
         });
 
+        inner.busy.task_begin(wid);
         func();
+        inner.busy.task_end(wid);
 
         // CATA epilogue: decelerate, hand budget on.
         inner.rsm_event(|e| e.on_task_end(wid));
@@ -439,6 +451,13 @@ impl NativeRuntime {
     /// Current counter values.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.inner.metrics.snapshot()
+    }
+
+    /// Per-worker busy seconds at each frequency class, as observed around
+    /// task start/end and DVFS writes — the input to the calibrated energy
+    /// model.
+    pub fn busy_intervals(&self) -> Vec<BusyIntervals> {
+        self.inner.busy.intervals()
     }
 
     /// Number of worker threads.
@@ -613,6 +632,26 @@ mod tests {
             let m = rt.metrics();
             assert!(m.reconfigs > 0, "{mode:?} never reconfigured");
         }
+    }
+
+    #[test]
+    fn busy_intervals_are_observed_around_task_bodies() {
+        let (rt, _) = runtime(2, 1, RsmMode::RsuEmulated);
+        for _ in 0..4 {
+            rt.spawn(true, &[], || {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            });
+        }
+        rt.wait_all();
+        let iv = rt.busy_intervals();
+        assert_eq!(iv.len(), 2);
+        let total: f64 = iv.iter().map(|i| i.total_s()).sum();
+        // 4 tasks × ≥2 ms of body each, wherever they landed.
+        assert!(total >= 0.008, "observed only {total}s busy");
+        // Critical tasks got accelerated (budget 1), so some of that busy
+        // time was banked at the fast class.
+        let fast: f64 = iv.iter().map(|i| i.busy_fast_s).sum();
+        assert!(fast > 0.0, "no fast-class busy time recorded");
     }
 
     #[test]

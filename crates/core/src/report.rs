@@ -107,8 +107,10 @@ impl RunReport {
         baseline.exec_time.as_ps() as f64 / self.exec_time.as_ps() as f64
     }
 
-    /// EDP normalized to a baseline run (lower is better).
-    pub fn edp_normalized_to(&self, baseline: &RunReport) -> f64 {
+    /// EDP normalized to a baseline run (lower is better). `None` when the
+    /// baseline carries no energy — a 0 J baseline used to divide to 0/inf
+    /// and render native runs as infinitely better than sim.
+    pub fn edp_normalized_to(&self, baseline: &RunReport) -> Option<f64> {
         self.energy.edp_normalized_to(&baseline.energy)
     }
 
@@ -120,16 +122,24 @@ impl RunReport {
         self.core_utilization.iter().sum::<f64>() / self.core_utilization.len() as f64
     }
 
-    /// One-line human-readable summary.
+    /// One-line human-readable summary. Energy-less runs (legacy native
+    /// reports) render `energy=n/a edp=n/a` rather than a misleading
+    /// `0.0000J edp=0.000000`.
     pub fn summary(&self) -> String {
+        let has = self.energy.has_energy();
+        let energy = if has {
+            format!("{}J", cata_power::fmt_metric(self.energy.energy_j, true, 4))
+        } else {
+            "n/a".to_string()
+        };
+        let edp = cata_power::fmt_metric(self.energy.edp, has, 6);
         format!(
-            "{:<10} {:<14} fast={:<2} time={:<12} energy={:.4}J edp={:.6} tasks={} reconfigs={} (overhead {:.2}%)",
+            "{:<10} {:<14} fast={:<2} time={:<12} energy={energy} edp={edp} src={} tasks={} reconfigs={} (overhead {:.2}%)",
             self.label,
             self.workload,
             self.fast_cores,
             self.exec_time.to_string(),
-            self.energy.energy_j,
-            self.energy.edp,
+            self.energy.measurement.name(),
             self.tasks,
             self.counters.reconfigs_applied,
             self.reconfig_time_share * 100.0,
@@ -173,8 +183,15 @@ mod tests {
         let fast = report(100, 8.0);
         assert!((fast.speedup_over(&base) - 2.0).abs() < 1e-12);
         // EDP: (8 × 100µs) / (10 × 200µs) = 0.4.
-        assert!((fast.edp_normalized_to(&base) - 0.4).abs() < 1e-12);
+        assert!((fast.edp_normalized_to(&base).unwrap() - 0.4).abs() < 1e-12);
         assert!((fast.avg_utilization() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_energy_baseline_normalizes_to_none() {
+        let base = report(200, 0.0);
+        let fast = report(100, 8.0);
+        assert_eq!(fast.edp_normalized_to(&base), None);
     }
 
     #[test]
@@ -184,6 +201,15 @@ mod tests {
         assert!(s.contains("X"));
         assert!(s.contains("fast=8"));
         assert!(s.contains("tasks=10"));
+    }
+
+    #[test]
+    fn summary_renders_na_for_energyless_runs() {
+        let r = report(100, 0.0);
+        let s = r.summary();
+        assert!(s.contains("energy=n/a"), "{s}");
+        assert!(s.contains("edp=n/a"), "{s}");
+        assert!(!s.contains("edp=0.000000"), "{s}");
     }
 
     #[test]

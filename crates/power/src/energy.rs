@@ -4,7 +4,61 @@ use crate::params::PowerParams;
 use cata_sim::activity::Activity;
 use cata_sim::machine::Machine;
 use cata_sim::time::SimDuration;
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// How an [`EnergyReport`]'s joules were obtained — the provenance tag that
+/// makes sim and native cells comparable in one table. Serialized as a
+/// lowercase string; reports written before the tag existed deserialize as
+/// [`Measurement::None`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Measurement {
+    /// Integrated from simulated activity timelines ([`integrate_machine`]).
+    Simulated,
+    /// Computed by the calibrated per-core model from busy-time-at-frequency
+    /// intervals a native run observed (`cata_power::modeled`).
+    Modeled,
+    /// Read from the RAPL energy counters under `/sys/class/powercap`.
+    Rapl,
+    /// No energy was measured (legacy native runs, untagged stored reports).
+    #[default]
+    None,
+}
+
+impl Measurement {
+    /// The serialized / table form ("simulated", "modeled", "rapl", "none").
+    pub fn name(self) -> &'static str {
+        match self {
+            Measurement::Simulated => "simulated",
+            Measurement::Modeled => "modeled",
+            Measurement::Rapl => "rapl",
+            Measurement::None => "none",
+        }
+    }
+}
+
+impl Serialize for Measurement {
+    fn to_value(&self) -> Value {
+        Value::Str(self.name().to_string())
+    }
+}
+
+impl Deserialize for Measurement {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => match s.as_str() {
+                "simulated" => Ok(Measurement::Simulated),
+                "modeled" => Ok(Measurement::Modeled),
+                "rapl" => Ok(Measurement::Rapl),
+                "none" => Ok(Measurement::None),
+                other => Err(DeError::new(format!("unknown measurement `{other}`"))),
+            },
+            other => Err(DeError::new(format!(
+                "Measurement: expected a string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
 
 /// Energy attributed to each component, in joules.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -28,8 +82,8 @@ impl EnergyBreakdown {
     }
 }
 
-/// The energy/EDP result of one simulation run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+/// The energy/EDP result of one run (simulated or native).
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyReport {
     /// Wall-clock execution time of the run, in seconds.
     pub time_s: f64,
@@ -39,12 +93,51 @@ pub struct EnergyReport {
     pub edp: f64,
     /// Average power over the run, in watts.
     pub avg_power_w: f64,
-    /// Per-component energy attribution.
+    /// Per-component energy attribution (all-zero for RAPL measurements,
+    /// which only give package totals).
     pub breakdown: EnergyBreakdown,
+    /// Where the joules came from.
+    pub measurement: Measurement,
+}
+
+// Serde is hand-written so `measurement` is *omitted* when `None` — an
+// untagged report serializes exactly as it did before the field existed,
+// keeping spec/store digests of legacy data stable — and a missing field
+// deserializes as `None`, so legacy stored reports still parse.
+impl Serialize for EnergyReport {
+    fn to_value(&self) -> Value {
+        let mut m: Vec<(String, Value)> = vec![
+            ("time_s".into(), self.time_s.to_value()),
+            ("energy_j".into(), self.energy_j.to_value()),
+            ("edp".into(), self.edp.to_value()),
+            ("avg_power_w".into(), self.avg_power_w.to_value()),
+            ("breakdown".into(), self.breakdown.to_value()),
+        ];
+        if self.measurement != Measurement::None {
+            m.push(("measurement".into(), self.measurement.to_value()));
+        }
+        Value::Map(m)
+    }
+}
+
+impl Deserialize for EnergyReport {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let m = v.as_map_for("EnergyReport")?;
+        let measurement: Option<Measurement> = serde::field(m, "measurement", "EnergyReport")?;
+        Ok(EnergyReport {
+            time_s: serde::field(m, "time_s", "EnergyReport")?,
+            energy_j: serde::field(m, "energy_j", "EnergyReport")?,
+            edp: serde::field(m, "edp", "EnergyReport")?,
+            avg_power_w: serde::field(m, "avg_power_w", "EnergyReport")?,
+            breakdown: serde::field(m, "breakdown", "EnergyReport")?,
+            measurement: measurement.unwrap_or(Measurement::None),
+        })
+    }
 }
 
 impl EnergyReport {
-    /// Builds a report from a total energy and run time.
+    /// Builds a report from a total energy and run time (provenance
+    /// untagged; see [`with_measurement`](Self::with_measurement)).
     pub fn from_parts(time_s: f64, breakdown: EnergyBreakdown) -> Self {
         let energy_j = breakdown.total_j();
         EnergyReport {
@@ -53,17 +146,49 @@ impl EnergyReport {
             edp: energy_j * time_s,
             avg_power_w: if time_s > 0.0 { energy_j / time_s } else { 0.0 },
             breakdown,
+            measurement: Measurement::None,
         }
     }
 
-    /// This report's EDP normalized to a baseline report (paper Figures 4–5
-    /// plot exactly this quantity).
-    pub fn edp_normalized_to(&self, baseline: &EnergyReport) -> f64 {
-        if baseline.edp == 0.0 {
-            0.0
-        } else {
-            self.edp / baseline.edp
+    /// A report from a directly measured total (no component attribution) —
+    /// the RAPL path.
+    pub fn measured(time_s: f64, energy_j: f64, measurement: Measurement) -> Self {
+        EnergyReport {
+            time_s,
+            energy_j,
+            edp: energy_j * time_s,
+            avg_power_w: if time_s > 0.0 { energy_j / time_s } else { 0.0 },
+            breakdown: EnergyBreakdown::default(),
+            measurement,
         }
+    }
+
+    /// Tags the report's provenance.
+    pub fn with_measurement(mut self, measurement: Measurement) -> Self {
+        self.measurement = measurement;
+        self
+    }
+
+    /// True when the report actually carries energy (nonzero, finite).
+    pub fn has_energy(&self) -> bool {
+        self.energy_j.is_finite() && self.energy_j > 0.0
+    }
+
+    /// This report's EDP normalized to a baseline report (paper Figures 4–5
+    /// plot exactly this quantity). `None` when *either* side carries no
+    /// energy (e.g. a legacy native run that measured 0 J) — the old
+    /// behaviour divided by zero and rendered native runs as infinitely
+    /// better than sim, and an energy-less numerator would render a
+    /// just-as-misleading `0.000`.
+    pub fn edp_normalized_to(&self, baseline: &EnergyReport) -> Option<f64> {
+        if !self.has_energy() || !baseline.has_energy() {
+            return None;
+        }
+        if !baseline.edp.is_finite() || baseline.edp <= 0.0 {
+            return None;
+        }
+        let ratio = self.edp / baseline.edp;
+        ratio.is_finite().then_some(ratio)
     }
 
     /// Speedup of this run relative to a baseline (baseline time / our time).
@@ -73,6 +198,21 @@ impl EnergyReport {
         } else {
             baseline.time_s / self.time_s
         }
+    }
+}
+
+/// Formats an energy or EDP value for summaries and tables: `n/a` when the
+/// run carries no energy (so a legacy 0 J report is never mistaken for a
+/// measurement), scientific notation for tiny-but-real values that fixed
+/// precision would render as `0.000000`. The one place this policy lives —
+/// `RunReport::summary` and the repro tables both call it.
+pub fn fmt_metric(value: f64, has_energy: bool, prec: usize) -> String {
+    if !has_energy || !value.is_finite() {
+        "n/a".to_string()
+    } else if value >= 1e-3 {
+        format!("{value:.prec$}")
+    } else {
+        format!("{value:.3e}")
     }
 }
 
@@ -100,7 +240,7 @@ pub fn integrate_machine(
         }
     }
     b.uncore_j = params.uncore_w * run_time.as_secs_f64();
-    EnergyReport::from_parts(run_time.as_secs_f64(), b)
+    EnergyReport::from_parts(run_time.as_secs_f64(), b).with_measurement(Measurement::Simulated)
 }
 
 #[cfg(test)]
@@ -161,7 +301,59 @@ mod tests {
         );
         assert!((faster.speedup_over(&base) - 2.0).abs() < 1e-12);
         // EDP: 8 J·1 s vs 10 J·2 s → 0.4.
-        assert!((faster.edp_normalized_to(&base) - 0.4).abs() < 1e-12);
+        assert!((faster.edp_normalized_to(&base).unwrap() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_energy_baseline_yields_no_edp_not_zero_or_inf() {
+        // The old behaviour returned 0.0 for a 0 J baseline, rendering a
+        // native run as infinitely better than sim in every table.
+        let zero = EnergyReport::from_parts(1.0, EnergyBreakdown::default());
+        let real = EnergyReport::from_parts(
+            1.0,
+            EnergyBreakdown {
+                core_busy_j: 5.0,
+                ..Default::default()
+            },
+        );
+        assert!(!zero.has_energy());
+        assert_eq!(real.edp_normalized_to(&zero), None);
+        // An energy-less numerator is just as undefined: Some(0.0) would
+        // render a misleading `0.000` cell and zero out geomeans.
+        assert_eq!(zero.edp_normalized_to(&real), None);
+        assert!(real.edp_normalized_to(&real).is_some());
+    }
+
+    #[test]
+    fn measurement_round_trips_and_legacy_reports_parse() {
+        let tagged = EnergyReport::from_parts(
+            0.5,
+            EnergyBreakdown {
+                core_busy_j: 1.0,
+                ..Default::default()
+            },
+        )
+        .with_measurement(Measurement::Modeled);
+        let back = EnergyReport::from_value(&tagged.to_value()).unwrap();
+        assert_eq!(back.measurement, Measurement::Modeled);
+        assert_eq!(back.energy_j, tagged.energy_j);
+
+        // Untagged reports serialize without the field (legacy layout)…
+        let untagged = EnergyReport::from_parts(0.5, EnergyBreakdown::default());
+        assert!(untagged.to_value().get("measurement").is_none());
+        // …and a legacy map (no `measurement` key) parses as `None`.
+        let legacy = untagged.to_value();
+        let parsed = EnergyReport::from_value(&legacy).unwrap();
+        assert_eq!(parsed.measurement, Measurement::None);
+    }
+
+    #[test]
+    fn integration_tags_simulated_provenance() {
+        let cfg = MachineConfig::small_test(1);
+        let mut m = Machine::new(cfg);
+        m.finish(SimTime::from_ms(1));
+        let r = integrate_machine(&m, SimDuration::from_ms(1), &PowerParams::mcpat_22nm());
+        assert_eq!(r.measurement, Measurement::Simulated);
     }
 
     #[test]

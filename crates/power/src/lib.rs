@@ -26,7 +26,11 @@
 #![warn(rust_2018_idioms)]
 
 pub mod energy;
+pub mod modeled;
 pub mod params;
+pub mod rapl;
 
-pub use energy::{integrate_machine, EnergyBreakdown, EnergyReport};
+pub use energy::{fmt_metric, integrate_machine, EnergyBreakdown, EnergyReport, Measurement};
+pub use modeled::{model_native_energy, BusyIntervals, BusyTracker, FreqClass};
 pub use params::PowerParams;
+pub use rapl::{RaplReader, RaplSample};

@@ -1,0 +1,290 @@
+//! Calibrated per-core power model for native runs.
+//!
+//! A native run has no activity timelines to integrate — but the runtime
+//! does observe, around every task start/end and every DVFS write, how long
+//! each worker was busy and at which frequency class. This module turns
+//! those observations into an [`EnergyReport`]:
+//!
+//! - [`BusyTracker`] is the observation side: worker threads mark task
+//!   begin/end and the DVFS path marks frequency-class changes; the tracker
+//!   accumulates per-core busy nanoseconds at each class.
+//! - [`model_native_energy`] is the calibrated model `P(freq_class)`: it
+//!   prices busy time at the fast/slow [`PowerLevel`]s through the same
+//!   [`PowerParams`] the simulator uses, fills the remaining core-seconds
+//!   with the idle operating point, and adds the constant uncore term —
+//!   so a native cell's joules are directly comparable to a simulated
+//!   cell's under the same calibration.
+//!
+//! The model is a pure function of the recorded intervals: identical
+//! intervals produce a bit-identical report (pinned by test), even though
+//! the intervals themselves vary run to run on real hardware.
+
+use crate::energy::{EnergyBreakdown, EnergyReport, Measurement};
+use crate::params::PowerParams;
+use cata_sim::activity::Activity;
+use cata_sim::machine::PowerLevel;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// The two operating points the CATA runtime switches between.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FreqClass {
+    /// The accelerated level (fast frequency/voltage).
+    Fast,
+    /// The baseline level.
+    Slow,
+}
+
+/// Busy seconds one core accumulated at each frequency class.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BusyIntervals {
+    /// Seconds executing task bodies while accelerated.
+    pub busy_fast_s: f64,
+    /// Seconds executing task bodies at the slow level.
+    pub busy_slow_s: f64,
+}
+
+impl BusyIntervals {
+    /// Total busy seconds.
+    pub fn total_s(&self) -> f64 {
+        self.busy_fast_s + self.busy_slow_s
+    }
+}
+
+#[derive(Debug, Default)]
+struct CoreTrack {
+    /// Currently at the fast operating point.
+    fast: bool,
+    /// Start of the in-flight busy segment, if a task body is running.
+    busy_since: Option<Instant>,
+    busy_fast_ns: u64,
+    busy_slow_ns: u64,
+}
+
+impl CoreTrack {
+    /// Closes the in-flight segment at `now` into the current class and,
+    /// when `reopen`, starts a new one (for mid-task class changes).
+    fn settle(&mut self, now: Instant, reopen: bool) {
+        if let Some(since) = self.busy_since.take() {
+            let ns = now.duration_since(since).as_nanos().min(u64::MAX as u128) as u64;
+            if self.fast {
+                self.busy_fast_ns += ns;
+            } else {
+                self.busy_slow_ns += ns;
+            }
+            if reopen {
+                self.busy_since = Some(now);
+            }
+        }
+    }
+}
+
+/// Per-core busy-time-at-frequency accumulator shared by the native
+/// runtime's worker threads and its DVFS path. All methods take `&self`;
+/// each core has its own lock, so marking is cheap and uncontended (a
+/// worker only ever touches its own core; the DVFS path touches the target
+/// core of a reconfiguration).
+#[derive(Debug)]
+pub struct BusyTracker {
+    cores: Vec<Mutex<CoreTrack>>,
+}
+
+impl BusyTracker {
+    /// A tracker for `num_cores` cores, all starting at the slow class.
+    pub fn new(num_cores: usize) -> Self {
+        BusyTracker {
+            cores: (0..num_cores)
+                .map(|_| Mutex::new(CoreTrack::default()))
+                .collect(),
+        }
+    }
+
+    fn with_core(&self, core: usize, f: impl FnOnce(&mut CoreTrack)) {
+        if let Some(m) = self.cores.get(core) {
+            f(&mut m.lock().unwrap_or_else(|e| e.into_inner()));
+        }
+    }
+
+    /// A task body starts executing on `core`.
+    pub fn task_begin(&self, core: usize) {
+        let now = Instant::now();
+        self.with_core(core, |c| {
+            c.busy_since = Some(now);
+        });
+    }
+
+    /// The task body on `core` finished; its busy time is banked at the
+    /// class(es) the core ran at.
+    pub fn task_end(&self, core: usize) {
+        let now = Instant::now();
+        self.with_core(core, |c| c.settle(now, false));
+    }
+
+    /// `core`'s frequency class changed (a successful DVFS write). An
+    /// in-flight busy segment is split at the transition.
+    pub fn set_class(&self, core: usize, class: FreqClass) {
+        let now = Instant::now();
+        self.with_core(core, |c| {
+            let fast = class == FreqClass::Fast;
+            if c.fast != fast {
+                c.settle(now, true);
+                c.fast = fast;
+            }
+        });
+    }
+
+    /// The accumulated per-core busy intervals (open segments are settled
+    /// at call time).
+    pub fn intervals(&self) -> Vec<BusyIntervals> {
+        let now = Instant::now();
+        self.cores
+            .iter()
+            .map(|m| {
+                let mut c = m.lock().unwrap_or_else(|e| e.into_inner());
+                c.settle(now, true);
+                BusyIntervals {
+                    busy_fast_s: c.busy_fast_ns as f64 * 1e-9,
+                    busy_slow_s: c.busy_slow_ns as f64 * 1e-9,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Integrates the calibrated model over a native run's observations.
+///
+/// Busy time is priced at the busy activity factor of its frequency class;
+/// every remaining core-second of the run (`num_cores × wall_s` minus the
+/// busy total) is priced at the slow idle operating point — the native
+/// workers spin in the runtime idle loop, they do not halt — and the chip
+/// uncore term runs for the whole wall time. Leakage follows the same
+/// split (fast voltage while busy-fast, slow voltage otherwise).
+///
+/// Deterministic: a pure function of its arguments.
+pub fn model_native_energy(
+    params: &PowerParams,
+    fast: PowerLevel,
+    slow: PowerLevel,
+    num_cores: usize,
+    wall_s: f64,
+    per_core: &[BusyIntervals],
+) -> EnergyReport {
+    let mut b = EnergyBreakdown::default();
+    let mut busy_total_s = 0.0;
+    let mut busy_fast_s = 0.0;
+    for iv in per_core {
+        b.core_busy_j += iv.busy_fast_s * params.dynamic_w(fast, Activity::Busy)
+            + iv.busy_slow_s * params.dynamic_w(slow, Activity::Busy);
+        busy_total_s += iv.total_s();
+        busy_fast_s += iv.busy_fast_s;
+    }
+    let core_seconds = num_cores as f64 * wall_s;
+    let idle_s = (core_seconds - busy_total_s).max(0.0);
+    b.core_idle_j = idle_s * params.dynamic_w(slow, Activity::Idle);
+    b.core_static_j = busy_fast_s * params.static_w(fast)
+        + (core_seconds - busy_fast_s).max(0.0) * params.static_w(slow);
+    b.uncore_j = params.uncore_w * wall_s;
+    EnergyReport::from_parts(wall_s, b).with_measurement(Measurement::Modeled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> PowerParams {
+        PowerParams::mcpat_22nm()
+    }
+
+    #[test]
+    fn model_is_deterministic_given_recorded_intervals() {
+        let iv = vec![
+            BusyIntervals {
+                busy_fast_s: 0.25,
+                busy_slow_s: 0.10,
+            },
+            BusyIntervals {
+                busy_fast_s: 0.0,
+                busy_slow_s: 0.40,
+            },
+        ];
+        let a = model_native_energy(
+            &p(),
+            PowerLevel::paper_fast(),
+            PowerLevel::paper_slow(),
+            2,
+            0.5,
+            &iv,
+        );
+        let b = model_native_energy(
+            &p(),
+            PowerLevel::paper_fast(),
+            PowerLevel::paper_slow(),
+            2,
+            0.5,
+            &iv,
+        );
+        assert_eq!(a.energy_j.to_bits(), b.energy_j.to_bits());
+        assert_eq!(a.edp.to_bits(), b.edp.to_bits());
+        assert_eq!(a.measurement, Measurement::Modeled);
+        assert!(a.has_energy());
+    }
+
+    #[test]
+    fn fast_busy_time_costs_more_than_slow() {
+        let fast_run = model_native_energy(
+            &p(),
+            PowerLevel::paper_fast(),
+            PowerLevel::paper_slow(),
+            1,
+            1.0,
+            &[BusyIntervals {
+                busy_fast_s: 1.0,
+                busy_slow_s: 0.0,
+            }],
+        );
+        let slow_run = model_native_energy(
+            &p(),
+            PowerLevel::paper_fast(),
+            PowerLevel::paper_slow(),
+            1,
+            1.0,
+            &[BusyIntervals {
+                busy_fast_s: 0.0,
+                busy_slow_s: 1.0,
+            }],
+        );
+        assert!(fast_run.energy_j > slow_run.energy_j);
+    }
+
+    #[test]
+    fn idle_machine_still_draws_idle_and_uncore_power() {
+        let r = model_native_energy(
+            &p(),
+            PowerLevel::paper_fast(),
+            PowerLevel::paper_slow(),
+            4,
+            0.1,
+            &[BusyIntervals::default(); 4],
+        );
+        assert!(r.breakdown.core_idle_j > 0.0);
+        assert!(r.breakdown.uncore_j > 0.0);
+        assert_eq!(r.breakdown.core_busy_j, 0.0);
+    }
+
+    #[test]
+    fn tracker_accumulates_and_splits_on_class_change() {
+        let t = BusyTracker::new(2);
+        t.task_begin(0);
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        t.set_class(0, FreqClass::Fast);
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        t.task_end(0);
+        let iv = t.intervals();
+        assert!(iv[0].busy_slow_s > 0.0, "pre-transition time at slow");
+        assert!(iv[0].busy_fast_s > 0.0, "post-transition time at fast");
+        assert_eq!(iv[1], BusyIntervals::default());
+        // Out-of-range cores are ignored, not a panic.
+        t.task_begin(9);
+        t.task_end(9);
+    }
+}

@@ -46,7 +46,7 @@ fn main() {
             report.label,
             report.exec_time.to_string(),
             report.speedup_over(baseline),
-            report.edp_normalized_to(baseline),
+            report.edp_normalized_to(baseline).unwrap_or(f64::NAN),
             report.counters.reconfigs_applied
         );
     }

@@ -45,7 +45,7 @@ fn main() {
     println!(
         "\nCATA+RSU speedup over FIFO: {:.3}x   normalized EDP: {:.3}",
         cata.speedup_over(&fifo),
-        cata.edp_normalized_to(&fifo)
+        cata.edp_normalized_to(&fifo).unwrap_or(f64::NAN)
     );
     println!(
         "reconfigurations applied: {}   accelerate-swaps: {}",

@@ -260,7 +260,7 @@ fn energy_reports_are_consistent() {
     let expect_edp = r.energy.energy_j * r.exec_time.as_secs_f64();
     assert!((r.energy.edp - expect_edp).abs() / expect_edp < 1e-12);
     assert!((r.speedup_over(&r) - 1.0).abs() < 1e-12);
-    assert!((r.edp_normalized_to(&r) - 1.0).abs() < 1e-12);
+    assert!((r.edp_normalized_to(&r).unwrap() - 1.0).abs() < 1e-12);
     // Average power must be between the all-idle floor and the all-busy
     // fast ceiling of a 32-core chip.
     assert!(r.energy.avg_power_w > 1.0);

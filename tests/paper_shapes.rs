@@ -174,7 +174,9 @@ fn edp_gains_exceed_time_gains_for_cata() {
     let m = fig4_matrix();
     for fast in [8, 16] {
         let speedup = m.avg_speedup(&Benchmark::all(), fast, "CATA");
-        let edp = m.avg_edp(&Benchmark::all(), fast, "CATA");
+        let edp = m
+            .avg_edp(&Benchmark::all(), fast, "CATA")
+            .expect("simulated baselines carry energy");
         // EDP gain (1/edp) should exceed the speedup.
         assert!(
             1.0 / edp > speedup,
@@ -191,8 +193,12 @@ fn edp_gains_exceed_time_gains_for_cata() {
 fn turbomode_pays_energy_for_its_speed() {
     let m = fig5_matrix();
     for fast in [16, 24] {
-        let hw = m.avg_edp(&Benchmark::all(), fast, "CATA+RSU");
-        let tb = m.avg_edp(&Benchmark::all(), fast, "TurboMode");
+        let hw = m
+            .avg_edp(&Benchmark::all(), fast, "CATA+RSU")
+            .expect("simulated baselines carry energy");
+        let tb = m
+            .avg_edp(&Benchmark::all(), fast, "TurboMode")
+            .expect("simulated baselines carry energy");
         assert!(
             tb > hw - 0.005,
             "at {fast}: Turbo EDP {tb:.3} ≪ RSU {hw:.3}"

@@ -3,7 +3,7 @@
 //! resuming interrupted sweeps are *invisible* — the merged reports are
 //! bit-identical to one uninterrupted in-process `Suite::run`.
 
-use cata_core::exp::{spec_digest, ResultsStore, ScenarioSpec, Suite, WorkloadSpec};
+use cata_core::exp::{spec_digest, ResultsStore, ScenarioSpec, ShardOrder, Suite, WorkloadSpec};
 use cata_core::{RunReport, SimExecutor};
 use proptest::prelude::*;
 use std::io::Write as _;
@@ -236,5 +236,60 @@ proptest! {
         prop_assert_eq!(seen.len(), cells, "shards must cover the grid");
         prop_assert_eq!(seen.iter().copied().collect::<Vec<u64>>(),
                         (0..cells as u64).collect::<Vec<u64>>());
+    }
+
+    /// The cost-aware snake partitioner is also a true partition — for any
+    /// grid size, shard count, and cost skew — and never puts the two most
+    /// expensive cells on one shard (when there are at least two shards).
+    #[test]
+    fn snake_shards_partition_the_grid(
+        costs in prop::collection::vec(1u64..1_000_000, 1..40),
+        shards in 1usize..9,
+    ) {
+        let specs: Vec<ScenarioSpec> = costs
+            .iter()
+            .map(|&c| {
+                ScenarioSpec::new(
+                    format!("cell-{c}"),
+                    WorkloadSpec::Chain { n: 1, cycles: c },
+                )
+            })
+            .collect();
+        let cells = specs.len();
+        let mut seen = std::collections::BTreeSet::new();
+        let mut heavy_shard = None;
+        let heaviest_two: Vec<u64> = {
+            let mut ranked: Vec<(u64, u64)> = specs
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (s.workload.cost_estimate(), i as u64))
+                .collect();
+            // Highest cost first, grid index as the deterministic tie-break
+            // (mirrors the partitioner's own ranking).
+            ranked.sort_by_key(|&(c, i)| (std::cmp::Reverse(c), i));
+            ranked.iter().take(2).map(|&(_, i)| i).collect()
+        };
+        for k in 1..=shards {
+            let slice = Suite::from_specs(specs.clone())
+                .shard_ordered(k, shards, ShardOrder::Snake)
+                .unwrap();
+            for &i in slice.cell_indices() {
+                prop_assert!(seen.insert(i), "cell {i} appears in two shards");
+            }
+            if slice.cell_indices().contains(&heaviest_two[0]) {
+                heavy_shard = Some(k);
+            }
+        }
+        prop_assert_eq!(seen.len(), cells, "snake shards must cover the grid");
+        if shards > 1 && cells > 1 {
+            let heavy = heavy_shard.expect("some shard holds the heaviest cell");
+            let second = Suite::from_specs(specs.clone())
+                .shard_ordered(heavy, shards, ShardOrder::Snake)
+                .unwrap();
+            prop_assert!(
+                !second.cell_indices().contains(&heaviest_two[1]),
+                "shard {heavy} holds both of the two heaviest cells"
+            );
+        }
     }
 }
