@@ -15,6 +15,8 @@
 //! repro run SPEC...     run scenario spec files (.json/.toml) as a suite
 //! repro preset NAME...  run paper presets by label (FIFO, CATA, ...)
 //! repro spec NAME       print a preset's spec as JSON (edit → `repro run`)
+//! repro export [SPEC]   write a workload's task graph as a .tdg.json
+//! repro record TARGET   run + capture the graph as a calibrated .tdg.json
 //! repro merge STORE...  merge JSONL result shards, render, gate vs baseline
 //! repro gc STORE SPEC.. drop stored cells whose grid no longer names them
 //! repro perf            engine perf harness: events/sec -> BENCH_engine.json
@@ -25,6 +27,18 @@
 //! workers; 0 = all host cores, default 0), `--bench NAME` (workload for
 //! `preset`/`spec`), `--fast N` (fast cores for `preset`/`spec`),
 //! `--toml` (emit TOML from `spec`).
+//!
+//! TDG capture & replay: `export` serializes a workload's task graph —
+//! the `--bench`/`--scale`/`--seed` generator, or the workload of a given
+//! spec file — to a digest-pinned `.tdg.json` ([`cata_tdg::TdgFile`]).
+//! `record TARGET` (a preset label or a spec file) *executes* the scenario
+//! and captures the graph it ran — on the native backend each task's
+//! profile carries the *observed* wall duration, so the artifact replays
+//! host-calibrated on the simulator. Replay goes through the existing
+//! paths: `--tdg FILE` makes `preset`/`spec` use the file (content-digest
+//! pinned) as their workload, and `run` accepts spec files whose workload
+//! is `Inline`/`File`. An exported generator replayed from its `.tdg.json`
+//! produces a bit-identical sim report.
 //!
 //! Backends (`run`/`preset`/`gc`): `--backend sim|native|both` selects the
 //! executor per cell (`both` duplicates every spec into a sim + native
@@ -60,11 +74,12 @@ use cata_bench::matrix::{run_matrix, MatrixResult, DEFAULT_SEED};
 use cata_bench::sweeps;
 use cata_bench::tables::{fmt_energy, Table};
 use cata_core::exp::{
-    Backend, BackendDispatch, CellRecord, EnergySource, NativeExecutor, ResultsStore, ScenarioSpec,
-    ShardOrder, Suite, WorkloadSpec,
+    Backend, BackendDispatch, CellRecord, EnergySource, Executor, NativeExecutor, ResultsStore,
+    Scenario, ScenarioSpec, ShardOrder, Suite, WorkloadSpec,
 };
 use cata_core::RunReport;
 use cata_cpufreq::backend::{DvfsBackend, MockDvfs};
+use cata_tdg::TdgFile;
 use cata_workloads::{Benchmark, Scale};
 use std::sync::Arc;
 use std::time::Instant;
@@ -101,6 +116,13 @@ struct Opts {
     spec_files: Vec<String>,
     /// `merge --fig fig4|fig5`: render figure panels from the merged store.
     fig: Option<String>,
+    /// `--tdg FILE`: replay this TDG file as the workload of
+    /// `preset`/`spec` (content-digest pinned at parse time).
+    tdg: Option<String>,
+    /// Generator flags the user passed *explicitly* (`--bench`,
+    /// `--scale`, `--seed`), so commands that take a SPEC file can
+    /// reject them instead of silently ignoring a conflicting source.
+    generator_flags: Vec<&'static str>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -149,9 +171,12 @@ fn parse_args() -> Opts {
     let mut native_energy = EnergySource::Auto;
     let mut spec_files = Vec::new();
     let mut fig = None;
+    let mut tdg = None;
+    let mut generator_flags = Vec::new();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--scale" => {
+                generator_flags.push("--scale");
                 scale = match args.next().as_deref() {
                     Some("tiny") => Scale::Tiny,
                     Some("small") => Scale::Small,
@@ -160,6 +185,7 @@ fn parse_args() -> Opts {
                 }
             }
             "--seed" => {
+                generator_flags.push("--seed");
                 seed = args
                     .next()
                     .and_then(|s| s.parse().ok())
@@ -181,6 +207,7 @@ fn parse_args() -> Opts {
                     .unwrap_or_else(|| die("bad --fast"));
             }
             "--bench" => {
+                generator_flags.push("--bench");
                 let name = args.next().unwrap_or_else(|| die("missing --bench name"));
                 bench = Benchmark::all()
                     .into_iter()
@@ -238,6 +265,9 @@ fn parse_args() -> Opts {
             "--spec" => {
                 spec_files.push(args.next().unwrap_or_else(|| die("missing --spec file")));
             }
+            "--tdg" => {
+                tdg = Some(args.next().unwrap_or_else(|| die("missing --tdg file")));
+            }
             "--fig" => {
                 let name = args.next().unwrap_or_else(|| die("missing --fig name"));
                 if figure_labels(&name).is_none() {
@@ -265,7 +295,7 @@ fn parse_args() -> Opts {
             other
                 if matches!(
                     cmd.as_deref(),
-                    Some("run" | "preset" | "spec" | "merge" | "gc")
+                    Some("run" | "preset" | "spec" | "merge" | "gc" | "export" | "record")
                 ) && !other.starts_with('-') =>
             {
                 rest.push(other.to_string())
@@ -296,6 +326,8 @@ fn parse_args() -> Opts {
         native_energy,
         spec_files,
         fig,
+        tdg,
+        generator_flags,
     }
 }
 
@@ -314,6 +346,9 @@ fn print_help() {
          \x20         run SPEC.json|SPEC.toml...   preset LABEL...   spec LABEL\n\
          \x20             [--backend sim|native|both] [--native-energy auto|model]\n\
          \x20             [--shard K/N] [--shard-order striped|snake] [--store FILE.jsonl]\n\
+         \x20             [--tdg FILE.tdg.json]  (preset/spec: replay this TDG as the workload)\n\
+         \x20         export [SPEC.json] [--out FILE.tdg.json]   (workload -> TDG file)\n\
+         \x20         record LABEL|SPEC.json [--backend sim|native] [--out FILE.tdg.json]\n\
          \x20         merge STORE.jsonl... [--out FILE] [--baseline FILE] [--min-ratio R]\n\
          \x20             [--fig fig4|fig5]\n\
          \x20         gc STORE.jsonl SPEC... [--spec FILE] [--backend sim|native|both]\n\
@@ -345,13 +380,17 @@ fn load_spec(path: &str) -> ScenarioSpec {
 
 /// The run-summary table every suite/merge rendering shares. Energy-less
 /// runs (legacy 0 J native records) render `n/a` in the energy/EDP columns
-/// instead of `0.000000`, and the `src` column names each cell's energy
-/// provenance (simulated / modeled / rapl / none).
+/// instead of `0.000000`, the `src` column names each cell's energy
+/// provenance (simulated / modeled / rapl / none), and `cores` shows the
+/// *effective* worker count where the executor clamped the spec's machine
+/// to the host (`-` when the spec machine ran verbatim) — so a 32-core
+/// spec run on an 8-core box is visibly an 8-core result.
 fn report_table<'a>(reports: impl IntoIterator<Item = &'a RunReport>) -> Table {
     let mut table = Table::new(&[
         "config",
         "workload",
         "fast",
+        "cores",
         "time",
         "energy J",
         "EDP",
@@ -365,6 +404,10 @@ fn report_table<'a>(reports: impl IntoIterator<Item = &'a RunReport>) -> Table {
             report.label.clone(),
             report.workload.clone(),
             report.fast_cores.to_string(),
+            report
+                .effective_cores
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| "-".to_string()),
             report.exec_time.to_string(),
             fmt_energy(report.energy.energy_j, has),
             fmt_energy(report.energy.edp, has),
@@ -616,6 +659,193 @@ fn render_figure_from_records(opts: &Opts, fig: &str, records: &[CellRecord]) {
     }
 }
 
+/// The workload `preset`/`spec`/`export`/`record` operate on: the
+/// `--bench/--scale/--seed` generator, or — with `--tdg FILE` — the
+/// digest-pinned replay of a TDG file.
+fn base_workload(opts: &Opts) -> WorkloadSpec {
+    match &opts.tdg {
+        Some(path) => {
+            // Same rule as the SPEC-file guard: an explicit generator
+            // flag next to --tdg would be silently ignored — the TDG
+            // file already pins the whole graph.
+            if !opts.generator_flags.is_empty() {
+                die(&format!(
+                    "{} conflict(s) with --tdg — the TDG file already pins the \
+                     workload (pick one source)",
+                    opts.generator_flags.join("/")
+                ));
+            }
+            WorkloadSpec::tdg_file_pinned(path).unwrap_or_else(|e| die(&e.to_string()))
+        }
+        None => WorkloadSpec::parsec(opts.bench, opts.scale, opts.seed),
+    }
+}
+
+/// A SPEC-file argument fully determines the workload; any *explicit*
+/// alternative-source flag alongside it (`--tdg`, `--bench`, `--scale`,
+/// `--seed`) would be silently ignored — reject the combination instead
+/// so the user never exports/records a different graph than they named.
+fn reject_conflicting_sources(opts: &Opts, cmd: &str) {
+    if opts.tdg.is_some() {
+        die(&format!(
+            "{cmd}: --tdg conflicts with a SPEC argument (pick one workload source)"
+        ));
+    }
+    if !opts.generator_flags.is_empty() {
+        die(&format!(
+            "{cmd}: {} conflict(s) with a SPEC argument — the spec file already \
+             pins the workload (pick one source)",
+            opts.generator_flags.join("/")
+        ));
+    }
+}
+
+/// True when `a` and `b` name the same file (the destination may not
+/// exist yet, so its parent is canonicalized instead).
+fn same_file(a: &str, b: &str) -> bool {
+    fn canon(p: &str) -> Option<std::path::PathBuf> {
+        let path = std::path::Path::new(p);
+        path.canonicalize().ok().or_else(|| {
+            let parent = match path.parent() {
+                Some(d) if !d.as_os_str().is_empty() => d,
+                _ => std::path::Path::new("."),
+            };
+            Some(parent.canonicalize().ok()?.join(path.file_name()?))
+        })
+    }
+    match (canon(a), canon(b)) {
+        (Some(x), Some(y)) => x == y,
+        _ => a == b,
+    }
+}
+
+/// Writes a TDG artifact in the format its extension names — the same
+/// dispatch every loader uses, so an exported file always loads back.
+fn write_tdg(out: &str, tdg: &TdgFile) {
+    let text = if out.ends_with(".toml") {
+        tdg.to_toml()
+    } else {
+        tdg.to_json_pretty()
+    };
+    std::fs::write(out, text).unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
+}
+
+/// `repro export [SPEC.json] [--out FILE]`: serialize a workload's task
+/// graph — the flag-selected generator, or the workload of a given spec
+/// file — as a digest-pinned `.tdg.json`, ready to edit and replay.
+fn export_tdg(opts: &Opts) {
+    let workload = match opts.args.first() {
+        Some(path) => {
+            reject_conflicting_sources(opts, "export");
+            load_spec(path).workload
+        }
+        None => base_workload(opts),
+    };
+    // `capture()` produces the artifact from one workload load — a
+    // separate graph build + label lookup would read an unpinned file
+    // twice and could mix revisions.
+    let (_graph, tdg) = workload.capture().unwrap_or_else(|e| die(&e.to_string()));
+    let out = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| format!("{}.tdg.json", tdg.name));
+    // The default name can collide with the very file the workload came
+    // from (`export --tdg app.tdg.json` for a TDG named "app") — refuse
+    // to clobber the source unless --out names it explicitly.
+    if opts.out.is_none() {
+        let source = opts.tdg.as_deref().or(match &workload {
+            WorkloadSpec::File { path, .. } => Some(path.as_str()),
+            _ => None,
+        });
+        if let Some(src) = source {
+            if same_file(src, &out) {
+                die(&format!(
+                    "export would overwrite its own input {src}; pass --out to choose \
+                     a destination"
+                ));
+            }
+        }
+    }
+    write_tdg(&out, &tdg);
+    println!(
+        "[exported {}: {} tasks, {} types, digest {} -> {out}]",
+        tdg.name,
+        tdg.num_tasks(),
+        tdg.types.len(),
+        tdg.digest
+    );
+}
+
+/// `repro record LABEL|SPEC.json [--backend sim|native] [--out FILE]`:
+/// execute the scenario *and capture the graph it ran* as a replayable
+/// `.tdg.json`. On the native backend each task's profile carries its
+/// observed wall duration (host-calibrated replay); on the simulator the
+/// capture equals the spec's graph and replays bit-identically.
+fn record_tdg(opts: &Opts) {
+    let Some(target) = opts.args.first() else {
+        die("record needs a preset label or a spec file");
+    };
+    let mut spec = if target.ends_with(".json") || target.ends_with(".toml") {
+        reject_conflicting_sources(opts, "record");
+        load_spec(target)
+    } else {
+        ScenarioSpec::preset(target, opts.fast, base_workload(opts))
+            .unwrap_or_else(|e| die(&e.to_string()))
+    };
+    match opts.backend {
+        None => {}
+        Some(BackendSel::Sim) => spec.backend = Backend::Sim,
+        Some(BackendSel::Native) => spec.backend = Backend::Native,
+        Some(BackendSel::Both) => die("record captures one run; use --backend sim|native"),
+    }
+    // The path the workload replays from, if any — `--tdg FILE`, or a
+    // SPEC file whose workload is `File { path }` — so the output guard
+    // below can refuse to clobber it.
+    let replay_source: Option<String> = opts.tdg.clone().or(match &spec.workload {
+        WorkloadSpec::File { path, .. } => Some(path.clone()),
+        _ => None,
+    });
+    let scenario = Scenario::from_spec(spec);
+    let exec = dispatch_executor(opts);
+    let (report, captured) = exec
+        .execute_captured(&scenario)
+        .unwrap_or_else(|e| die(&e.to_string()));
+    println!("{}", report.summary());
+    // The default name is distinct from `export`'s `{name}.tdg.json`, so
+    // `record CATA --tdg Dedup.tdg.json` cannot clobber the replay
+    // source — but re-recording a *previously recorded* artifact (via
+    // `--tdg` or a spec whose `File` workload names one) would default
+    // to its own input path, so the collision is checked explicitly like
+    // `export` does.
+    let out = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| format!("{}.recorded.tdg.json", captured.tdg.name));
+    if opts.out.is_none() {
+        if let Some(src) = replay_source.as_deref() {
+            if same_file(src, &out) {
+                die(&format!(
+                    "record would overwrite its own input {src}; pass --out to choose \
+                     a destination"
+                ));
+            }
+        }
+    }
+    write_tdg(&out, &captured.tdg);
+    println!(
+        "[recorded {} on {}{}: {} tasks, digest {} -> {out}]",
+        captured.tdg.name,
+        captured.backend,
+        if captured.calibrated {
+            ", observed durations"
+        } else {
+            ", spec profiles"
+        },
+        captured.tdg.num_tasks(),
+        captured.tdg.digest
+    );
+}
+
 /// `repro gc STORE SPEC…`: drop records whose `(index, spec_digest)` no
 /// longer appears in the grid the spec files (expanded across `--backend`)
 /// describe — store hygiene after spec edits or grid reshapes.
@@ -636,6 +866,27 @@ fn gc_store(opts: &Opts) {
 
 fn main() {
     let opts = parse_args();
+    // `--tdg` replaces the generator workload of the commands that build
+    // one; accepting it anywhere else would silently run something other
+    // than what the user asked to replay (`run`/`gc` take spec files —
+    // put the TDG in the spec's workload there).
+    if opts.tdg.is_some() && !matches!(opts.cmd.as_str(), "preset" | "spec" | "export" | "record") {
+        die(&format!(
+            "--tdg is not used by `{}` (only preset/spec/export/record replay a TDG file)",
+            opts.cmd
+        ));
+    }
+    // Same silent-ignore class: `run`/`gc` operate on spec files whose
+    // workloads are fully pinned, so an explicit generator flag next to
+    // them would change nothing — reject it rather than run a workload
+    // other than the one the flags described.
+    if matches!(opts.cmd.as_str(), "run" | "gc") && !opts.generator_flags.is_empty() {
+        die(&format!(
+            "{} have no effect on `{}` — its spec files already pin the workload",
+            opts.generator_flags.join("/"),
+            opts.cmd
+        ));
+    }
     let benches = Benchmark::all();
     let t0 = Instant::now();
     let all = opts.cmd == "all";
@@ -648,7 +899,7 @@ fn main() {
             return;
         }
         "preset" => {
-            let workload = WorkloadSpec::parsec(opts.bench, opts.scale, opts.seed);
+            let workload = base_workload(&opts);
             let labels: Vec<String> = if opts.args.is_empty() {
                 [
                     "FIFO",
@@ -676,7 +927,7 @@ fn main() {
         }
         "spec" => {
             let label = opts.args.first().map(String::as_str).unwrap_or("CATA");
-            let workload = WorkloadSpec::parsec(opts.bench, opts.scale, opts.seed);
+            let workload = base_workload(&opts);
             let spec = ScenarioSpec::preset(label, opts.fast, workload)
                 .unwrap_or_else(|e| die(&e.to_string()));
             if opts.emit_toml {
@@ -684,6 +935,16 @@ fn main() {
             } else {
                 println!("{}", spec.to_json_pretty());
             }
+            return;
+        }
+        "export" => {
+            export_tdg(&opts);
+            eprintln!("[done in {:.1}s]", t0.elapsed().as_secs_f64());
+            return;
+        }
+        "record" => {
+            record_tdg(&opts);
+            eprintln!("[done in {:.1}s]", t0.elapsed().as_secs_f64());
             return;
         }
         "merge" => {

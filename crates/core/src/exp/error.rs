@@ -35,6 +35,10 @@ pub enum ExpError {
     Parse(String),
     /// The results store could not be read, validated, or written.
     Store(String),
+    /// The workload's task graph could not be built — a missing,
+    /// malformed, or digest-mismatched TDG file behind an
+    /// `Inline`/`File` workload.
+    Workload(String),
 }
 
 impl fmt::Display for ExpError {
@@ -63,6 +67,7 @@ impl fmt::Display for ExpError {
             ExpError::InvalidSpec(msg) => write!(f, "invalid scenario: {msg}"),
             ExpError::Parse(msg) => write!(f, "spec parse error: {msg}"),
             ExpError::Store(msg) => write!(f, "results store: {msg}"),
+            ExpError::Workload(msg) => write!(f, "workload: {msg}"),
         }
     }
 }

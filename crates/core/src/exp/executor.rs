@@ -13,11 +13,35 @@ use crate::report::RunReport;
 use crate::sim_exec::SimExecutor;
 use cata_cpufreq::backend::DvfsBackend;
 use cata_power::{model_native_energy, EnergyReport, Measurement, RaplReader};
+use cata_sim::progress::ExecProfile;
 use cata_sim::stats::{Counters, LatencySamples};
 use cata_sim::time::SimDuration;
 use cata_sim::trace::Trace;
+use cata_tdg::TdgFile;
+use std::sync::atomic::AtomicU64;
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
+
+/// A run's task graph, captured alongside its report as a replayable
+/// [`TdgFile`] — the `RunReport`-adjacent artifact `repro record` writes.
+///
+/// Sim captures are the spec's graph verbatim (the simulator executes the
+/// profiles exactly as written). Native captures substitute each task's
+/// *observed* wall duration into its profile, so a replay on the simulator
+/// is calibrated to what the host actually did.
+#[derive(Debug, Clone)]
+pub struct CapturedGraph {
+    /// The executor that captured it ("sim", "native").
+    pub backend: String,
+    /// True when the profiles carry observed (host-measured) durations
+    /// rather than the spec's modeled ones.
+    pub calibrated: bool,
+    /// The replayable graph; feed it back through
+    /// [`WorkloadSpec::Inline`](super::spec::WorkloadSpec::Inline) or
+    /// write it to a `.tdg.json` and reference it with
+    /// [`WorkloadSpec::File`](super::spec::WorkloadSpec::File).
+    pub tdg: TdgFile,
+}
 
 /// A backend that can execute scenarios.
 pub trait Executor: Send + Sync {
@@ -26,6 +50,50 @@ pub trait Executor: Send + Sync {
 
     /// Executes the scenario to completion and reports.
     fn execute(&self, scenario: &Scenario) -> Result<RunReport, ExpError>;
+
+    /// Executes the scenario and also captures its task graph as a
+    /// replayable [`CapturedGraph`]. The default implementation captures
+    /// the spec's graph as-is — exact for the simulator, whose replays are
+    /// bit-identical; backends that observe real durations (the native
+    /// executor) override it to substitute what they measured.
+    ///
+    /// The capture is taken *first*, and for the one workload kind with
+    /// no stable content identity — an unpinned `File`, which re-reads
+    /// its file on every build — the run executes the captured graph
+    /// itself (substituted [`WorkloadSpec::Inline`]
+    /// (super::spec::WorkloadSpec::Inline)), so the artifact and the
+    /// report can never describe different graphs even if the file is
+    /// edited mid-run. Every other workload builds deterministically
+    /// through the shared graph cache, so executing the original
+    /// scenario reuses the exact graph just captured (same cache key,
+    /// same `Arc`) instead of paying a rebuild for a substitution that
+    /// could not change anything.
+    fn execute_captured(
+        &self,
+        scenario: &Scenario,
+    ) -> Result<(RunReport, CapturedGraph), ExpError> {
+        scenario.spec().validate()?;
+        let workload = &scenario.spec().workload;
+        let (_graph, tdg) = workload.capture()?;
+        let report = if matches!(
+            workload,
+            super::spec::WorkloadSpec::File { digest: None, .. }
+        ) {
+            let mut pinned = scenario.clone();
+            pinned.spec_mut().workload = super::spec::WorkloadSpec::Inline(tdg.clone());
+            self.execute(&pinned)?
+        } else {
+            self.execute(scenario)?
+        };
+        Ok((
+            report,
+            CapturedGraph {
+                backend: self.name().to_string(),
+                calibrated: false,
+                tdg,
+            },
+        ))
+    }
 }
 
 impl Executor for SimExecutor {
@@ -183,15 +251,27 @@ fn busy_work(iters: u64) -> u64 {
     x
 }
 
-impl Executor for NativeExecutor {
-    fn name(&self) -> &'static str {
-        "native"
-    }
-
-    fn execute(&self, scenario: &Scenario) -> Result<RunReport, ExpError> {
+impl NativeExecutor {
+    /// The execution core shared by [`execute`](Executor::execute) and
+    /// [`execute_captured`](Executor::execute_captured): runs `graph` —
+    /// built *once* by the caller, so the capture path's observed-slot
+    /// array and the spawned tasks can never disagree about the graph
+    /// (an unpinned `File` workload re-reads its file per build) — on
+    /// the thread pool, optionally storing each task's observed wall
+    /// nanoseconds into `observed` (indexed by task id) for calibrated
+    /// graph capture. `workload_label` comes from the same load as
+    /// `graph` for the same reason: a fresh `label()` lookup on an
+    /// unpinned file could name a newer revision than what ran.
+    fn execute_inner(
+        &self,
+        scenario: &Scenario,
+        graph: &cata_tdg::TaskGraph,
+        workload_label: &str,
+        observed: Option<&Arc<Vec<AtomicU64>>>,
+    ) -> Result<RunReport, ExpError> {
+        // Both callers validate the spec before building the graph they
+        // hand in, so the spec is known-good here.
         let spec = scenario.spec();
-        spec.validate()?;
-        let graph = spec.workload.build_graph();
 
         let workers = spec.machine.num_cores.clamp(1, self.max_workers);
         let budget = spec.fast_cores.min(workers);
@@ -250,9 +330,21 @@ impl Executor for NativeExecutor {
             let deps: Vec<_> = task.preds().iter().map(|p| handles[p.index()]).collect();
             let critical = graph.type_of(task.id).criticality > 0;
             let iters = task.profile.cpu_cycles / self.work_divisor;
-            let h = rt.spawn(critical, &deps, move || {
-                std::hint::black_box(busy_work(iters));
-            });
+            let h = match observed {
+                Some(slots) => {
+                    let slots = Arc::clone(slots);
+                    let idx = task.id.index();
+                    rt.spawn(critical, &deps, move || {
+                        let t0 = Instant::now();
+                        std::hint::black_box(busy_work(iters));
+                        let ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                        slots[idx].store(ns, std::sync::atomic::Ordering::Relaxed);
+                    })
+                }
+                None => rt.spawn(critical, &deps, move || {
+                    std::hint::black_box(busy_work(iters));
+                }),
+            };
             handles.push(h);
         }
         rt.wait_all();
@@ -300,7 +392,7 @@ impl Executor for NativeExecutor {
 
         Ok(RunReport {
             label: spec.name.clone(),
-            workload: spec.workload.label(),
+            workload: workload_label.to_string(),
             fast_cores: budget,
             exec_time,
             energy,
@@ -323,7 +415,75 @@ impl Executor for NativeExecutor {
             tasks: graph.num_tasks(),
             // The native backend has no event-trace plumbing.
             trace_counts: None,
+            // A clamped machine is part of the result's identity: a
+            // 32-core spec executed with 8 workers is an 8-core run.
+            effective_cores: (workers != spec.machine.num_cores).then_some(workers),
         })
+    }
+}
+
+impl Executor for NativeExecutor {
+    fn name(&self) -> &'static str {
+        "native"
+    }
+
+    fn execute(&self, scenario: &Scenario) -> Result<RunReport, ExpError> {
+        // Validate before building: an invalid spec must not pay for (or
+        // cache) a paper-scale graph generation just to be rejected.
+        scenario.spec().validate()?;
+        let (graph, label) = scenario.spec().workload.build_labeled_graph()?;
+        self.execute_inner(scenario, &graph, &label, None)
+    }
+
+    /// Native capture substitutes *observed* wall durations into the
+    /// profiles: each task's measured nanoseconds are scaled back up by
+    /// `work_divisor` (undoing the busy-work scale-down) and expressed as
+    /// cycles at the spec machine's slow level, so a replay on the
+    /// simulator reproduces the host's relative task durations at
+    /// sim-comparable magnitudes.
+    fn execute_captured(
+        &self,
+        scenario: &Scenario,
+    ) -> Result<(RunReport, CapturedGraph), ExpError> {
+        let spec = scenario.spec();
+        spec.validate()?;
+        // One workload load serves the execution graph, the observed-slot
+        // sizing *and* the artifact (name included): a separate build or
+        // label lookup could see a different revision of an unpinned
+        // `File` workload than what actually runs.
+        let (graph, mut tdg) = spec.workload.capture()?;
+        let observed: Arc<Vec<AtomicU64>> =
+            Arc::new((0..graph.num_tasks()).map(|_| AtomicU64::new(0)).collect());
+        let report = self.execute_inner(scenario, &graph, &tdg.name, Some(&observed))?;
+
+        let slow_mhz = spec.machine.slow_level.frequency.as_mhz() as u64;
+        for (i, task) in tdg.tasks.iter_mut().enumerate() {
+            // A task that executed took *some* time, even when it beat
+            // the clock's resolution — floor at 1 ns so no captured
+            // profile degenerates to zero-cost.
+            let ns = observed[i]
+                .load(std::sync::atomic::Ordering::Relaxed)
+                .max(1);
+            // duration_at(slow) == observed_ns * work_divisor: cycles =
+            // wall time × cycles-per-ns at the slow clock.
+            let cycles = (ns
+                .saturating_mul(self.work_divisor)
+                .saturating_mul(slow_mhz)
+                / 1000)
+                .max(1);
+            // An observed duration replaces the whole cost model; memory
+            // time and blocking points are folded into what was measured.
+            task.profile = ExecProfile::new(cycles, 0);
+        }
+        tdg.refresh_digest();
+        Ok((
+            report,
+            CapturedGraph {
+                backend: self.name().to_string(),
+                calibrated: true,
+                tdg,
+            },
+        ))
     }
 }
 
@@ -366,6 +526,16 @@ impl Executor for BackendDispatch {
         match scenario.spec().backend {
             Backend::Sim => self.sim.execute(scenario),
             Backend::Native => self.native.execute(scenario),
+        }
+    }
+
+    fn execute_captured(
+        &self,
+        scenario: &Scenario,
+    ) -> Result<(RunReport, CapturedGraph), ExpError> {
+        match scenario.spec().backend {
+            Backend::Sim => self.sim.execute_captured(scenario),
+            Backend::Native => self.native.execute_captured(scenario),
         }
     }
 }

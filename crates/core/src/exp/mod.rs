@@ -62,10 +62,10 @@ pub mod store;
 pub mod suite;
 
 pub use error::ExpError;
-pub use executor::{BackendDispatch, EnergySource, Executor, NativeExecutor};
+pub use executor::{BackendDispatch, CapturedGraph, EnergySource, Executor, NativeExecutor};
 pub use registry::{
-    default_registries, AccelEntry, AllNonCritical, EstimatorEntry, FactoryCtx, PolicyKeys,
-    PolicyRegistries, SchedulerEntry,
+    default_registries, AccelEntry, AllNonCritical, EstimatorEntry, FactoryCtx, PolicyCaps,
+    PolicyKeys, PolicyRegistries, SchedulerEntry,
 };
 pub use scenario::{Scenario, ScenarioBuilder};
 pub use spec::{Backend, PolicyParams, ScenarioSpec, WorkloadSpec};

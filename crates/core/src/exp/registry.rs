@@ -55,13 +55,46 @@ type EstFactory =
 type AccelFactory =
     dyn Fn(&FactoryCtx<'_>) -> Result<Box<dyn AccelManager>, ExpError> + Send + Sync;
 
+/// Capabilities and dispatch metadata of a registered policy — the struct
+/// the registry's former loose `prefer_fast`/`static_hetero` bools grew
+/// into once replayed-graph dispatch became a second consumer. A scheduler
+/// entry contributes `prefer_fast`, an accel entry `static_hetero`;
+/// [`PolicyRegistries::resolve`] merges both into the single
+/// [`ResolvedPolicies::caps`] every executor reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PolicyCaps {
+    /// The executor's dispatch loop should offer idle *fast* cores first
+    /// (CATS exploits core speeds; FIFO is blind).
+    pub prefer_fast: bool,
+    /// The machine is built with statically heterogeneous cores (the
+    /// first `fast_cores` run fast permanently; no reconfiguration).
+    pub static_hetero: bool,
+}
+
+impl PolicyCaps {
+    /// Scheduler-side caps: only the dispatch preference is meaningful.
+    pub fn scheduler(prefer_fast: bool) -> Self {
+        PolicyCaps {
+            prefer_fast,
+            ..Default::default()
+        }
+    }
+
+    /// Accel-side caps: only the machine build is meaningful.
+    pub fn accel(static_hetero: bool) -> Self {
+        PolicyCaps {
+            static_hetero,
+            ..Default::default()
+        }
+    }
+}
+
 /// A registered scheduler: factory plus dispatch metadata.
 #[derive(Clone)]
 pub struct SchedulerEntry {
     factory: Arc<SchedFactory>,
-    /// Whether the executor's dispatch loop should offer idle *fast* cores
-    /// first (CATS exploits core speeds; FIFO is blind).
-    pub prefer_fast: bool,
+    /// Dispatch capabilities (only `prefer_fast` is scheduler-owned).
+    pub caps: PolicyCaps,
 }
 
 /// A registered estimator.
@@ -74,9 +107,8 @@ pub struct EstimatorEntry {
 #[derive(Clone)]
 pub struct AccelEntry {
     factory: Arc<AccelFactory>,
-    /// Whether the machine is built with statically heterogeneous cores
-    /// (the first `fast_cores` run fast permanently; no reconfiguration).
-    pub static_hetero: bool,
+    /// Machine-build capabilities (only `static_hetero` is accel-owned).
+    pub caps: PolicyCaps,
 }
 
 /// The three policy registries of the experiment facade.
@@ -164,7 +196,7 @@ impl PolicyRegistries {
             key.into(),
             SchedulerEntry {
                 factory: Arc::new(factory),
-                prefer_fast,
+                caps: PolicyCaps::scheduler(prefer_fast),
             },
         );
     }
@@ -201,7 +233,7 @@ impl PolicyRegistries {
             key.into(),
             AccelEntry {
                 factory: Arc::new(factory),
-                static_hetero,
+                caps: PolicyCaps::accel(static_hetero),
             },
         );
     }
@@ -303,7 +335,13 @@ impl PolicyRegistries {
         }
         let accel_entry = self.accel_entry(&keys.accel)?;
         let sched_entry = self.scheduler_entry(&keys.scheduler)?;
-        let static_hetero = accel_entry.static_hetero;
+        // The merged capability view: scheduler dispatch preference plus
+        // accel machine build, in one struct.
+        let caps = PolicyCaps {
+            prefer_fast: sched_entry.caps.prefer_fast,
+            static_hetero: accel_entry.caps.static_hetero,
+        };
+        let static_hetero = caps.static_hetero;
         let machine = if static_hetero {
             Machine::new_static_hetero(machine_cfg.clone(), fast_cores)
         } else {
@@ -322,14 +360,13 @@ impl PolicyRegistries {
         let policy = self.build_scheduler(&keys.scheduler, &ctx)?;
         let estimator = self.build_estimator(&keys.estimator, &ctx)?;
         let accel = self.build_accel(&keys.accel, &ctx)?;
-        let prefer_fast = sched_entry.prefer_fast;
         Ok(ResolvedPolicies {
             policy,
             estimator,
             accel,
             machine,
             is_fast_static,
-            prefer_fast,
+            caps,
         })
     }
 }
@@ -374,8 +411,8 @@ pub struct ResolvedPolicies {
     pub machine: Machine,
     /// Per-core static speed class.
     pub is_fast_static: Vec<bool>,
-    /// Dispatch-loop fast-core preference.
-    pub prefer_fast: bool,
+    /// Merged policy capabilities (dispatch preference + machine build).
+    pub caps: PolicyCaps,
 }
 
 impl std::fmt::Debug for ResolvedPolicies {
@@ -384,7 +421,7 @@ impl std::fmt::Debug for ResolvedPolicies {
             .field("policy", &self.policy.name())
             .field("estimator", &self.estimator.name())
             .field("accel", &self.accel.name())
-            .field("prefer_fast", &self.prefer_fast)
+            .field("caps", &self.caps)
             .finish_non_exhaustive()
     }
 }

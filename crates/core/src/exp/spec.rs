@@ -12,10 +12,11 @@ use cata_power::PowerParams;
 use cata_sim::machine::MachineConfig;
 use cata_sim::time::SimDuration;
 use cata_sim::trace::TraceMode;
-use cata_tdg::TaskGraph;
+use cata_tdg::{TaskGraph, TdgFile};
 use cata_workloads::{generate, micro, Benchmark, Scale};
 use serde::{DeError, Deserialize, Serialize, Value};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
 
 /// Which executor a scenario runs on. A suite axis: the same spec grid can
 /// carry sim and native cells side by side, and the backend is part of the
@@ -75,7 +76,13 @@ impl Deserialize for Backend {
 }
 
 /// The workload a scenario runs: a PARSECSs-shaped generator or one of the
-/// micro-graphs, with every generation parameter pinned.
+/// micro-graphs with every generation parameter pinned — or, since the TDG
+/// capture & replay subsystem, a concrete task graph itself: [`Inline`]
+/// (WorkloadSpec::Inline) embeds a [`TdgFile`] in the spec, and [`File`]
+/// (WorkloadSpec::File) references a `.tdg.json` on disk pinned by its
+/// content digest. Both replay through every executor, suite, shard and
+/// store path exactly like a generated workload (the TDG participates in
+/// the spec digest, so a cell's identity sees the graph's content).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum WorkloadSpec {
     /// One of the paper's six benchmarks at a given scale and seed.
@@ -125,6 +132,116 @@ pub enum WorkloadSpec {
         /// Generation seed.
         seed: u64,
     },
+    /// A concrete task graph embedded in the spec — a captured/exported
+    /// [`TdgFile`] carried inline, so the spec is a self-contained,
+    /// shippable experiment artifact.
+    Inline(TdgFile),
+    /// A task graph stored in a `.tdg.json` (or `.toml`) file. `digest`
+    /// pins the file's *content* digest: the spec digest (and therefore
+    /// the cell identity in stores) sees it, so an edited TDG is a new
+    /// cell, never a silent cache hit. `None` accepts whatever content the
+    /// path holds — convenient while iterating, but unpinned: stores
+    /// cannot tell two revisions apart.
+    File {
+        /// Path to the TDG file.
+        path: String,
+        /// Expected content digest ([`TdgFile::content_digest`]), or
+        /// `None` to accept any content.
+        digest: Option<String>,
+    },
+}
+
+/// A tiny process-wide FIFO memo: string keys, linear scan (these caches
+/// stay small), FIFO eviction at `cap`, duplicate puts are no-ops. Both
+/// the TDG-file cache and the graph cache are instances, so their lock
+/// handling and eviction behavior cannot drift apart.
+struct FifoCache<V> {
+    cap: usize,
+    entries: Mutex<Vec<(String, Arc<V>)>>,
+}
+
+impl<V> FifoCache<V> {
+    const fn new(cap: usize) -> Self {
+        FifoCache {
+            cap,
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn get(&self, key: &str) -> Option<Arc<V>> {
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| Arc::clone(v))
+    }
+
+    fn put(&self, key: String, value: &Arc<V>) {
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        if !entries.iter().any(|(k, _)| *k == key) {
+            if entries.len() >= self.cap {
+                entries.remove(0);
+            }
+            entries.push((key, Arc::clone(value)));
+        }
+    }
+}
+
+/// The process-wide cache behind [`load_tdg_cached`], keyed by
+/// `path\0digest`. Only digest-*pinned* loads live here — a pinned
+/// digest names immutable content, so entries can never go stale.
+static TDG_CACHE: FifoCache<TdgFile> = FifoCache::new(16);
+
+fn tdg_cache_key(path: &str, digest: Option<&str>) -> String {
+    format!("{path}\u{0}{}", digest.unwrap_or(""))
+}
+
+/// The memoized TDG file loader behind [`WorkloadSpec::File`]: a
+/// `File`-workload's graph, label and cost estimate all consult the file,
+/// and a suite may hold thousands of cells over one TDG — so each
+/// *pinned* `(path, digest)` is read and parsed once per process (content
+/// behind a verified pin is immutable by identity, so a cached copy can
+/// never go stale). Unpinned loads (`digest: None`) bypass the cache in
+/// both directions: the variant's contract is "accept whatever the path
+/// holds *right now*", and a process-wide cache would silently keep
+/// serving the first revision it saw while the user iterates on the
+/// file. Failures are never cached (a fixed file is picked up on retry).
+fn load_tdg_cached(path: &str, digest: Option<&str>) -> Result<Arc<TdgFile>, ExpError> {
+    if let Some(want) = digest {
+        if let Some(file) = TDG_CACHE.get(&tdg_cache_key(path, Some(want))) {
+            return Ok(file);
+        }
+    }
+    let text =
+        std::fs::read_to_string(path).map_err(|e| ExpError::Workload(format!("{path}: {e}")))?;
+    let file = if path.ends_with(".toml") {
+        TdgFile::from_toml(&text)
+    } else {
+        TdgFile::from_json(&text)
+    }
+    .map_err(|e| ExpError::Workload(format!("{path}: {e}")))?;
+    let file = Arc::new(file);
+    if let Some(want) = digest {
+        let actual = file.content_digest();
+        if actual != want {
+            return Err(ExpError::Workload(format!(
+                "{path}: content digest {actual} does not match the spec's pin {want} \
+                 (the file changed since the spec was written)"
+            )));
+        }
+        TDG_CACHE.put(tdg_cache_key(path, Some(want)), &file);
+    }
+    Ok(file)
+}
+
+/// `app.tdg.json` → `app`: the label fallback when a `File` workload
+/// cannot be read (reports still need *some* name).
+fn tdg_file_stem(path: &str) -> String {
+    let stem = Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or(path);
+    stem.strip_suffix(".tdg").unwrap_or(stem).to_string()
 }
 
 impl WorkloadSpec {
@@ -134,9 +251,29 @@ impl WorkloadSpec {
         WorkloadSpec::Parsec { bench, scale, seed }
     }
 
-    /// Generates the task graph this spec describes (deterministic).
-    pub fn build_graph(&self) -> TaskGraph {
-        match *self {
+    /// A digest-pinned [`File`](WorkloadSpec::File) workload: reads the
+    /// TDG at `path` once to compute its content digest, so the resulting
+    /// spec — and every store cell derived from it — names this exact
+    /// revision of the graph.
+    pub fn tdg_file_pinned(path: impl Into<String>) -> Result<Self, ExpError> {
+        let path = path.into();
+        let file = load_tdg_cached(&path, None)?;
+        let digest = file.content_digest();
+        // Seed the digest-qualified cache entry: the loads the pinned
+        // spec makes next (graph build, label, cost) hit it instead of
+        // re-reading the file.
+        TDG_CACHE.put(tdg_cache_key(&path, Some(&digest)), &file);
+        Ok(WorkloadSpec::File {
+            path,
+            digest: Some(digest),
+        })
+    }
+
+    /// Builds the task graph this spec describes (deterministic). Unlike
+    /// the generators, `Inline`/`File` workloads can carry a malformed or
+    /// missing TDG; this is the fallible path every executor uses.
+    pub fn try_build_graph(&self) -> Result<TaskGraph, ExpError> {
+        Ok(match *self {
             WorkloadSpec::Parsec { bench, scale, seed } => generate(bench, scale, seed),
             WorkloadSpec::Chain { n, cycles } => micro::chain(n, cycles),
             WorkloadSpec::ForkJoin {
@@ -156,41 +293,174 @@ impl WorkloadSpec {
                 max_cycles,
                 seed,
             } => micro::random_dag(n, edge_p, min_cycles, max_cycles, seed),
-        }
+            WorkloadSpec::Inline(ref tdg) => tdg
+                .to_graph()
+                .map_err(|e| ExpError::Workload(format!("inline TDG: {e}")))?,
+            WorkloadSpec::File {
+                ref path,
+                ref digest,
+            } => load_tdg_cached(path, digest.as_deref())?
+                .to_graph()
+                .map_err(|e| ExpError::Workload(format!("{path}: {e}")))?,
+        })
     }
 
-    /// Like [`build_graph`](Self::build_graph), but memoized process-wide
-    /// behind an `Arc`: matrices and sweeps run the same workload under
-    /// many configurations, and generation is deterministic, so identical
-    /// specs share one graph. The cache is small and FIFO-evicted; misses
-    /// just regenerate.
-    pub fn build_graph_shared(&self) -> Arc<TaskGraph> {
-        type GraphCache = Mutex<Vec<(String, Arc<TaskGraph>)>>;
-        const CAP: usize = 32;
-        static CACHE: OnceLock<GraphCache> = OnceLock::new();
-        let key = serde_json::to_string(self).expect("workload spec serializes");
-        let cache = CACHE.get_or_init(|| Mutex::new(Vec::new()));
-        {
-            let entries = cache.lock().unwrap_or_else(|e| e.into_inner());
-            if let Some((_, graph)) = entries.iter().find(|(k, _)| *k == key) {
-                return Arc::clone(graph);
-            }
+    /// Generates the task graph this spec describes (deterministic).
+    ///
+    /// # Panics
+    /// Panics when an `Inline`/`File` TDG cannot be loaded or validated;
+    /// use [`try_build_graph`](Self::try_build_graph) where errors must
+    /// surface as values (every executor does).
+    pub fn build_graph(&self) -> TaskGraph {
+        self.try_build_graph()
+            .unwrap_or_else(|e| panic!("workload graph unavailable: {e}"))
+    }
+
+    /// Like [`try_build_graph`](Self::try_build_graph), but memoized
+    /// process-wide behind an `Arc`: matrices and sweeps run the same
+    /// workload under many configurations, and generation is
+    /// deterministic, so identical specs share one graph. The cache is
+    /// small and FIFO-evicted; misses just regenerate.
+    pub fn try_build_graph_shared(&self) -> Result<Arc<TaskGraph>, ExpError> {
+        static CACHE: FifoCache<TaskGraph> = FifoCache::new(32);
+        // Unpinned file workloads have no stable content identity to key
+        // a cache on ("accept whatever the path holds right now"), so
+        // they build fresh every time — a cached graph would silently
+        // survive edits to the file.
+        let Some(key) = self.try_graph_cache_key()? else {
+            return Ok(Arc::new(self.try_build_graph()?));
+        };
+        if let Some(graph) = CACHE.get(&key) {
+            return Ok(graph);
         }
         // Generate outside the lock so distinct workloads build in
-        // parallel; a racing duplicate is deterministic and harmless.
-        let graph = Arc::new(self.build_graph());
-        let mut entries = cache.lock().unwrap_or_else(|e| e.into_inner());
-        if let Some((_, cached)) = entries.iter().find(|(k, _)| *k == key) {
-            return Arc::clone(cached);
-        }
-        if entries.len() >= CAP {
-            entries.remove(0);
-        }
-        entries.push((key, Arc::clone(&graph)));
-        graph
+        // parallel; a racing duplicate is deterministic and harmless
+        // (`put` keeps the first copy).
+        let graph = Arc::new(self.try_build_graph()?);
+        CACHE.put(key, &graph);
+        Ok(graph)
     }
 
-    /// The workload label used in reports.
+    /// The graph cache's key for this workload, or `None` for workloads
+    /// with no stable content identity (unpinned `File`s), which must
+    /// not be cached. Generators serialize their (small) parameter
+    /// struct. `Inline` runs the file's full header check
+    /// ([`TdgFile::verify`]) and keys on the *computed* content digest —
+    /// 16 hex chars, so probes compare tiny keys instead of a fully
+    /// serialized spec, and crucially *never* the unchecked embedded
+    /// digest field: trusting an embedded digest that an edit left stale
+    /// would alias the edited graph to the original's cache entry, and
+    /// skipping verification at probe time would make an invalid file
+    /// (wrong schema, corrupt digest) succeed or fail depending on cache
+    /// warmth. Pinned `File`s key on `path + pin`: the pin is verified
+    /// against content on every fresh load, so it faithfully names what
+    /// the cache holds.
+    fn try_graph_cache_key(&self) -> Result<Option<String>, ExpError> {
+        Ok(match self {
+            WorkloadSpec::Inline(tdg) => {
+                let digest = tdg
+                    .verify()
+                    .map_err(|e| ExpError::Workload(format!("inline TDG: {e}")))?;
+                Some(format!("inline\u{0}{digest}"))
+            }
+            WorkloadSpec::File {
+                path,
+                digest: Some(pin),
+            } => Some(format!("tdg-file\u{0}{path}\u{0}{pin}")),
+            WorkloadSpec::File { digest: None, .. } => None,
+            other => Some(serde_json::to_string(other).expect("workload spec serializes")),
+        })
+    }
+
+    /// True when [`try_build_graph_shared`](Self::try_build_graph_shared)
+    /// can serve this workload from the process-wide cache — i.e. it has
+    /// a stable content identity. Unpinned `File`s do not: warming the
+    /// cache for them is pure waste (the build is discarded and the run
+    /// re-reads the file).
+    pub fn graph_cache_eligible(&self) -> bool {
+        !matches!(self, WorkloadSpec::File { digest: None, .. })
+    }
+
+    /// Builds the graph *and* its replayable [`TdgFile`] form from one
+    /// workload load — the capture primitive behind
+    /// [`Executor::execute_captured`](super::executor::Executor::execute_captured).
+    /// For file workloads the artifact's name and its tasks come from the
+    /// same read: a separate `label()` lookup could see a *different
+    /// revision* of an unpinned file than the graph build did (the
+    /// mid-edit race), producing a misnamed artifact. The returned file
+    /// always carries a fresh content digest.
+    pub fn capture(&self) -> Result<(Arc<TaskGraph>, TdgFile), ExpError> {
+        match self {
+            WorkloadSpec::File { path, digest } => {
+                let (graph, file) = self.load_file_graph(path, digest)?;
+                let mut tdg = (*file).clone();
+                tdg.refresh_digest();
+                Ok((graph, tdg))
+            }
+            WorkloadSpec::Inline(tdg) => {
+                let graph = self.try_build_graph_shared()?;
+                let mut tdg = tdg.clone();
+                tdg.refresh_digest();
+                Ok((graph, tdg))
+            }
+            generator => {
+                let graph = generator.try_build_graph_shared()?;
+                let tdg = TdgFile::from_graph(generator.label(), &graph);
+                Ok((graph, tdg))
+            }
+        }
+    }
+
+    /// Builds the graph *and* the report label from one workload load —
+    /// what every executor's plain-run path uses so a `RunReport` (and
+    /// any store cell keyed from it) can never carry the name of a
+    /// *different revision* of an unpinned `File` than the graph that
+    /// actually ran.
+    pub fn build_labeled_graph(&self) -> Result<(Arc<TaskGraph>, String), ExpError> {
+        match self {
+            WorkloadSpec::File { path, digest } => {
+                let (graph, file) = self.load_file_graph(path, digest)?;
+                Ok((graph, file.name.clone()))
+            }
+            other => Ok((other.try_build_graph_shared()?, other.label())),
+        }
+    }
+
+    /// One-load graph + file pair for a `File` workload: pinned loads hit
+    /// the caches (the pin names immutable content), unpinned ones build
+    /// the graph from the very read that produced the file — a second
+    /// read could see a newer revision.
+    fn load_file_graph(
+        &self,
+        path: &str,
+        digest: &Option<String>,
+    ) -> Result<(Arc<TaskGraph>, Arc<TdgFile>), ExpError> {
+        let file = load_tdg_cached(path, digest.as_deref())?;
+        let graph = match digest {
+            // Pinned: the load above verified the pin, so the shared
+            // cache (keyed on path + pin) is coherent with it by
+            // construction.
+            Some(_) => self.try_build_graph_shared()?,
+            None => Arc::new(
+                file.to_graph()
+                    .map_err(|e| ExpError::Workload(format!("{path}: {e}")))?,
+            ),
+        };
+        Ok((graph, file))
+    }
+
+    /// Panicking form of [`try_build_graph_shared`]
+    /// (Self::try_build_graph_shared), for callers whose workloads are
+    /// generators by construction.
+    pub fn build_graph_shared(&self) -> Arc<TaskGraph> {
+        self.try_build_graph_shared()
+            .unwrap_or_else(|e| panic!("workload graph unavailable: {e}"))
+    }
+
+    /// The workload label used in reports. Replayed TDGs report the name
+    /// recorded in the file — an exported generator replays under the
+    /// generator's own label, so its `RunReport` is bit-identical to the
+    /// original run's.
     pub fn label(&self) -> String {
         match self {
             WorkloadSpec::Parsec { bench, .. } => bench.name().to_string(),
@@ -198,16 +468,34 @@ impl WorkloadSpec {
             WorkloadSpec::ForkJoin { waves, width, .. } => format!("forkjoin-{waves}x{width}"),
             WorkloadSpec::SkewedDiamond { width, .. } => format!("diamond-{width}"),
             WorkloadSpec::RandomDag { n, .. } => format!("randdag-{n}"),
+            WorkloadSpec::Inline(tdg) => tdg.name.clone(),
+            WorkloadSpec::File { path, digest } => {
+                match load_tdg_cached(path, digest.as_deref()) {
+                    Ok(tdg) => tdg.name.clone(),
+                    // An unloadable file still needs a report label; the
+                    // run itself will surface the error.
+                    Err(_) => tdg_file_stem(path),
+                }
+            }
         }
     }
 
-    /// A coarse, deterministic estimate of this workload's total work in
-    /// cycles — used only for cost-aware shard assignment
-    /// ([`Suite::shard_ordered`](super::suite::Suite::shard_ordered)), so
-    /// it must be cheap (no graph generation) and stable across processes,
-    /// not accurate in absolute terms.
-    pub fn cost_estimate(&self) -> u64 {
-        match *self {
+    /// A deterministic estimate of this workload's total work in cycles —
+    /// used only for cost-aware shard assignment
+    /// ([`Suite::shard_ordered`](super::suite::Suite::shard_ordered)).
+    /// Generator estimates are coarse shape guesses (cheap: no graph
+    /// generation, stable across processes). `Inline`/`File` workloads
+    /// carry their profiles, so their estimate is *exact* — the sum of
+    /// per-task work — which is what lets snake sharding order replayed
+    /// grids correctly (a shape guess for a concrete graph would rank a
+    /// heavy captured app below a tiny generated one).
+    ///
+    /// The `Err` case exists for `File` workloads whose file cannot be
+    /// read: snake sharding *must* fail loudly there — a host that
+    /// silently ranked the cell at 0 would deal the grid differently
+    /// from its peer shards, breaking the disjoint/covering guarantee.
+    pub fn try_cost_estimate(&self) -> Result<u64, ExpError> {
+        Ok(match *self {
             // PARSECSs generators repeat a per-benchmark frame pattern
             // `scale.factor()` times; a few hundred tasks of ~100k cycles
             // per factor unit is the right order of magnitude.
@@ -231,7 +519,20 @@ impl WorkloadSpec {
                 max_cycles,
                 ..
             } => (n as u64).saturating_mul(min_cycles / 2 + max_cycles / 2),
-        }
+            WorkloadSpec::Inline(ref tdg) => tdg.total_work_cycles(),
+            WorkloadSpec::File {
+                ref path,
+                ref digest,
+            } => load_tdg_cached(path, digest.as_deref())?.total_work_cycles(),
+        })
+    }
+
+    /// Infallible form of [`try_cost_estimate`](Self::try_cost_estimate):
+    /// an unreadable `File` ranks 0. Fine for display and local
+    /// heuristics; cross-process shard assignment must use the fallible
+    /// form (and does).
+    pub fn cost_estimate(&self) -> u64 {
+        self.try_cost_estimate().unwrap_or(0)
     }
 }
 

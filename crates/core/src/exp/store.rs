@@ -27,6 +27,10 @@
 use super::error::ExpError;
 use super::spec::ScenarioSpec;
 use crate::report::RunReport;
+// The workspace-wide digest function: sharing TDG content digests' FNV-1a
+// keeps every identity — spec, grid, graph — in one namespace by
+// construction.
+use cata_tdg::fnv1a_hex as fnv1a;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
@@ -36,15 +40,6 @@ use std::sync::Mutex;
 
 /// Format tag carried by every record; bumped on breaking layout changes.
 pub const STORE_SCHEMA: &str = "cata-results/v1";
-
-fn fnv1a(bytes: impl Iterator<Item = u8>) -> String {
-    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
-    for b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    format!("{h:016x}")
-}
 
 /// Stable 64-bit digest (FNV-1a) of a spec's compact JSON form — the cell
 /// identity the store keys on. Field order in the vendored serde is
@@ -105,10 +100,15 @@ impl CellRecord {
         CellRecord {
             schema: STORE_SCHEMA.to_string(),
             index,
+            // The workload name comes from the report, which carries the
+            // label of the load that actually ran — `spec.workload.label()`
+            // would re-read an unpinned TDG file here and could name a
+            // *different revision* than the executed graph (and costs a
+            // disk read per stored cell even when pinned).
             cell: format!(
                 "{}@{}/f{}/{}",
                 spec.name,
-                spec.workload.label(),
+                report.workload,
                 spec.fast_cores,
                 spec.backend.name()
             ),

@@ -260,13 +260,36 @@ impl Suite {
                 // in every process), then deal serpentine: row r of `of`
                 // cells runs forward on even rows, backward on odd ones,
                 // so no shard collects all the heavy heads.
+                //
+                // Cost lookup is the *fallible* form, and unpinned TDG
+                // files are refused outright: every shard of one grid
+                // must rank cells identically, so a `File` the host
+                // cannot read must abort the deal (a silent 0 would rank
+                // differently than where the file resolves), and an
+                // unpinned file has no cross-host content identity at
+                // all — peer shards reading different revisions would
+                // deal from different rankings, breaking the
+                // disjoint/covering guarantee with no error anywhere.
+                let costs: Vec<u64> = self
+                    .scenarios
+                    .iter()
+                    .map(|s| match &s.spec().workload {
+                        crate::exp::spec::WorkloadSpec::File { path, digest: None } => {
+                            Err(ExpError::Workload(format!(
+                                "snake sharding requires digest-pinned TDG files: {path} is \
+                             unpinned, so peer shards could rank different revisions \
+                             (pin it, or use --shard-order striped)"
+                            )))
+                        }
+                        w => w.try_cost_estimate().map_err(|e| {
+                            ExpError::Workload(format!(
+                                "snake sharding needs every cell's cost: {e}"
+                            ))
+                        }),
+                    })
+                    .collect::<Result<_, _>>()?;
                 let mut rank: Vec<usize> = (0..self.scenarios.len()).collect();
-                rank.sort_by_key(|&p| {
-                    (
-                        std::cmp::Reverse(self.scenarios[p].spec().workload.cost_estimate()),
-                        self.indices[p],
-                    )
-                });
+                rank.sort_by_key(|&p| (std::cmp::Reverse(costs[p]), self.indices[p]));
                 let mut keep = vec![false; self.scenarios.len()];
                 for (pos, &p) in rank.iter().enumerate() {
                     let (row, col) = (pos / of, pos % of);
@@ -402,8 +425,16 @@ impl Suite {
             // Warm the shared graph cache outside the timed window, so
             // `wall_s` measures execution rather than workload generation
             // — the same methodology as the perf harness, keeping stored
-            // timings comparable to `BENCH_engine.json` summaries.
-            let _ = self.scenarios[pos].spec().workload.build_graph_shared();
+            // timings comparable to `BENCH_engine.json` summaries. A
+            // failing workload (e.g. a missing TDG file) is not an error
+            // here: the execute below surfaces it per cell. Unpinned
+            // `File` workloads cannot be warmed (nothing is cached for
+            // them, by design), so skip the wasted build — their
+            // `wall_s` includes the file read + graph construction.
+            let workload = &self.scenarios[pos].spec().workload;
+            if workload.graph_cache_eligible() {
+                let _ = workload.try_build_graph_shared();
+            }
             let t0 = Instant::now();
             let result = executor.execute(&self.scenarios[pos]);
             let wall_s = t0.elapsed().as_secs_f64();

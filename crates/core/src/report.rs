@@ -39,6 +39,13 @@ pub struct RunReport {
     /// serialized form — when tracing was off, so stored JSONL cells only
     /// pay for counts that exist.
     pub trace_counts: Option<TraceCounts>,
+    /// The worker count the run *actually* used, when it differs from the
+    /// spec's machine: the native executor clamps the machine to the host,
+    /// so a 32-core spec executed on an 8-core laptop is an 8-core result
+    /// and must say so. `None` — and skipped in the serialized form, so
+    /// sim reports and legacy stores stay byte-identical — when the run
+    /// honored the spec machine exactly (every sim run does).
+    pub effective_cores: Option<usize>,
 }
 
 // Serde is hand-written (the vendored derive has no `#[serde(skip…)]`
@@ -73,6 +80,9 @@ impl Serialize for RunReport {
         if let Some(tc) = &self.trace_counts {
             m.push(("trace_counts".into(), tc.to_value()));
         }
+        if let Some(n) = self.effective_cores {
+            m.push(("effective_cores".into(), n.to_value()));
+        }
         Value::Map(m)
     }
 }
@@ -94,6 +104,7 @@ impl Deserialize for RunReport {
             core_utilization: serde::field(m, "core_utilization", "RunReport")?,
             tasks: serde::field(m, "tasks", "RunReport")?,
             trace_counts: serde::field(m, "trace_counts", "RunReport")?,
+            effective_cores: serde::field(m, "effective_cores", "RunReport")?,
         })
     }
 }
@@ -133,8 +144,14 @@ impl RunReport {
             "n/a".to_string()
         };
         let edp = cata_power::fmt_metric(self.energy.edp, has, 6);
+        // A clamped native run is an N-core result, whatever the spec's
+        // machine said — make the effective machine visible inline.
+        let cores = match self.effective_cores {
+            Some(n) => format!(" cores={n}"),
+            None => String::new(),
+        };
         format!(
-            "{:<10} {:<14} fast={:<2} time={:<12} energy={energy} edp={edp} src={} tasks={} reconfigs={} (overhead {:.2}%)",
+            "{:<10} {:<14} fast={:<2}{cores} time={:<12} energy={energy} edp={edp} src={} tasks={} reconfigs={} (overhead {:.2}%)",
             self.label,
             self.workload,
             self.fast_cores,
@@ -174,6 +191,7 @@ mod tests {
             core_utilization: vec![0.5, 1.0],
             tasks: 10,
             trace_counts: None,
+            effective_cores: None,
         }
     }
 
@@ -238,5 +256,28 @@ mod tests {
         assert!(json.contains("trace_counts"));
         let back: RunReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.trace_counts, with.trace_counts);
+    }
+
+    #[test]
+    fn effective_cores_are_skipped_when_absent_and_surface_when_clamped() {
+        let r = report(100, 1.0);
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(
+            !json.contains("effective_cores"),
+            "sim reports must keep the legacy layout: {json}"
+        );
+        assert!(!r.summary().contains("cores="), "{}", r.summary());
+
+        let mut clamped = report(100, 1.0);
+        clamped.effective_cores = Some(4);
+        let json = serde_json::to_string(&clamped).unwrap();
+        assert!(json.contains("\"effective_cores\":4"), "{json}");
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.effective_cores, Some(4));
+        assert!(
+            clamped.summary().contains("cores=4"),
+            "{}",
+            clamped.summary()
+        );
     }
 }

@@ -374,13 +374,11 @@ impl SimExecutor {
             spec.seed,
             &spec.params_or_default(),
         )?;
-        let graph = spec.workload.build_graph_shared();
-        let (report, trace) = run_with_scratch(
-            &EngineParams::from(spec),
-            resolved,
-            &graph,
-            &spec.workload.label(),
-        );
+        // Graph and report label come from one workload load, so a store
+        // cell can never name a different revision of an unpinned TDG
+        // file than the graph that actually ran.
+        let (graph, label) = spec.workload.build_labeled_graph()?;
+        let (report, trace) = run_with_scratch(&EngineParams::from(spec), resolved, &graph, &label);
         Ok((report, trace))
     }
 }
@@ -433,7 +431,7 @@ impl<'g> Engine<'g> {
             accel,
             machine,
             is_fast_static,
-            prefer_fast,
+            caps,
         } = resolved;
 
         let n = graph.num_tasks();
@@ -452,7 +450,7 @@ impl<'g> Engine<'g> {
         indegree.extend(graph.task_ids().map(|t| graph.preds(t).len() as u32));
         crit.clear();
         crit.resize(n, false);
-        idle.reset(n_cores, prefer_fast, &is_fast_static);
+        idle.reset(n_cores, caps.prefer_fast, &is_fast_static);
 
         Engine {
             cfg,
@@ -539,6 +537,8 @@ impl<'g> Engine<'g> {
             // Counters/Full runs tally every event kind; surface the
             // tallies so stored sweep cells carry them for dashboards.
             trace_counts: self.trace.is_enabled().then(|| *self.trace.counts()),
+            // The simulator always runs the spec's machine verbatim.
+            effective_cores: None,
         };
         let scratch = EngineScratch {
             events: self.events,

@@ -18,7 +18,11 @@
 //!   paper charges against the `CATS+BL` configuration;
 //! - [`criticality`]: the two criticality estimators compared in the paper —
 //!   static annotations (`CATS+SA`/CATA) and dynamic bottom-level
-//!   (`CATS+BL`).
+//!   (`CATS+BL`);
+//! - [`file`]: the portable `.tdg.json` form of a graph — a schema-tagged,
+//!   digest-pinned [`TdgFile`] convertible losslessly to and from
+//!   [`TaskGraph`], so captured graphs are storable, shareable, replayable
+//!   workloads.
 //!
 //! ```
 //! use cata_tdg::graph::TaskGraph;
@@ -43,9 +47,11 @@
 pub mod bottom_level;
 pub mod criticality;
 pub mod deps;
+pub mod file;
 pub mod graph;
 pub mod task;
 
 pub use criticality::{BottomLevelEstimator, CriticalityEstimator, StaticAnnotations};
+pub use file::{fnv1a_hex, TdgFile, TdgFileError, TdgTask, TDG_SCHEMA};
 pub use graph::TaskGraph;
 pub use task::{TaskId, TypeId};
