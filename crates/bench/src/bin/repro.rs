@@ -13,6 +13,7 @@
 //! repro multilevel      A4: multi-level DVFS extension
 //! repro all             everything above
 //! repro run SPEC...     run scenario spec files (.json/.toml) as a suite
+//! repro serve TARGET    open-system service run (streaming arrivals)
 //! repro preset NAME...  run paper presets by label (FIFO, CATA, ...)
 //! repro spec NAME       print a preset's spec as JSON (edit → `repro run`)
 //! repro export [SPEC]   write a workload's task graph as a .tdg.json
@@ -39,6 +40,19 @@
 //! pinned) as their workload, and `run` accepts spec files whose workload
 //! is `Inline`/`File`. An exported generator replayed from its `.tdg.json`
 //! produces a bit-identical sim report.
+//!
+//! Service mode (`serve`): `repro serve TARGET` — a preset label or a
+//! `ServiceSpec` JSON file — runs the open-system engine, where graph
+//! instances *arrive continuously* instead of one graph running to
+//! completion. Traffic comes from exactly one source: `--rate R`
+//! arrivals/sec (`--arrival poisson|fixed`, default poisson, over
+//! `--duration T`, e.g. `50ms`), or `--tape FILE` replaying a recorded
+//! traffic tape (digest-pinned, bit-identical). `--record-tape FILE`
+//! saves a generated run's traffic for later replay; `--admission P`
+//! (`admit-all`/`queue-cap`/`shed-noncritical`) and `--queue-cap N`
+//! pick the front-door policy; `--store FILE` appends the run as a
+//! JSONL cell. The report adds p50/p99/p999 response time, queue-wait
+//! vs service-time split, sustained graphs/sec, and drop accounting.
 //!
 //! Backends (`run`/`preset`/`gc`): `--backend sim|native|both` selects the
 //! executor per cell (`both` duplicates every spec into a sim + native
@@ -75,10 +89,15 @@ use cata_bench::sweeps;
 use cata_bench::tables::{fmt_energy, Table};
 use cata_core::exp::{
     Backend, BackendDispatch, CellRecord, EnergySource, Executor, NativeExecutor, ResultsStore,
-    Scenario, ScenarioSpec, ShardOrder, Suite, WorkloadSpec,
+    Scenario, ScenarioSpec, ShardOrder, Suite, WorkloadSpec, STORE_SCHEMA,
 };
-use cata_core::RunReport;
+use cata_core::service::{
+    default_admission_registry, replay_tape, run_service, AdmissionParams, ArrivalSpec,
+    ServiceSpec, TrafficTape,
+};
+use cata_core::{exp::default_registries, RunReport};
 use cata_cpufreq::backend::{DvfsBackend, MockDvfs};
+use cata_sim::time::SimDuration;
 use cata_tdg::TdgFile;
 use cata_workloads::{Benchmark, Scale};
 use std::sync::Arc;
@@ -117,12 +136,34 @@ struct Opts {
     /// `merge --fig fig4|fig5`: render figure panels from the merged store.
     fig: Option<String>,
     /// `--tdg FILE`: replay this TDG file as the workload of
-    /// `preset`/`spec` (content-digest pinned at parse time).
+    /// `preset`/`spec`/`serve` (content-digest pinned at parse time).
     tdg: Option<String>,
+    /// `serve --rate R`: generated arrival rate, graph instances/sec.
+    rate: Option<f64>,
+    /// `serve --arrival poisson|fixed`: shape of generated traffic.
+    arrival: Option<ArrivalKind>,
+    /// `serve --tape FILE`: replay this traffic tape instead of
+    /// generating arrivals (mutually exclusive with `--rate`).
+    tape: Option<String>,
+    /// `serve --duration T`: arrival window (`50ms`, `2s`, `500us`;
+    /// a bare number is milliseconds).
+    duration: Option<SimDuration>,
+    /// `serve --admission P`: admission-policy registry key.
+    admission: Option<String>,
+    /// `serve --queue-cap N`: in-flight cap for the bounded policies.
+    queue_cap: Option<usize>,
+    /// `serve --record-tape FILE`: save the generated traffic tape.
+    record_tape: Option<String>,
     /// Generator flags the user passed *explicitly* (`--bench`,
     /// `--scale`, `--seed`), so commands that take a SPEC file can
     /// reject them instead of silently ignoring a conflicting source.
     generator_flags: Vec<&'static str>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ArrivalKind {
+    Poisson,
+    Fixed,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -172,6 +213,13 @@ fn parse_args() -> Opts {
     let mut spec_files = Vec::new();
     let mut fig = None;
     let mut tdg = None;
+    let mut rate = None;
+    let mut arrival = None;
+    let mut tape = None;
+    let mut duration = None;
+    let mut admission = None;
+    let mut queue_cap = None;
+    let mut record_tape = None;
     let mut generator_flags = Vec::new();
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -268,6 +316,53 @@ fn parse_args() -> Opts {
             "--tdg" => {
                 tdg = Some(args.next().unwrap_or_else(|| die("missing --tdg file")));
             }
+            "--rate" => {
+                let r: f64 = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("bad --rate (want arrivals/sec)"));
+                if !r.is_finite() || r <= 0.0 {
+                    die(&format!("bad --rate {r} (want a positive arrivals/sec)"));
+                }
+                rate = Some(r);
+            }
+            "--arrival" => {
+                arrival = Some(match args.next().as_deref() {
+                    Some("poisson") => ArrivalKind::Poisson,
+                    Some("fixed") => ArrivalKind::Fixed,
+                    other => die(&format!("bad --arrival {other:?} (want poisson|fixed)")),
+                });
+            }
+            "--tape" => {
+                tape = Some(args.next().unwrap_or_else(|| die("missing --tape file")));
+            }
+            "--duration" => {
+                let text = args
+                    .next()
+                    .unwrap_or_else(|| die("missing --duration (e.g. 50ms, 2s, 500us)"));
+                duration = Some(
+                    parse_duration(&text).unwrap_or_else(|| die(&format!("bad --duration {text}"))),
+                );
+            }
+            "--admission" => {
+                admission = Some(
+                    args.next()
+                        .unwrap_or_else(|| die("missing --admission key")),
+                );
+            }
+            "--queue-cap" => {
+                queue_cap = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| die("bad --queue-cap")),
+                );
+            }
+            "--record-tape" => {
+                record_tape = Some(
+                    args.next()
+                        .unwrap_or_else(|| die("missing --record-tape path")),
+                );
+            }
             "--fig" => {
                 let name = args.next().unwrap_or_else(|| die("missing --fig name"));
                 if figure_labels(&name).is_none() {
@@ -295,7 +390,9 @@ fn parse_args() -> Opts {
             other
                 if matches!(
                     cmd.as_deref(),
-                    Some("run" | "preset" | "spec" | "merge" | "gc" | "export" | "record")
+                    Some(
+                        "run" | "preset" | "spec" | "merge" | "gc" | "export" | "record" | "serve"
+                    )
                 ) && !other.starts_with('-') =>
             {
                 rest.push(other.to_string())
@@ -327,8 +424,38 @@ fn parse_args() -> Opts {
         spec_files,
         fig,
         tdg,
+        rate,
+        arrival,
+        tape,
+        duration,
+        admission,
+        queue_cap,
+        record_tape,
         generator_flags,
     }
+}
+
+/// Parses a human duration (`50ms`, `2s`, `500us`, `1000ns`, `250ps`);
+/// a bare number is milliseconds.
+fn parse_duration(text: &str) -> Option<SimDuration> {
+    let (num, ps_per_unit) = if let Some(t) = text.strip_suffix("ms") {
+        (t, 1e9)
+    } else if let Some(t) = text.strip_suffix("us") {
+        (t, 1e6)
+    } else if let Some(t) = text.strip_suffix("ns") {
+        (t, 1e3)
+    } else if let Some(t) = text.strip_suffix("ps") {
+        (t, 1.0)
+    } else if let Some(t) = text.strip_suffix('s') {
+        (t, 1e12)
+    } else {
+        (text, 1e9)
+    };
+    let v: f64 = num.trim().parse().ok()?;
+    if !v.is_finite() || v <= 0.0 {
+        return None;
+    }
+    Some(SimDuration::from_ps((v * ps_per_unit).round() as u64))
 }
 
 fn die(msg: &str) -> ! {
@@ -347,6 +474,9 @@ fn print_help() {
          \x20             [--backend sim|native|both] [--native-energy auto|model]\n\
          \x20             [--shard K/N] [--shard-order striped|snake] [--store FILE.jsonl]\n\
          \x20             [--tdg FILE.tdg.json]  (preset/spec: replay this TDG as the workload)\n\
+         \x20         serve LABEL|SPEC.json [--rate R | --tape FILE.tape.jsonl]\n\
+         \x20             [--arrival poisson|fixed] [--duration T] [--admission P]\n\
+         \x20             [--queue-cap N] [--record-tape FILE] [--store FILE.jsonl]\n\
          \x20         export [SPEC.json] [--out FILE.tdg.json]   (workload -> TDG file)\n\
          \x20         record LABEL|SPEC.json [--backend sim|native] [--out FILE.tdg.json]\n\
          \x20         merge STORE.jsonl... [--out FILE] [--baseline FILE] [--min-ratio R]\n\
@@ -498,6 +628,194 @@ fn run_specs(opts: &Opts, specs: Vec<ScenarioSpec>) {
     }
     if failed > 0 {
         std::process::exit(1);
+    }
+}
+
+/// `repro serve TARGET`: run the open-system service engine — graph
+/// instances arriving continuously into one simulation — from a preset
+/// label or a `ServiceSpec` JSON file. Traffic comes from exactly one
+/// source: `--rate` (generated, optionally `--record-tape`d) or
+/// `--tape` (replayed, digest-pinned); mixing them is rejected up
+/// front rather than silently preferring one.
+fn serve_service(opts: &Opts) {
+    let Some(target) = opts.args.first() else {
+        die("serve needs a preset label or a ServiceSpec JSON file");
+    };
+    // The two traffic sources are mutually exclusive — and the flags
+    // that shape *generated* traffic make no sense next to a tape,
+    // whose records already are the window and the arrival pattern.
+    if opts.tape.is_some() {
+        if opts.rate.is_some() {
+            die(
+                "serve: --rate conflicts with --tape — generate traffic at a rate, \
+                 or replay a recorded tape, but not both (pick one source)",
+            );
+        }
+        if opts.arrival.is_some() {
+            die("serve: --arrival shapes generated traffic and conflicts with --tape");
+        }
+        if opts.duration.is_some() {
+            die("serve: --duration conflicts with --tape — the tape is the observation window");
+        }
+        if opts.record_tape.is_some() {
+            die("serve: --record-tape conflicts with --tape — the run would re-record its input");
+        }
+    }
+    if opts.arrival.is_some() && opts.rate.is_none() {
+        die("serve: --arrival needs --rate R to generate traffic");
+    }
+
+    let is_spec_file = target.ends_with(".json") || target.ends_with(".toml");
+    let mut spec = if is_spec_file {
+        if target.ends_with(".toml") {
+            die("serve specs are JSON (`ServiceSpec` has no TOML form)");
+        }
+        reject_conflicting_sources(opts, "serve");
+        let text = std::fs::read_to_string(target)
+            .unwrap_or_else(|e| die(&format!("cannot read {target}: {e}")));
+        ServiceSpec::from_json(&text).unwrap_or_else(|e| die(&format!("{target}: {e}")))
+    } else {
+        if opts.rate.is_none() && opts.tape.is_none() {
+            die(&format!(
+                "serve {target}: pass --rate R (generated traffic) or --tape FILE \
+                 (replayed traffic)"
+            ));
+        }
+        let mut base = ScenarioSpec::preset(target, opts.fast, base_workload(opts))
+            .unwrap_or_else(|e| die(&e.to_string()));
+        base.seed = opts.seed;
+        // The arrival fields below are overwritten by the flag block;
+        // the placeholder only exists so tape-only runs validate.
+        ServiceSpec::new(
+            base,
+            ArrivalSpec::Tape {
+                digest: String::new(),
+            },
+            SimDuration::from_ms(100),
+        )
+    };
+
+    if let Some(rate_hz) = opts.rate {
+        spec.arrival = match opts.arrival.unwrap_or(ArrivalKind::Poisson) {
+            ArrivalKind::Poisson => ArrivalSpec::Poisson { rate_hz },
+            ArrivalKind::Fixed => ArrivalSpec::Fixed { rate_hz },
+        };
+        if opts.duration.is_none() && !is_spec_file {
+            println!("[no --duration given: defaulting to 100ms of arrivals]");
+        }
+    }
+    if let Some(d) = opts.duration {
+        spec.duration = d;
+    }
+    if let Some(key) = &opts.admission {
+        spec.admission = key.clone();
+    }
+    if let Some(cap) = opts.queue_cap {
+        spec.admission_params = Some(AdmissionParams {
+            queue_cap: Some(cap),
+        });
+    }
+
+    let t0 = Instant::now();
+    let report = match &opts.tape {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+            let tape =
+                TrafficTape::from_jsonl(&text).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+            // A spec whose arrival already pins a tape digest keeps its
+            // pin (replay enforces it); any other arrival is replaced by
+            // an unpinned tape arrival — the authoring flow.
+            if !matches!(spec.arrival, ArrivalSpec::Tape { .. }) {
+                spec.arrival = ArrivalSpec::Tape {
+                    digest: String::new(),
+                };
+            }
+            println!(
+                "[replaying {path}: {} arrivals, digest {}]",
+                tape.records.len(),
+                tape.digest
+            );
+            replay_tape(
+                &spec,
+                &tape,
+                default_registries(),
+                default_admission_registry(),
+            )
+            .unwrap_or_else(|e| die(&e.to_string()))
+        }
+        None => {
+            if matches!(spec.arrival, ArrivalSpec::Tape { .. }) {
+                die(&format!(
+                    "serve {target}: the spec's arrival is a tape; pass --tape FILE with \
+                     the recorded traffic (or --rate R to generate instead)"
+                ));
+            }
+            let (report, tape) =
+                run_service(&spec, default_registries(), default_admission_registry())
+                    .unwrap_or_else(|e| die(&e.to_string()));
+            if let Some(out) = &opts.record_tape {
+                std::fs::write(out, tape.to_jsonl())
+                    .unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
+                println!(
+                    "[recorded tape: {} arrivals, digest {} -> {out}]",
+                    tape.records.len(),
+                    tape.digest
+                );
+            }
+            report
+        }
+    };
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    println!("{}", report.summary());
+    let service = report
+        .service
+        .as_ref()
+        .expect("service runs always carry service metrics");
+    println!("service: {}", service.summary());
+    let mut table = Table::new(&["metric", "count", "p50", "p99", "p999", "mean", "max"]);
+    for (name, h) in [
+        ("response", &service.latency),
+        ("queue wait", &service.queue_wait),
+        ("service time", &service.service_time),
+    ] {
+        table.row(vec![
+            name.to_string(),
+            h.count().to_string(),
+            h.quantile(0.5).to_string(),
+            h.quantile(0.99).to_string(),
+            h.quantile(0.999).to_string(),
+            h.mean().to_string(),
+            h.max().to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    if let Some(path) = &opts.store {
+        let store = ResultsStore::open(path).unwrap_or_else(|e| die(&e.to_string()));
+        let digest = spec.digest();
+        // Service runs are single cells, not suite-grid members: the
+        // spec digest is both the cell's identity and its "grid", and
+        // the index is the digest reinterpreted — collision-free per
+        // distinct spec, stable across re-runs (resume-friendly).
+        let record = CellRecord {
+            schema: STORE_SCHEMA.to_string(),
+            index: u64::from_str_radix(&digest, 16).unwrap_or(0),
+            cell: format!(
+                "{}@{}/f{}/serve",
+                spec.base.name, report.workload, spec.base.fast_cores
+            ),
+            grid: digest.clone(),
+            spec_digest: digest,
+            seed: spec.base.seed,
+            wall_s,
+            report: report.clone(),
+        };
+        store
+            .append(&record)
+            .unwrap_or_else(|e| die(&e.to_string()));
+        println!("[stored service cell {} in {path}]", record.cell);
     }
 }
 
@@ -870,9 +1188,14 @@ fn main() {
     // one; accepting it anywhere else would silently run something other
     // than what the user asked to replay (`run`/`gc` take spec files —
     // put the TDG in the spec's workload there).
-    if opts.tdg.is_some() && !matches!(opts.cmd.as_str(), "preset" | "spec" | "export" | "record") {
+    if opts.tdg.is_some()
+        && !matches!(
+            opts.cmd.as_str(),
+            "preset" | "spec" | "export" | "record" | "serve"
+        )
+    {
         die(&format!(
-            "--tdg is not used by `{}` (only preset/spec/export/record replay a TDG file)",
+            "--tdg is not used by `{}` (only preset/spec/export/record/serve replay a TDG file)",
             opts.cmd
         ));
     }
@@ -935,6 +1258,11 @@ fn main() {
             } else {
                 println!("{}", spec.to_json_pretty());
             }
+            return;
+        }
+        "serve" => {
+            serve_service(&opts);
+            eprintln!("[done in {:.1}s]", t0.elapsed().as_secs_f64());
             return;
         }
         "export" => {

@@ -27,6 +27,14 @@ pub enum ExpError {
         /// The keys the registry knows.
         known: Vec<String>,
     },
+    /// The admission-policy key is not registered. Carries the known
+    /// keys.
+    UnknownAdmission {
+        /// The unresolvable key.
+        key: String,
+        /// The keys the registry knows.
+        known: Vec<String>,
+    },
     /// No paper preset of that name exists.
     UnknownPreset(String),
     /// The scenario is internally inconsistent (e.g. budget > cores).
@@ -54,6 +62,13 @@ impl fmt::Display for ExpError {
                 write!(
                     f,
                     "unknown acceleration manager `{key}` (known: {})",
+                    known.join(", ")
+                )
+            }
+            ExpError::UnknownAdmission { key, known } => {
+                write!(
+                    f,
+                    "unknown admission policy `{key}` (known: {})",
                     known.join(", ")
                 )
             }

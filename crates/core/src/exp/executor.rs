@@ -80,7 +80,7 @@ pub trait Executor: Send + Sync {
             super::spec::WorkloadSpec::File { digest: None, .. }
         ) {
             let mut pinned = scenario.clone();
-            pinned.spec_mut().workload = super::spec::WorkloadSpec::Inline(tdg.clone());
+            pinned.spec_mut().workload = super::spec::WorkloadSpec::Inline(tdg.clone().into());
             self.execute(&pinned)?
         } else {
             self.execute(scenario)?
@@ -373,14 +373,24 @@ impl NativeExecutor {
             _ => None,
         };
         let energy = measured.unwrap_or_else(|| {
-            model_native_energy(
+            // Model over the *spec* machine, not the clamped worker pool:
+            // `busy` only covers the mapped workers, so the spec's extra
+            // cores are priced idle at the slow level, keeping the joules
+            // comparable with full-width sim cells. A clamped run's
+            // provenance tag says so ("modeled-scaled").
+            let report = model_native_energy(
                 &spec.power,
                 spec.machine.fast_level,
                 spec.machine.slow_level,
-                workers,
+                spec.machine.num_cores,
                 wall_s,
                 &busy,
-            )
+            );
+            if workers != spec.machine.num_cores {
+                report.with_measurement(Measurement::ModeledScaled)
+            } else {
+                report
+            }
         });
 
         let mut lock_waits = LatencySamples::new();
@@ -418,6 +428,8 @@ impl NativeExecutor {
             // A clamped machine is part of the result's identity: a
             // 32-core spec executed with 8 workers is an 8-core run.
             effective_cores: (workers != spec.machine.num_cores).then_some(workers),
+            // Native runs are closed-system: one graph, no arrivals.
+            service: None,
         })
     }
 }
@@ -628,8 +640,14 @@ mod tests {
         scenario.spec_mut().machine = cata_sim::machine::MachineConfig::small_test(4);
         scenario.spec_mut().fast_cores = 2;
 
-        let dispatch = BackendDispatch::new()
-            .with_native(NativeExecutor::new().energy_source(EnergySource::Model));
+        // Pin the worker pool to the spec machine so the provenance tag
+        // is host-independent (a narrower host would clamp and report
+        // `modeled-scaled` instead).
+        let dispatch = BackendDispatch::new().with_native(
+            NativeExecutor::new()
+                .max_workers(4)
+                .energy_source(EnergySource::Model),
+        );
         let sim = dispatch.execute(&scenario).unwrap();
         assert_eq!(sim.energy.measurement, Measurement::Simulated);
 

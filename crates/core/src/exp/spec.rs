@@ -12,7 +12,7 @@ use cata_power::PowerParams;
 use cata_sim::machine::MachineConfig;
 use cata_sim::time::SimDuration;
 use cata_sim::trace::TraceMode;
-use cata_tdg::{TaskGraph, TdgFile};
+use cata_tdg::{TaskGraph, TdgFile, TdgHandle};
 use cata_workloads::{generate, micro, Benchmark, Scale};
 use serde::{DeError, Deserialize, Serialize, Value};
 use std::path::Path;
@@ -133,9 +133,10 @@ pub enum WorkloadSpec {
         seed: u64,
     },
     /// A concrete task graph embedded in the spec — a captured/exported
-    /// [`TdgFile`] carried inline, so the spec is a self-contained,
+    /// [`TdgFile`] carried inline (behind a hash-consed [`TdgHandle`]
+    /// whose verification is memoized), so the spec is a self-contained,
     /// shippable experiment artifact.
-    Inline(TdgFile),
+    Inline(TdgHandle),
     /// A task graph stored in a `.tdg.json` (or `.toml`) file. `digest`
     /// pins the file's *content* digest: the spec digest (and therefore
     /// the cell identity in stores) sees it, so an edited TDG is a new
@@ -345,7 +346,9 @@ impl WorkloadSpec {
     /// with no stable content identity (unpinned `File`s), which must
     /// not be cached. Generators serialize their (small) parameter
     /// struct. `Inline` runs the file's full header check
-    /// ([`TdgFile::verify`]) and keys on the *computed* content digest —
+    /// ([`TdgFile::verify`], memoized per handle by
+    /// [`TdgHandle::verify_cached`] so repeat probes are O(1)) and keys
+    /// on the *computed* content digest —
     /// 16 hex chars, so probes compare tiny keys instead of a fully
     /// serialized spec, and crucially *never* the unchecked embedded
     /// digest field: trusting an embedded digest that an edit left stale
@@ -359,7 +362,7 @@ impl WorkloadSpec {
         Ok(match self {
             WorkloadSpec::Inline(tdg) => {
                 let digest = tdg
-                    .verify()
+                    .verify_cached()
                     .map_err(|e| ExpError::Workload(format!("inline TDG: {e}")))?;
                 Some(format!("inline\u{0}{digest}"))
             }
@@ -399,7 +402,7 @@ impl WorkloadSpec {
             }
             WorkloadSpec::Inline(tdg) => {
                 let graph = self.try_build_graph_shared()?;
-                let mut tdg = tdg.clone();
+                let mut tdg = (**tdg).clone();
                 tdg.refresh_digest();
                 Ok((graph, tdg))
             }

@@ -43,6 +43,7 @@ pub mod gantt;
 pub mod native;
 pub mod policy;
 pub mod report;
+pub mod service;
 pub mod sim_exec;
 
 pub use config::{AccelKind, EstimatorKind, RunConfig, SchedulerKind};

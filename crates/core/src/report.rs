@@ -46,6 +46,11 @@ pub struct RunReport {
     /// sim reports and legacy stores stay byte-identical — when the run
     /// honored the spec machine exactly (every sim run does).
     pub effective_cores: Option<usize>,
+    /// Open-system service metrics (arrival/latency/drop accounting),
+    /// present only for `repro serve` runs. `None` — and skipped in the
+    /// serialized form, so closed-system reports and legacy stores stay
+    /// byte-identical — for ordinary single-graph runs.
+    pub service: Option<crate::service::ServiceReport>,
 }
 
 // Serde is hand-written (the vendored derive has no `#[serde(skip…)]`
@@ -83,6 +88,9 @@ impl Serialize for RunReport {
         if let Some(n) = self.effective_cores {
             m.push(("effective_cores".into(), n.to_value()));
         }
+        if let Some(s) = &self.service {
+            m.push(("service".into(), s.to_value()));
+        }
         Value::Map(m)
     }
 }
@@ -105,6 +113,7 @@ impl Deserialize for RunReport {
             tasks: serde::field(m, "tasks", "RunReport")?,
             trace_counts: serde::field(m, "trace_counts", "RunReport")?,
             effective_cores: serde::field(m, "effective_cores", "RunReport")?,
+            service: serde::field(m, "service", "RunReport")?,
         })
     }
 }
@@ -192,6 +201,7 @@ mod tests {
             tasks: 10,
             trace_counts: None,
             effective_cores: None,
+            service: None,
         }
     }
 
@@ -256,6 +266,35 @@ mod tests {
         assert!(json.contains("trace_counts"));
         let back: RunReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.trace_counts, with.trace_counts);
+    }
+
+    #[test]
+    fn service_metrics_are_skipped_when_absent_and_round_trip_when_present() {
+        let r = report(100, 1.0);
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(
+            !json.contains("\"service\""),
+            "closed-system reports must keep the legacy layout: {json}"
+        );
+
+        let mut served = report(100, 1.0);
+        let mut sr = crate::service::ServiceReport {
+            arrivals: 7,
+            admitted: 6,
+            dropped: 1,
+            completed: 6,
+            duration: SimDuration::from_us(100),
+            graphs_per_sec: 60_000.0,
+            ..Default::default()
+        };
+        for i in 1..=6u64 {
+            sr.latency.record(SimDuration::from_us(i));
+        }
+        served.service = Some(sr.clone());
+        let json = serde_json::to_string(&served).unwrap();
+        assert!(json.contains("\"service\""), "{json}");
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.service, Some(sr));
     }
 
     #[test]

@@ -1,0 +1,226 @@
+//! Admission control: the pluggable gate arriving graph instances pass
+//! (or don't) before entering the system.
+//!
+//! An overloaded open system must either queue without bound or shed
+//! load. The policy family here mirrors the scheduler/estimator/accel
+//! registries: small `dyn` objects behind string keys, so experiments
+//! name their admission policy in the [`ServiceSpec`](super::ServiceSpec)
+//! and external crates can register their own.
+
+use super::spec::AdmissionParams;
+use crate::exp::error::ExpError;
+use cata_sim::time::SimTime;
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
+
+/// What the gate sees when an instance arrives.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionCtx {
+    /// Arrival instant.
+    pub now: SimTime,
+    /// Graph instances admitted but not yet completed.
+    pub in_flight: usize,
+    /// Tasks currently sitting in the scheduler's ready queues.
+    pub ready_tasks: usize,
+    /// The arriving instance contains criticality-annotated tasks.
+    pub critical: bool,
+    /// Tenant tag from the traffic tape (0 for generated traffic).
+    pub tenant: u32,
+}
+
+/// An admission decision per arriving graph instance.
+///
+/// Policies may keep state (token buckets, per-tenant counters); the
+/// engine calls [`admit`](Self::admit) exactly once per arrival, in
+/// arrival order, so stateful policies replay deterministically.
+pub trait AdmissionPolicy: Send {
+    /// Registry key / display name.
+    fn name(&self) -> &'static str;
+    /// `true` admits the instance; `false` drops it at the door.
+    fn admit(&mut self, ctx: &AdmissionCtx) -> bool;
+}
+
+/// Default in-flight cap for the bounded policies when the spec does not
+/// say otherwise.
+pub const DEFAULT_QUEUE_CAP: usize = 64;
+
+/// Admits everything — the unbounded baseline. Under sustained overload
+/// the queue (and the tail) grows without limit; that growth is the
+/// measurement.
+#[derive(Debug, Default)]
+struct AdmitAll;
+
+impl AdmissionPolicy for AdmitAll {
+    fn name(&self) -> &'static str {
+        "admit-all"
+    }
+    fn admit(&mut self, _ctx: &AdmissionCtx) -> bool {
+        true
+    }
+}
+
+/// Drops arrivals while more than `cap` instances are in flight — the
+/// classic bounded-queue front door.
+#[derive(Debug)]
+struct QueueCap {
+    cap: usize,
+}
+
+impl AdmissionPolicy for QueueCap {
+    fn name(&self) -> &'static str {
+        "queue-cap"
+    }
+    fn admit(&mut self, ctx: &AdmissionCtx) -> bool {
+        ctx.in_flight < self.cap
+    }
+}
+
+/// Criticality-aware shedding: over the cap, only instances that carry
+/// critical (annotated) tasks get in — the service-mode analogue of the
+/// paper's "critical tasks deserve the fast cores" priority.
+#[derive(Debug)]
+struct CriticalityShed {
+    cap: usize,
+}
+
+impl AdmissionPolicy for CriticalityShed {
+    fn name(&self) -> &'static str {
+        "shed-noncritical"
+    }
+    fn admit(&mut self, ctx: &AdmissionCtx) -> bool {
+        ctx.in_flight < self.cap || ctx.critical
+    }
+}
+
+/// Factory signature: parameters in, boxed policy out.
+pub type AdmissionFactory =
+    dyn Fn(&AdmissionParams) -> Result<Box<dyn AdmissionPolicy>, ExpError> + Send + Sync;
+
+/// String-keyed admission-policy registry, mirroring
+/// [`PolicyRegistries`](crate::exp::PolicyRegistries).
+#[derive(Clone, Default)]
+pub struct AdmissionRegistry {
+    entries: BTreeMap<String, Arc<AdmissionFactory>>,
+}
+
+impl AdmissionRegistry {
+    /// An empty registry.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// A registry with the built-in family: `admit-all`, `queue-cap`,
+    /// `shed-noncritical`.
+    pub fn with_builtins() -> Self {
+        let mut r = Self::empty();
+        r.register("admit-all", |_p| {
+            Ok(Box::new(AdmitAll) as Box<dyn AdmissionPolicy>)
+        });
+        r.register("queue-cap", |p: &AdmissionParams| {
+            Ok(Box::new(QueueCap {
+                cap: p.queue_cap.unwrap_or(DEFAULT_QUEUE_CAP),
+            }) as Box<dyn AdmissionPolicy>)
+        });
+        r.register("shed-noncritical", |p: &AdmissionParams| {
+            Ok(Box::new(CriticalityShed {
+                cap: p.queue_cap.unwrap_or(DEFAULT_QUEUE_CAP),
+            }) as Box<dyn AdmissionPolicy>)
+        });
+        r
+    }
+
+    /// Registers (or replaces) a policy under `key`.
+    pub fn register<F>(&mut self, key: impl Into<String>, factory: F)
+    where
+        F: Fn(&AdmissionParams) -> Result<Box<dyn AdmissionPolicy>, ExpError>
+            + Send
+            + Sync
+            + 'static,
+    {
+        self.entries.insert(key.into(), Arc::new(factory));
+    }
+
+    /// Registered keys, sorted.
+    pub fn keys(&self) -> Vec<String> {
+        self.entries.keys().cloned().collect()
+    }
+
+    /// Builds the policy registered under `key`.
+    pub fn build(
+        &self,
+        key: &str,
+        params: &AdmissionParams,
+    ) -> Result<Box<dyn AdmissionPolicy>, ExpError> {
+        let f = self
+            .entries
+            .get(key)
+            .ok_or_else(|| ExpError::UnknownAdmission {
+                key: key.to_string(),
+                known: self.keys(),
+            })?;
+        f(params)
+    }
+}
+
+impl std::fmt::Debug for AdmissionRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdmissionRegistry")
+            .field("keys", &self.keys())
+            .finish()
+    }
+}
+
+/// The process-wide default registry (builtins only), built once.
+pub fn default_admission_registry() -> &'static AdmissionRegistry {
+    static REG: OnceLock<AdmissionRegistry> = OnceLock::new();
+    REG.get_or_init(AdmissionRegistry::with_builtins)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(in_flight: usize, critical: bool) -> AdmissionCtx {
+        AdmissionCtx {
+            now: SimTime::ZERO,
+            in_flight,
+            ready_tasks: 0,
+            critical,
+            tenant: 0,
+        }
+    }
+
+    #[test]
+    fn builtins_resolve_and_behave() {
+        let reg = default_admission_registry();
+        assert_eq!(
+            reg.keys(),
+            vec!["admit-all", "queue-cap", "shed-noncritical"]
+        );
+        let p = AdmissionParams { queue_cap: Some(2) };
+        let mut all = reg.build("admit-all", &p).unwrap();
+        assert!(all.admit(&ctx(1_000_000, false)));
+
+        let mut cap = reg.build("queue-cap", &p).unwrap();
+        assert!(cap.admit(&ctx(1, true)));
+        assert!(!cap.admit(&ctx(2, true)), "cap binds even for critical");
+
+        let mut shed = reg.build("shed-noncritical", &p).unwrap();
+        assert!(shed.admit(&ctx(1, false)));
+        assert!(!shed.admit(&ctx(2, false)));
+        assert!(
+            shed.admit(&ctx(2, true)),
+            "critical instances bypass the cap"
+        );
+    }
+
+    #[test]
+    fn unknown_key_reports_the_known_set() {
+        let Err(err) = default_admission_registry().build("nope", &AdmissionParams::default())
+        else {
+            panic!("unknown key must not resolve");
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("nope") && msg.contains("queue-cap"), "{msg}");
+    }
+}

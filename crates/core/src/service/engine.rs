@@ -1,0 +1,807 @@
+//! The open-system discrete-event engine: one simulation hosting many
+//! concurrent graph instances.
+//!
+//! Mirrors the closed-system engine in [`crate::sim_exec`] — same core
+//! lifecycle (prologue → body milestones → epilogue), same policy /
+//! estimator / acceleration-manager surfaces, same idle-index dispatch
+//! walk — with three structural differences:
+//!
+//! - **Arrivals, not a master thread.** Tape records become `Arrival`
+//!   events interleaved into the ordinary queue; an admitted instance's
+//!   tasks are all submitted at its arrival instant (the graph came off
+//!   a tape, so the runtime knows it upfront), with per-task criticality
+//!   levels precomputed once per *distinct workload*, not per instance.
+//! - **Pooled per-instance state.** Each live instance owns a slot
+//!   (indegree vector, remaining count, timestamps) recycled through a
+//!   free list — thousands of concurrent instances reuse a few dozen
+//!   slots' allocations. Global task ids are `slot · stride + local`,
+//!   so scheduler queues can mix tasks of many instances.
+//! - **Streaming metrics.** Completions fold into log-bucketed
+//!   [`LatencyHistogram`]s (O(1) per sample, no allocation), because an
+//!   open-system run can complete millions of instances.
+
+use super::admission::{AdmissionCtx, AdmissionPolicy, AdmissionRegistry};
+use super::report::ServiceReport;
+use super::spec::{ArrivalSpec, ServiceSpec};
+use super::tape::{TapeRecord, TrafficTape};
+use crate::accel::{AccelEffects, AccelManager};
+use crate::exp::error::ExpError;
+use crate::exp::registry::{FactoryCtx, PolicyKeys, PolicyRegistries, ResolvedPolicies};
+use crate::exp::suite::derive_seed;
+use crate::policy::{DispatchCtx, SchedulerPolicy};
+use crate::report::RunReport;
+use crate::sim_exec::{EngineParams, IdleIndex};
+use cata_power::integrate_machine;
+use cata_sim::activity::Activity;
+use cata_sim::event::EventQueue;
+use cata_sim::machine::{CoreId, Machine};
+use cata_sim::progress::{Milestone, RunningTask};
+use cata_sim::stats::{Counters, LatencyHistogram};
+use cata_sim::time::{SimDuration, SimTime};
+use cata_tdg::{TaskGraph, TaskId};
+use std::sync::Arc;
+
+/// Seed-stream tag for arrival generation, so the traffic draw is
+/// decorrelated from the run seed the policies see.
+const ARRIVAL_STREAM: u64 = 0x7A9E_0001;
+
+/// Runs a service spec end to end: generates the traffic tape its
+/// arrival process describes, replays it, and returns both the report
+/// and the tape (so callers can store/record the traffic they measured).
+///
+/// Record → replay bit-identity holds by construction: this function
+/// *only* generates the tape and delegates to [`replay_tape`], so a
+/// recorded tape replays through exactly the code path that produced the
+/// original report.
+pub fn run_service(
+    spec: &ServiceSpec,
+    registries: &PolicyRegistries,
+    admissions: &AdmissionRegistry,
+) -> Result<(RunReport, TrafficTape), ExpError> {
+    spec.validate()?;
+    if matches!(spec.arrival, ArrivalSpec::Tape { .. }) {
+        return Err(ExpError::InvalidSpec(
+            "spec pins a traffic tape; load the tape file and call replay_tape".to_string(),
+        ));
+    }
+    let tape = TrafficTape::generate(
+        format!("{}-traffic", spec.base.name),
+        &spec.arrival,
+        spec.duration,
+        spec.base.workload.clone(),
+        derive_seed(spec.base.seed, ARRIVAL_STREAM),
+    )?;
+    let report = replay_tape(spec, &tape, registries, admissions)?;
+    Ok((report, tape))
+}
+
+/// Replays a traffic tape under `spec`'s machine, policies, and
+/// admission gate. Verifies the tape (and, for tape-pinned specs, the
+/// digest pin) first. Same spec + same tape ⇒ bit-identical report.
+pub fn replay_tape(
+    spec: &ServiceSpec,
+    tape: &TrafficTape,
+    registries: &PolicyRegistries,
+    admissions: &AdmissionRegistry,
+) -> Result<RunReport, ExpError> {
+    spec.base.validate()?;
+    let digest = tape.verify()?;
+    if let ArrivalSpec::Tape { digest: pinned } = &spec.arrival {
+        if !pinned.is_empty() && *pinned != digest {
+            return Err(ExpError::InvalidSpec(format!(
+                "spec pins traffic tape {pinned}, but the loaded tape digests to {digest}"
+            )));
+        }
+    }
+    let params = spec.base.params_or_default();
+    let resolved = registries.resolve(
+        &PolicyKeys {
+            scheduler: spec.base.scheduler.clone(),
+            estimator: spec.base.estimator.clone(),
+            accel: spec.base.accel.clone(),
+        },
+        &spec.base.machine,
+        spec.base.fast_cores,
+        spec.base.seed,
+        &params,
+    )?;
+    let admission = admissions.build(
+        &spec.admission,
+        &spec.admission_params.clone().unwrap_or_default(),
+    )?;
+
+    // Build each distinct workload once and precompute its per-task
+    // criticality levels: a fresh estimator sees the whole graph
+    // submitted in order (the steady-state view — every instance of a
+    // workload classifies identically, which is also what makes the
+    // per-arrival work O(tasks) instead of O(estimator)).
+    let mut graphs = Vec::with_capacity(tape.workloads.len());
+    for w in &tape.workloads {
+        let (graph, label) = w.build_labeled_graph()?;
+        let fctx = FactoryCtx {
+            machine: &resolved.machine,
+            is_fast_static: &resolved.is_fast_static,
+            fast_cores: spec.base.fast_cores,
+            seed: spec.base.seed,
+            params: &params,
+        };
+        let mut est = registries.build_estimator(&spec.base.estimator, &fctx)?;
+        for t in graph.task_ids() {
+            est.on_submit(&graph, t);
+        }
+        let levels: Vec<u8> = graph
+            .task_ids()
+            .map(|t| est.classify_level(&graph, t))
+            .collect();
+        let critical = levels.iter().any(|&l| l > 0);
+        graphs.push(GraphEntry {
+            graph,
+            label,
+            levels,
+            critical,
+        });
+    }
+
+    let stride = graphs
+        .iter()
+        .map(|g| g.graph.num_tasks())
+        .max()
+        .unwrap_or(0)
+        .max(1) as u32;
+    // Global ids are u32; slots ≤ arrivals, so this conservative bound
+    // guarantees `slot · stride + local` never wraps.
+    if (tape.records.len() as u64 + 1).saturating_mul(u64::from(stride)) > u64::from(u32::MAX) {
+        return Err(ExpError::InvalidSpec(format!(
+            "tape of {} arrivals × stride {stride} exceeds the 2³² task-id space",
+            tape.records.len()
+        )));
+    }
+
+    let workload_label = if graphs.len() == 1 {
+        graphs[0].label.clone()
+    } else {
+        tape.name.clone()
+    };
+    let engine = ServiceEngine::new(
+        EngineParams::from(&spec.base),
+        &graphs,
+        &tape.records,
+        stride,
+        resolved,
+        admission,
+    );
+    Ok(engine.run(&workload_label))
+}
+
+/// One distinct workload: its graph plus the precomputed classification.
+struct GraphEntry {
+    graph: Arc<TaskGraph>,
+    label: String,
+    /// Per-task criticality level (estimator's steady-state view).
+    levels: Vec<u8>,
+    /// Any task classifies critical — the instance-level flag admission
+    /// policies see.
+    critical: bool,
+}
+
+/// Service-engine events: the closed-system engine's core lifecycle plus
+/// tape arrivals.
+#[derive(Debug, Clone, Copy)]
+enum SEv {
+    /// The next tape record's instance arrives.
+    Arrival,
+    /// A core's runtime prologue finished; the task body begins.
+    TaskBegin { core: u32, epoch: u64 },
+    /// A running task reached its next milestone.
+    Milestone { core: u32, epoch: u64, gen: u64 },
+    /// A core's runtime epilogue finished; it requests new work.
+    CoreFree { core: u32, epoch: u64 },
+    /// A DVFS transition may have settled on a core.
+    DvfsSettle { core: u32 },
+    /// An idle core's OS timeout expired; it halts (C1).
+    IdleHalt { core: u32, epoch: u64 },
+    /// A core stayed idle past the deceleration debounce.
+    IdleDecel { core: u32, epoch: u64 },
+}
+
+/// What a core is doing (task ids are *global*: `slot·stride + local`).
+#[derive(Debug)]
+enum CoreRun<'g> {
+    Idle,
+    Halted,
+    Prologue { task: TaskId },
+    Running { task: TaskId, rt: RunningTask<'g> },
+    Epilogue,
+}
+
+#[derive(Debug)]
+struct CoreCtl<'g> {
+    run: CoreRun<'g>,
+    epoch: u64,
+    halt_scheduled: bool,
+    idle_notified: bool,
+}
+
+/// Pooled per-instance state, recycled through a free list.
+#[derive(Debug, Default)]
+struct Slot {
+    /// Index into the workload table.
+    graph: u32,
+    /// Remaining unfinished predecessors per local task (buffer reused
+    /// across instances).
+    indegree: Vec<u32>,
+    /// Tasks not yet completed.
+    remaining: u32,
+    /// Arrival instant.
+    arrival: SimTime,
+    /// First task assignment (end of queue wait), once dispatched.
+    started: Option<SimTime>,
+}
+
+struct ServiceEngine<'g> {
+    cfg: EngineParams,
+    graphs: &'g [GraphEntry],
+    records: &'g [TapeRecord],
+    stride: u32,
+    machine: Machine,
+    policy: Box<dyn SchedulerPolicy>,
+    accel: Box<dyn AccelManager>,
+    admission: Box<dyn AdmissionPolicy>,
+    events: EventQueue<SEv>,
+    cores: Vec<CoreCtl<'g>>,
+    idle: IdleIndex,
+    idle_dirty: bool,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    /// Criticality per global task id (sized `slots.len() · stride`).
+    crit: Vec<bool>,
+    /// Admitted instances not yet completed.
+    live: usize,
+    /// Next unconsumed tape record.
+    next_rec: usize,
+    counters: Counters,
+    last_completion: SimTime,
+    /// Time of the last processed event (≥ `last_completion`; the
+    /// machine-finish instant even when trailing arrivals were dropped).
+    horizon: SimTime,
+    is_fast_static: Vec<bool>,
+    // Service accounting.
+    arrivals: u64,
+    admitted: u64,
+    dropped: u64,
+    completed: u64,
+    latency: LatencyHistogram,
+    queue_wait: LatencyHistogram,
+    service_time: LatencyHistogram,
+}
+
+impl<'g> ServiceEngine<'g> {
+    fn new(
+        cfg: EngineParams,
+        graphs: &'g [GraphEntry],
+        records: &'g [TapeRecord],
+        stride: u32,
+        resolved: ResolvedPolicies,
+        admission: Box<dyn AdmissionPolicy>,
+    ) -> Self {
+        let n_cores = cfg.machine.num_cores;
+        let ResolvedPolicies {
+            policy,
+            estimator: _,
+            accel,
+            machine,
+            is_fast_static,
+            caps,
+        } = resolved;
+
+        let mut events = EventQueue::new();
+        events.reserve(4096.min(records.len() * 4 + 64));
+        let mut idle = IdleIndex::default();
+        idle.reset(n_cores, caps.prefer_fast, &is_fast_static);
+
+        ServiceEngine {
+            cfg,
+            graphs,
+            records,
+            stride,
+            machine,
+            policy,
+            accel,
+            admission,
+            events,
+            cores: (0..n_cores)
+                .map(|_| CoreCtl {
+                    run: CoreRun::Idle,
+                    epoch: 0,
+                    halt_scheduled: false,
+                    idle_notified: false,
+                })
+                .collect(),
+            idle,
+            idle_dirty: true,
+            slots: Vec::new(),
+            free: Vec::new(),
+            crit: Vec::new(),
+            live: 0,
+            next_rec: 0,
+            counters: Counters::default(),
+            last_completion: SimTime::ZERO,
+            horizon: SimTime::ZERO,
+            is_fast_static,
+            arrivals: 0,
+            admitted: 0,
+            dropped: 0,
+            completed: 0,
+            latency: LatencyHistogram::new(),
+            queue_wait: LatencyHistogram::new(),
+            service_time: LatencyHistogram::new(),
+        }
+    }
+
+    /// Splits a global task id into (slot index, local task id).
+    #[inline]
+    fn split(&self, task: TaskId) -> (usize, TaskId) {
+        (
+            (task.0 / self.stride) as usize,
+            TaskId(task.0 % self.stride),
+        )
+    }
+
+    /// The workload entry a global task id belongs to. Returned at the
+    /// graph-table lifetime (not `&self`), so callers can keep it across
+    /// mutations of engine state.
+    #[inline]
+    fn entry_of(&self, task: TaskId) -> &'g GraphEntry {
+        let (slot, _) = self.split(task);
+        let graphs = self.graphs;
+        &graphs[self.slots[slot].graph as usize]
+    }
+
+    fn run(mut self, workload: &str) -> RunReport {
+        let init = self.accel.on_init(&mut self.machine, SimTime::ZERO);
+        self.push_settles(&init);
+
+        if let Some(first) = self.records.first() {
+            self.events
+                .push(SimTime::from_ps(first.at_ps), SEv::Arrival);
+        }
+
+        // Drain: every admitted instance runs to completion, however far
+        // past the arrival window its tail stretches.
+        while self.live > 0 || self.next_rec < self.records.len() {
+            let Some((now, ev)) = self.events.pop() else {
+                panic!(
+                    "service deadlock: {} live instances, record {}/{}, queue len {}",
+                    self.live,
+                    self.next_rec,
+                    self.records.len(),
+                    self.policy.len()
+                );
+            };
+            self.horizon = now;
+            self.counters.sim_events += 1;
+            self.handle(now, ev);
+            self.dispatch(now);
+        }
+
+        // The last processed event bounds every machine-activity stamp;
+        // usually it *is* the last completion, but a trailing dropped
+        // arrival or idle-halt can sit later.
+        let end = self.horizon.max(self.last_completion);
+        self.machine.finish(end);
+        let energy = integrate_machine(&self.machine, end.since(SimTime::ZERO), &self.cfg.power);
+        let stats = self.accel.stats();
+        let agg_core_time = end.as_ps().saturating_mul(self.machine.num_cores() as u64);
+        let secs = end.since(SimTime::ZERO).as_secs_f64();
+        let service = ServiceReport {
+            arrivals: self.arrivals,
+            admitted: self.admitted,
+            dropped: self.dropped,
+            completed: self.completed,
+            in_flight: self.live as u64,
+            duration: end.since(SimTime::ZERO),
+            graphs_per_sec: if secs > 0.0 {
+                self.completed as f64 / secs
+            } else {
+                0.0
+            },
+            latency: self.latency,
+            queue_wait: self.queue_wait,
+            service_time: self.service_time,
+        };
+        RunReport {
+            label: self.cfg.label.clone(),
+            workload: workload.to_string(),
+            fast_cores: self.cfg.fast_cores,
+            exec_time: end.since(SimTime::ZERO),
+            energy,
+            counters: self.counters.clone(),
+            lock_waits: stats.lock_waits,
+            reconfig_latencies: stats.latencies,
+            reconfig_overhead: stats.overhead_total,
+            reconfig_time_share: if agg_core_time == 0 {
+                0.0
+            } else {
+                stats.overhead_total.as_ps() as f64 / agg_core_time as f64
+            },
+            core_utilization: self
+                .machine
+                .cores()
+                .map(|c| c.timeline().utilization())
+                .collect(),
+            tasks: self.counters.tasks_completed as usize,
+            trace_counts: None,
+            effective_cores: None,
+            service: Some(service),
+        }
+    }
+
+    fn handle(&mut self, now: SimTime, ev: SEv) {
+        match ev {
+            SEv::Arrival => self.arrival(now),
+            SEv::TaskBegin { core, epoch } => self.task_begin(CoreId(core), epoch, now),
+            SEv::Milestone { core, epoch, gen } => self.milestone(CoreId(core), epoch, gen, now),
+            SEv::CoreFree { core, epoch } => self.core_free(CoreId(core), epoch, now),
+            SEv::DvfsSettle { core } => self.dvfs_settle(CoreId(core), now),
+            SEv::IdleHalt { core, epoch } => self.idle_halt(CoreId(core), epoch, now),
+            SEv::IdleDecel { core, epoch } => self.idle_decel(CoreId(core), epoch, now),
+        }
+    }
+
+    /// One tape record: chain the next arrival, gate this one, and (if
+    /// admitted) submit the whole instance.
+    fn arrival(&mut self, now: SimTime) {
+        let rec = self.records[self.next_rec];
+        self.next_rec += 1;
+        if let Some(next) = self.records.get(self.next_rec) {
+            self.events.push(SimTime::from_ps(next.at_ps), SEv::Arrival);
+        }
+        self.arrivals += 1;
+
+        let entry = &self.graphs[rec.workload as usize];
+        let ctx = AdmissionCtx {
+            now,
+            in_flight: self.live,
+            ready_tasks: self.policy.len(),
+            critical: entry.critical,
+            tenant: rec.tenant,
+        };
+        if !self.admission.admit(&ctx) {
+            self.dropped += 1;
+            return;
+        }
+        self.admitted += 1;
+
+        let n = entry.graph.num_tasks();
+        if n == 0 {
+            // An empty instance completes the moment it is admitted.
+            self.completed += 1;
+            self.last_completion = self.last_completion.max(now);
+            self.latency.record(SimDuration::ZERO);
+            self.queue_wait.record(SimDuration::ZERO);
+            self.service_time.record(SimDuration::ZERO);
+            return;
+        }
+
+        let slot_idx = self.alloc_slot(rec.workload, now);
+        self.live += 1;
+        let base = slot_idx * self.stride;
+        for t in entry.graph.task_ids() {
+            if self.slots[slot_idx as usize].indegree[t.index()] == 0 {
+                self.make_ready(TaskId(base + t.0), entry.levels[t.index()]);
+            }
+        }
+    }
+
+    /// Takes a slot off the free list (or grows the pool) and stamps it
+    /// for one instance of `graph`.
+    fn alloc_slot(&mut self, graph: u32, now: SimTime) -> u32 {
+        let idx = self.free.pop().unwrap_or_else(|| {
+            let i = self.slots.len() as u32;
+            self.slots.push(Slot::default());
+            self.crit
+                .resize(self.slots.len() * self.stride as usize, false);
+            i
+        });
+        let g = &self.graphs[graph as usize].graph;
+        let s = &mut self.slots[idx as usize];
+        s.graph = graph;
+        s.remaining = g.num_tasks() as u32;
+        s.arrival = now;
+        s.started = None;
+        s.indegree.clear();
+        s.indegree
+            .extend(g.task_ids().map(|t| g.preds(t).len() as u32));
+        idx
+    }
+
+    fn make_ready(&mut self, task: TaskId, level: u8) {
+        self.crit[task.index()] = level > 0;
+        self.policy.enqueue(task, level);
+    }
+
+    fn push_settles(&mut self, effects: &AccelEffects) {
+        debug_assert!(
+            self.machine.accelerated_count() <= self.cfg.fast_cores,
+            "committed budget exceeded: {} > {}",
+            self.machine.accelerated_count(),
+            self.cfg.fast_cores
+        );
+        for &(at, core) in &effects.settles {
+            self.events.push(at, SEv::DvfsSettle { core: core.0 });
+        }
+    }
+
+    /// Identical walk to the closed-system engine's dispatch (same
+    /// idle-index order, same idle-timer arming) — the scheduling
+    /// semantics under service load are the paper's, only the task
+    /// population differs.
+    fn dispatch(&mut self, now: SimTime) {
+        while !self.policy.is_empty() {
+            let mut assigned = false;
+            let mut cur = self.idle.first();
+            while let Some(core) = cur {
+                let nxt = self.idle.next_after(core);
+                let ctx = DispatchCtx {
+                    fast_core_idle: self.idle.any_fast_available()
+                        && !self.is_fast_static[core.index()],
+                };
+                if self.policy.has_work_for(core, ctx) {
+                    if let Some(task) = self.policy.dequeue(core, ctx, &mut self.counters) {
+                        self.assign(core, task, now);
+                        assigned = true;
+                    }
+                }
+                cur = nxt;
+            }
+            if !assigned {
+                break;
+            }
+        }
+        if !self.idle_dirty {
+            return;
+        }
+        self.idle_dirty = false;
+        for i in 0..self.cores.len() {
+            let c = &mut self.cores[i];
+            if !matches!(c.run, CoreRun::Idle) {
+                continue;
+            }
+            if !c.idle_notified {
+                c.idle_notified = true;
+                let epoch = c.epoch;
+                self.events.push(
+                    now + self.cfg.idle_decel_delay,
+                    SEv::IdleDecel {
+                        core: i as u32,
+                        epoch,
+                    },
+                );
+            }
+            if let Some(delay) = self.cfg.idle_to_halt {
+                let c = &mut self.cores[i];
+                if !c.halt_scheduled {
+                    c.halt_scheduled = true;
+                    let epoch = c.epoch;
+                    self.events.push(
+                        now + delay,
+                        SEv::IdleHalt {
+                            core: i as u32,
+                            epoch,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn assign(&mut self, core: CoreId, task: TaskId, now: SimTime) {
+        self.idle.remove(core);
+        // First dispatch of the instance ends its queue wait.
+        let (slot, _) = self.split(task);
+        if self.slots[slot].started.is_none() {
+            self.slots[slot].started = Some(now);
+        }
+
+        let was_halted = matches!(self.cores[core.index()].run, CoreRun::Halted);
+        let ctl = &mut self.cores[core.index()];
+        ctl.epoch += 1;
+        ctl.halt_scheduled = false;
+        ctl.idle_notified = false;
+        let epoch = ctl.epoch;
+        ctl.run = CoreRun::Prologue { task };
+        self.machine.set_activity(core, now, Activity::Busy);
+
+        let mut t = now;
+        if was_halted {
+            let e = self
+                .accel
+                .on_core_wake(core, now, &mut self.machine, &mut self.counters);
+            self.push_settles(&e);
+            t += self.cfg.wake_latency;
+        }
+        t += self.cfg.costs.dispatch;
+
+        let critical = self.crit[task.index()];
+        let e = self
+            .accel
+            .on_task_start(core, critical, t, &mut self.machine, &mut self.counters);
+        self.push_settles(&e);
+        self.events.push(
+            e.resume_or(t),
+            SEv::TaskBegin {
+                core: core.0,
+                epoch,
+            },
+        );
+    }
+
+    fn task_begin(&mut self, core: CoreId, epoch: u64, now: SimTime) {
+        let ctl = &mut self.cores[core.index()];
+        if ctl.epoch != epoch {
+            return; // stale
+        }
+        let CoreRun::Prologue { task } = ctl.run else {
+            return;
+        };
+        let (_, local) = self.split(task);
+        let entry = self.entry_of(task);
+        let rt = RunningTask::start(
+            &entry.graph.task(local).profile,
+            now,
+            self.machine.core(core).frequency(),
+        );
+        self.schedule_milestone(core, epoch, &rt);
+        self.cores[core.index()].run = CoreRun::Running { task, rt };
+    }
+
+    fn schedule_milestone(&mut self, core: CoreId, epoch: u64, rt: &RunningTask<'_>) {
+        if let Some(m) = rt.next_milestone() {
+            self.events.push(
+                m.time(),
+                SEv::Milestone {
+                    core: core.0,
+                    epoch,
+                    gen: rt.generation(),
+                },
+            );
+        }
+    }
+
+    fn milestone(&mut self, core: CoreId, epoch: u64, gen: u64, now: SimTime) {
+        let ctl = &mut self.cores[core.index()];
+        if ctl.epoch != epoch {
+            return;
+        }
+        let CoreRun::Running { task, ref mut rt } = ctl.run else {
+            return;
+        };
+        if rt.generation() != gen {
+            return; // superseded by a frequency change
+        }
+        match rt.advance_to(now) {
+            None => {
+                let rt2 = *rt;
+                self.schedule_milestone(core, epoch, &rt2);
+            }
+            Some(Milestone::Completion(_)) => self.complete(core, task, now),
+            Some(Milestone::BlockStart(_)) => {
+                let rt2 = *rt;
+                self.machine.set_activity(core, now, Activity::Halted);
+                self.counters.halts += 1;
+                let e = self
+                    .accel
+                    .on_core_halt(core, now, &mut self.machine, &mut self.counters);
+                self.push_settles(&e);
+                self.schedule_milestone(core, epoch, &rt2);
+            }
+            Some(Milestone::BlockEnd(_)) => {
+                let rt2 = *rt;
+                self.machine.set_activity(core, now, Activity::Busy);
+                let e = self
+                    .accel
+                    .on_core_wake(core, now, &mut self.machine, &mut self.counters);
+                self.push_settles(&e);
+                self.schedule_milestone(core, epoch, &rt2);
+            }
+        }
+    }
+
+    fn complete(&mut self, core: CoreId, task: TaskId, now: SimTime) {
+        self.counters.tasks_completed += 1;
+        self.last_completion = self.last_completion.max(now);
+
+        let (slot, local) = self.split(task);
+        let entry = self.entry_of(task);
+        let base = slot as u32 * self.stride;
+        for i in 0..entry.graph.succs(local).len() {
+            let s = entry.graph.succs(local)[i];
+            let d = &mut self.slots[slot].indegree[s.index()];
+            debug_assert!(*d > 0, "indegree underflow at {s}");
+            *d -= 1;
+            if *d == 0 {
+                self.make_ready(TaskId(base + s.0), entry.levels[s.index()]);
+            }
+        }
+        self.slots[slot].remaining -= 1;
+        if self.slots[slot].remaining == 0 {
+            self.finish_instance(slot, now);
+        }
+
+        let epoch = self.cores[core.index()].epoch;
+        self.cores[core.index()].run = CoreRun::Epilogue;
+        let e = self
+            .accel
+            .on_task_end(core, now, &mut self.machine, &mut self.counters);
+        self.push_settles(&e);
+        self.events.push(
+            e.resume_or(now),
+            SEv::CoreFree {
+                core: core.0,
+                epoch,
+            },
+        );
+    }
+
+    /// The instance's last task finished: fold its times into the
+    /// streaming histograms and recycle the slot.
+    fn finish_instance(&mut self, slot: usize, now: SimTime) {
+        self.completed += 1;
+        let s = &self.slots[slot];
+        let started = s.started.unwrap_or(now);
+        self.latency.record(now.since(s.arrival));
+        self.queue_wait.record(started.since(s.arrival));
+        self.service_time.record(now.since(started));
+        self.live -= 1;
+        self.free.push(slot as u32);
+    }
+
+    fn core_free(&mut self, core: CoreId, epoch: u64, now: SimTime) {
+        let ctl = &mut self.cores[core.index()];
+        if ctl.epoch != epoch {
+            return;
+        }
+        debug_assert!(matches!(ctl.run, CoreRun::Epilogue));
+        ctl.run = CoreRun::Idle;
+        self.idle.push(core);
+        self.idle_dirty = true;
+        self.machine.set_activity(core, now, Activity::Idle);
+    }
+
+    fn dvfs_settle(&mut self, core: CoreId, now: SimTime) {
+        if let Some(level) = self.machine.settle(core, now) {
+            let epoch = self.cores[core.index()].epoch;
+            if let CoreRun::Running { ref mut rt, .. } = self.cores[core.index()].run {
+                rt.set_frequency(now, level.frequency);
+                let rt2 = *rt;
+                self.schedule_milestone(core, epoch, &rt2);
+            }
+        }
+    }
+
+    fn idle_decel(&mut self, core: CoreId, epoch: u64, now: SimTime) {
+        let ctl = &self.cores[core.index()];
+        if ctl.epoch != epoch || !matches!(ctl.run, CoreRun::Idle | CoreRun::Halted) {
+            return;
+        }
+        let e = self
+            .accel
+            .on_core_idle(core, now, &mut self.machine, &mut self.counters);
+        self.push_settles(&e);
+    }
+
+    fn idle_halt(&mut self, core: CoreId, epoch: u64, now: SimTime) {
+        let ctl = &mut self.cores[core.index()];
+        if ctl.epoch != epoch || !matches!(ctl.run, CoreRun::Idle) {
+            return;
+        }
+        ctl.run = CoreRun::Halted;
+        ctl.halt_scheduled = false;
+        self.machine.set_activity(core, now, Activity::Halted);
+        self.counters.halts += 1;
+        let e = self
+            .accel
+            .on_core_halt(core, now, &mut self.machine, &mut self.counters);
+        self.push_settles(&e);
+    }
+}

@@ -1,0 +1,106 @@
+//! Per-run service metrics: arrival accounting and tail latency.
+
+use cata_sim::stats::LatencyHistogram;
+use cata_sim::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// What an open-system run measured.
+///
+/// Counts obey the conservation law
+/// `arrivals == admitted + dropped` and, once the run has drained,
+/// `admitted == completed + in_flight` with `in_flight == 0`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServiceReport {
+    /// Graph instances that arrived (tape records consumed).
+    pub arrivals: u64,
+    /// Instances the admission policy let in.
+    pub admitted: u64,
+    /// Instances dropped at the door.
+    pub dropped: u64,
+    /// Instances that ran to completion.
+    pub completed: u64,
+    /// Admitted instances still in the system when the run ended
+    /// (always 0 — the engine drains — but stored so the conservation
+    /// law is checkable from the serialized form alone).
+    pub in_flight: u64,
+    /// End of the run: the later of the last completion and the last
+    /// processed event.
+    pub duration: SimDuration,
+    /// Sustained completion throughput over `duration`.
+    pub graphs_per_sec: f64,
+    /// Per-graph response time (arrival → last task completion).
+    pub latency: LatencyHistogram,
+    /// Time in queue (arrival → first task dispatched).
+    pub queue_wait: LatencyHistogram,
+    /// Time in service (first task dispatched → last task completion).
+    pub service_time: LatencyHistogram,
+}
+
+impl ServiceReport {
+    /// Median response time.
+    pub fn p50(&self) -> SimDuration {
+        self.latency.quantile(0.5)
+    }
+
+    /// 99th-percentile response time.
+    pub fn p99(&self) -> SimDuration {
+        self.latency.quantile(0.99)
+    }
+
+    /// 99.9th-percentile response time.
+    pub fn p999(&self) -> SimDuration {
+        self.latency.quantile(0.999)
+    }
+
+    /// One-line deterministic summary; picosecond integers so CI can
+    /// grep and diff it without float-formatting hazards.
+    pub fn summary(&self) -> String {
+        format!(
+            "arrivals={} admitted={} dropped={} completed={} gps={:.3} \
+             p50={}ps p99={}ps p999={}ps qwait_p99={}ps svc_p99={}ps",
+            self.arrivals,
+            self.admitted,
+            self.dropped,
+            self.completed,
+            self.graphs_per_sec,
+            self.p50().as_ps(),
+            self.p99().as_ps(),
+            self.p999().as_ps(),
+            self.queue_wait.quantile(0.99).as_ps(),
+            self.service_time.quantile(0.99).as_ps(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips_and_summarizes() {
+        let mut r = ServiceReport::default();
+        for i in 1..=100u64 {
+            r.latency.record(SimDuration::from_ns(i));
+            r.queue_wait.record(SimDuration::from_ns(i / 2));
+            r.service_time.record(SimDuration::from_ns(i / 2 + 1));
+        }
+        r.arrivals = 120;
+        r.admitted = 100;
+        r.dropped = 20;
+        r.completed = 100;
+        r.duration = SimDuration::from_us(100);
+        r.graphs_per_sec = 1_000_000.0;
+
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ServiceReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+
+        let s = r.summary();
+        assert!(
+            s.contains("arrivals=120") && s.contains("dropped=20"),
+            "{s}"
+        );
+        assert!(s.contains("p99=") && s.contains("p999="), "{s}");
+        assert!(r.p999() >= r.p99() && r.p99() >= r.p50());
+    }
+}

@@ -1,0 +1,216 @@
+//! The service-run specification: what arrives, for how long, and which
+//! gate admits it.
+
+use crate::exp::error::ExpError;
+use crate::exp::spec::ScenarioSpec;
+use cata_sim::time::SimDuration;
+use cata_tdg::fnv1a_hex;
+use serde::{Deserialize, Serialize};
+
+/// The arrival process driving an open-system run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalSpec {
+    /// Poisson arrivals: exponential interarrivals at `rate_hz` mean
+    /// graph instances per second, drawn from the run seed.
+    Poisson {
+        /// Mean arrival rate, graph instances per second.
+        rate_hz: f64,
+    },
+    /// Deterministic fixed-rate arrivals, one instance every
+    /// `1/rate_hz` seconds.
+    Fixed {
+        /// Arrival rate, graph instances per second.
+        rate_hz: f64,
+    },
+    /// Replay a pre-recorded traffic tape. The digest pins the tape's
+    /// content, so a spec that names a tape names *exactly one* traffic
+    /// pattern; an empty digest accepts any tape (useful while
+    /// authoring).
+    Tape {
+        /// The tape's content digest (16 hex chars), or `""` to accept
+        /// any tape.
+        digest: String,
+    },
+}
+
+impl ArrivalSpec {
+    /// The configured rate, when the process has one.
+    pub fn rate_hz(&self) -> Option<f64> {
+        match self {
+            ArrivalSpec::Poisson { rate_hz } | ArrivalSpec::Fixed { rate_hz } => Some(*rate_hz),
+            ArrivalSpec::Tape { .. } => None,
+        }
+    }
+}
+
+/// Parameters for the built-in admission policies.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionParams {
+    /// In-flight instance cap for `queue-cap` / `shed-noncritical`;
+    /// `None` uses [`DEFAULT_QUEUE_CAP`](super::DEFAULT_QUEUE_CAP).
+    pub queue_cap: Option<usize>,
+}
+
+/// A full open-system service run: base scenario + arrival process +
+/// observation window + admission gate.
+///
+/// Serialized as JSON (`repro serve spec.json`); the digest over the
+/// serialized form identifies the run in stores, exactly like
+/// [`spec_digest`](crate::exp::spec_digest) does for closed-system
+/// cells.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceSpec {
+    /// Machine, policies, costs, seed, and the workload template every
+    /// arriving instance is stamped from.
+    pub base: ScenarioSpec,
+    /// The arrival process.
+    pub arrival: ArrivalSpec,
+    /// Arrivals are generated in `[0, duration]`; the run then drains
+    /// all admitted instances. Ignored when replaying a tape (the tape
+    /// *is* the window).
+    pub duration: SimDuration,
+    /// Admission-policy registry key (`admit-all`, `queue-cap`,
+    /// `shed-noncritical`, or an externally registered key).
+    pub admission: String,
+    /// Parameters for the admission policy; `None` means defaults.
+    pub admission_params: Option<AdmissionParams>,
+}
+
+impl ServiceSpec {
+    /// A spec with the default gate (`admit-all`).
+    pub fn new(base: ScenarioSpec, arrival: ArrivalSpec, duration: SimDuration) -> Self {
+        ServiceSpec {
+            base,
+            arrival,
+            duration,
+            admission: "admit-all".to_string(),
+            admission_params: None,
+        }
+    }
+
+    /// Replaces the admission policy key.
+    pub fn with_admission(mut self, key: impl Into<String>) -> Self {
+        self.admission = key.into();
+        self
+    }
+
+    /// Sets the in-flight cap for the bounded admission policies.
+    pub fn with_queue_cap(mut self, cap: usize) -> Self {
+        self.admission_params = Some(AdmissionParams {
+            queue_cap: Some(cap),
+        });
+        self
+    }
+
+    /// Structural validation (beyond what the base spec checks).
+    pub fn validate(&self) -> Result<(), ExpError> {
+        self.base.validate()?;
+        if let Some(rate) = self.arrival.rate_hz() {
+            if !rate.is_finite() || rate <= 0.0 {
+                return Err(ExpError::InvalidSpec(format!(
+                    "arrival rate must be finite and positive, got {rate}"
+                )));
+            }
+        }
+        if !matches!(self.arrival, ArrivalSpec::Tape { .. }) && self.duration.is_zero() {
+            return Err(ExpError::InvalidSpec(
+                "service duration must be positive".to_string(),
+            ));
+        }
+        if self.admission.is_empty() {
+            return Err(ExpError::InvalidSpec(
+                "admission policy key must not be empty".to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Compact JSON form.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("service spec serializes")
+    }
+
+    /// Pretty JSON form (for files humans edit).
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("service spec serializes")
+    }
+
+    /// Parses the JSON form.
+    pub fn from_json(text: &str) -> Result<Self, ExpError> {
+        serde_json::from_str(text).map_err(|e| ExpError::Parse(e.to_string()))
+    }
+
+    /// Content digest over the serialized spec — the service run's
+    /// identity in stores.
+    pub fn digest(&self) -> String {
+        fnv1a_hex(self.to_json().bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exp::spec::WorkloadSpec;
+
+    fn base() -> ScenarioSpec {
+        ScenarioSpec::preset(
+            "CATA",
+            4,
+            WorkloadSpec::ForkJoin {
+                waves: 2,
+                width: 4,
+                cycles: 100_000,
+            },
+        )
+        .unwrap()
+        .with_small_machine(8, 4)
+    }
+
+    #[test]
+    fn spec_round_trips_and_digests_stably() {
+        let spec = ServiceSpec::new(
+            base(),
+            ArrivalSpec::Poisson { rate_hz: 500.0 },
+            SimDuration::from_ms(10),
+        )
+        .with_admission("queue-cap")
+        .with_queue_cap(32);
+        spec.validate().unwrap();
+        let json = spec.to_json();
+        let back = ServiceSpec::from_json(&json).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.digest(), spec.digest());
+        assert_eq!(spec.digest().len(), 16);
+
+        // Any field change moves the digest — the digest is the identity.
+        let mut other = spec.clone();
+        other.admission = "admit-all".into();
+        assert_ne!(other.digest(), spec.digest());
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        let ok = ServiceSpec::new(
+            base(),
+            ArrivalSpec::Fixed { rate_hz: 100.0 },
+            SimDuration::from_ms(1),
+        );
+        ok.validate().unwrap();
+
+        let mut bad = ok.clone();
+        bad.arrival = ArrivalSpec::Poisson { rate_hz: 0.0 };
+        assert!(bad.validate().is_err());
+
+        let mut bad = ok.clone();
+        bad.arrival = ArrivalSpec::Fixed { rate_hz: f64::NAN };
+        assert!(bad.validate().is_err());
+
+        let mut bad = ok.clone();
+        bad.duration = SimDuration::ZERO;
+        assert!(bad.validate().is_err());
+
+        let mut bad = ok;
+        bad.admission = String::new();
+        assert!(bad.validate().is_err());
+    }
+}

@@ -136,7 +136,7 @@ struct CoreCtl<'g> {
 }
 
 /// Sentinel for "not linked" in [`IdleIndex`].
-const NIL: u32 = u32::MAX;
+pub(crate) const NIL: u32 = u32::MAX;
 
 /// A persistent index of *available* (idle or halted) cores, kept in
 /// dispatch order — the structure that replaces the per-event candidate
@@ -152,7 +152,7 @@ const NIL: u32 = u32::MAX;
 /// insertion is an O(1) tail append, and assignment unlinks in O(1) from
 /// anywhere. Zero allocations after [`reset`](Self::reset).
 #[derive(Debug, Default)]
-struct IdleIndex {
+pub(crate) struct IdleIndex {
     next: Vec<u32>,
     prev: Vec<u32>,
     /// 0 = preferred (static-fast under a fast-preferring policy), 1 = rest.
@@ -170,7 +170,7 @@ impl IdleIndex {
     /// Re-initializes for a run: all `n` cores available in core order
     /// (their initial idle stamps are their indices), classed by
     /// `prefer_fast`/`is_fast_static`. Reuses every buffer.
-    fn reset(&mut self, n: usize, prefer_fast: bool, is_fast_static: &[bool]) {
+    pub(crate) fn reset(&mut self, n: usize, prefer_fast: bool, is_fast_static: &[bool]) {
         self.next.clear();
         self.next.resize(n, NIL);
         self.prev.clear();
@@ -194,7 +194,7 @@ impl IdleIndex {
     }
 
     /// Appends a newly available core at the tail of its class list.
-    fn push(&mut self, core: CoreId) {
+    pub(crate) fn push(&mut self, core: CoreId) {
         let i = core.index();
         debug_assert!(!self.linked[i], "{core} already available");
         let c = self.class[i] as usize;
@@ -214,7 +214,7 @@ impl IdleIndex {
     }
 
     /// Unlinks a core that got work assigned.
-    fn remove(&mut self, core: CoreId) {
+    pub(crate) fn remove(&mut self, core: CoreId) {
         let i = core.index();
         debug_assert!(self.linked[i], "{core} not available");
         let c = self.class[i] as usize;
@@ -238,7 +238,7 @@ impl IdleIndex {
     }
 
     /// First core in dispatch order.
-    fn first(&self) -> Option<CoreId> {
+    pub(crate) fn first(&self) -> Option<CoreId> {
         let h = if self.head[0] != NIL {
             self.head[0]
         } else {
@@ -250,7 +250,7 @@ impl IdleIndex {
     /// The core visited after `core`. Capture this *before* removing
     /// `core`: the successor stays valid because dispatch only ever
     /// removes the core it is currently visiting.
-    fn next_after(&self, core: CoreId) -> Option<CoreId> {
+    pub(crate) fn next_after(&self, core: CoreId) -> Option<CoreId> {
         let i = core.index();
         let n = self.next[i];
         if n != NIL {
@@ -263,7 +263,7 @@ impl IdleIndex {
     }
 
     /// True if any static-fast core is available (idle or halted).
-    fn any_fast_available(&self) -> bool {
+    pub(crate) fn any_fast_available(&self) -> bool {
         self.avail_fast > 0
     }
 }
@@ -539,6 +539,8 @@ impl<'g> Engine<'g> {
             trace_counts: self.trace.is_enabled().then(|| *self.trace.counts()),
             // The simulator always runs the spec's machine verbatim.
             effective_cores: None,
+            // Closed-system run: one graph, no arrival stream.
+            service: None,
         };
         let scratch = EngineScratch {
             events: self.events,

@@ -17,6 +17,12 @@ pub enum Measurement {
     /// Computed by the calibrated per-core model from busy-time-at-frequency
     /// intervals a native run observed (`cata_power::modeled`).
     Modeled,
+    /// [`Modeled`](Self::Modeled), but scaled to the *spec* machine: the
+    /// native run was clamped to fewer workers than the spec's cores
+    /// (`effective_cores` surfaces the clamp), and the model priced the
+    /// unmapped cores as idle at the slow level so the joules remain
+    /// comparable with full-width sim cells.
+    ModeledScaled,
     /// Read from the RAPL energy counters under `/sys/class/powercap`.
     Rapl,
     /// No energy was measured (legacy native runs, untagged stored reports).
@@ -25,11 +31,13 @@ pub enum Measurement {
 }
 
 impl Measurement {
-    /// The serialized / table form ("simulated", "modeled", "rapl", "none").
+    /// The serialized / table form ("simulated", "modeled",
+    /// "modeled-scaled", "rapl", "none").
     pub fn name(self) -> &'static str {
         match self {
             Measurement::Simulated => "simulated",
             Measurement::Modeled => "modeled",
+            Measurement::ModeledScaled => "modeled-scaled",
             Measurement::Rapl => "rapl",
             Measurement::None => "none",
         }
@@ -48,6 +56,7 @@ impl Deserialize for Measurement {
             Value::Str(s) => match s.as_str() {
                 "simulated" => Ok(Measurement::Simulated),
                 "modeled" => Ok(Measurement::Modeled),
+                "modeled-scaled" => Ok(Measurement::ModeledScaled),
                 "rapl" => Ok(Measurement::Rapl),
                 "none" => Ok(Measurement::None),
                 other => Err(DeError::new(format!("unknown measurement `{other}`"))),

@@ -6,7 +6,7 @@
 //! (0.03 %–3.49 %). [`LatencySamples`] collects exactly those statistics.
 
 use crate::time::SimDuration;
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::fmt;
 
 /// An online collection of duration samples with summary statistics.
@@ -94,6 +94,231 @@ impl fmt::Display for LatencySamples {
             self.count(),
             self.mean(),
             self.min(),
+            self.max()
+        )
+    }
+}
+
+/// Sub-bucket resolution of [`LatencyHistogram`]: each power-of-two octave
+/// is split into `2^4 = 16` linear sub-buckets, bounding the relative
+/// quantile error at 1/16 ≈ 6 %.
+const HIST_SUB_BITS: u32 = 4;
+const HIST_SUB: u64 = 1 << HIST_SUB_BITS;
+
+/// A streaming log-bucketed duration histogram.
+///
+/// Open-system service runs record one latency per graph *instance* —
+/// potentially millions per simulation — so storing every sample (as
+/// [`LatencySamples`] does) is off the table. This histogram keeps a fixed
+/// set of log-linear buckets (16 linear sub-buckets per power-of-two
+/// octave, HdrHistogram-style): `record` is O(1) with no allocation beyond
+/// the one-time growth of the bucket array (at most 976 entries), and
+/// quantiles are deterministic bucket lower bounds with ≤ 6 % relative
+/// error. Exact `min`/`max`/`sum` are tracked on the side so the extremes
+/// and the mean stay precise.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LatencyHistogram {
+    /// `counts[b]` = samples in bucket `b`; grown lazily to the highest
+    /// occupied bucket.
+    counts: Vec<u64>,
+    total: u64,
+    sum_ps: u64,
+    min_ps: u64,
+    max_ps: u64,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bucket index of a picosecond value. Values below 16 get exact
+    /// unit buckets; larger values go to `(octave, top-4-mantissa-bits)`.
+    fn bucket_of(ps: u64) -> usize {
+        if ps < HIST_SUB {
+            return ps as usize;
+        }
+        let exp = 63 - ps.leading_zeros();
+        let sub = (ps >> (exp - HIST_SUB_BITS)) & (HIST_SUB - 1);
+        ((u64::from(exp - HIST_SUB_BITS + 1) * HIST_SUB) + sub) as usize
+    }
+
+    /// The smallest picosecond value that maps to bucket `b` (the value
+    /// quantiles report for samples landing in `b`).
+    fn bucket_floor(b: usize) -> u64 {
+        let b = b as u64;
+        if b < HIST_SUB {
+            return b;
+        }
+        let exp = b / HIST_SUB + u64::from(HIST_SUB_BITS) - 1;
+        let sub = b % HIST_SUB;
+        (HIST_SUB + sub) << (exp - u64::from(HIST_SUB_BITS))
+    }
+
+    /// Records one sample. O(1); never allocates per sample once the
+    /// bucket array has grown to cover the value range.
+    pub fn record(&mut self, d: SimDuration) {
+        let ps = d.as_ps();
+        let b = Self::bucket_of(ps);
+        if b >= self.counts.len() {
+            self.counts.resize(b + 1, 0);
+        }
+        self.counts[b] += 1;
+        self.total += 1;
+        self.sum_ps = self.sum_ps.saturating_add(ps);
+        self.max_ps = self.max_ps.max(ps);
+        self.min_ps = if self.total == 1 {
+            ps
+        } else {
+            self.min_ps.min(ps)
+        };
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Arithmetic mean, or zero if empty.
+    pub fn mean(&self) -> SimDuration {
+        if self.total == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_ps(self.sum_ps / self.total)
+    }
+
+    /// Exact largest sample, or zero if empty.
+    pub fn max(&self) -> SimDuration {
+        SimDuration::from_ps(self.max_ps)
+    }
+
+    /// Exact smallest sample, or zero if empty.
+    pub fn min(&self) -> SimDuration {
+        SimDuration::from_ps(self.min_ps)
+    }
+
+    /// The `q`-quantile (q in [0, 1]) by nearest rank over the buckets, or
+    /// zero if empty. Interior quantiles report the lower bound of the
+    /// bucket holding the ranked sample (≤ 6 % below the true value);
+    /// `q = 0` and `q = 1` report the exact extremes.
+    pub fn quantile(&self, q: f64) -> SimDuration {
+        if self.total == 0 {
+            return SimDuration::ZERO;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q == 0.0 {
+            return self.min();
+        }
+        if q == 1.0 {
+            return self.max();
+        }
+        let rank = ((self.total - 1) as f64 * q).round() as u64;
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen > rank {
+                return SimDuration::from_ps(Self::bucket_floor(b).max(self.min_ps));
+            }
+        }
+        self.max()
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        if other.total == 0 {
+            return;
+        }
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (dst, &src) in self.counts.iter_mut().zip(&other.counts) {
+            *dst += src;
+        }
+        self.min_ps = if self.total == 0 {
+            other.min_ps
+        } else {
+            self.min_ps.min(other.min_ps)
+        };
+        self.max_ps = self.max_ps.max(other.max_ps);
+        self.sum_ps = self.sum_ps.saturating_add(other.sum_ps);
+        self.total += other.total;
+    }
+}
+
+// Hand-written serde: the bucket array is mostly zeros, so it is stored
+// sparsely as `[bucket, count]` pairs. Round-trips bit-exactly.
+impl Serialize for LatencyHistogram {
+    fn to_value(&self) -> Value {
+        let buckets: Vec<Value> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(b, &c)| Value::Seq(vec![Value::U64(b as u64), Value::U64(c)]))
+            .collect();
+        Value::Map(vec![
+            ("total".to_string(), Value::U64(self.total)),
+            ("sum_ps".to_string(), Value::U64(self.sum_ps)),
+            ("min_ps".to_string(), Value::U64(self.min_ps)),
+            ("max_ps".to_string(), Value::U64(self.max_ps)),
+            ("buckets".to_string(), Value::Seq(buckets)),
+        ])
+    }
+}
+
+impl Deserialize for LatencyHistogram {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let m = v.as_map_for("LatencyHistogram")?;
+        let mut h = LatencyHistogram {
+            counts: Vec::new(),
+            total: serde::field(m, "total", "LatencyHistogram")?,
+            sum_ps: serde::field(m, "sum_ps", "LatencyHistogram")?,
+            min_ps: serde::field(m, "min_ps", "LatencyHistogram")?,
+            max_ps: serde::field(m, "max_ps", "LatencyHistogram")?,
+        };
+        let pairs = match m.iter().find(|(k, _)| k == "buckets") {
+            Some((_, v)) => v.as_seq_for("LatencyHistogram.buckets")?,
+            None => return Err(DeError::new("LatencyHistogram: missing field `buckets`")),
+        };
+        let mut restored = 0u64;
+        for pair in pairs {
+            let p = pair.as_seq_for("LatencyHistogram bucket pair")?;
+            if p.len() != 2 {
+                return Err(DeError::new("LatencyHistogram bucket pair must be [b, n]"));
+            }
+            let b: usize = u64::from_value(&p[0])? as usize;
+            let c: u64 = u64::from_value(&p[1])?;
+            if b >= h.counts.len() {
+                h.counts.resize(b + 1, 0);
+            }
+            h.counts[b] += c;
+            restored += c;
+        }
+        if restored != h.total {
+            return Err(DeError::new(format!(
+                "LatencyHistogram: bucket counts sum to {restored}, total says {}",
+                h.total
+            )));
+        }
+        Ok(h)
+    }
+}
+
+impl fmt::Display for LatencyHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={} p50={} p99={} max={}",
+            self.count(),
+            self.mean(),
+            self.quantile(0.5),
+            self.quantile(0.99),
             self.max()
         )
     }
@@ -188,6 +413,84 @@ mod tests {
         assert_eq!(s.quantile(1.0), SimDuration::from_us(10));
         s.record(SimDuration::from_us(5));
         assert_eq!(s.quantile(0.0), SimDuration::from_us(5));
+    }
+
+    #[test]
+    fn histogram_buckets_are_contiguous_and_monotone() {
+        // Every value maps into a bucket whose floor is <= it, and bucket
+        // indices never decrease as values grow.
+        let mut prev = 0usize;
+        for ps in (0u64..4096).chain([1 << 20, 1 << 40, u64::MAX - 1, u64::MAX]) {
+            let b = LatencyHistogram::bucket_of(ps);
+            assert!(b >= prev, "monotone at {ps}");
+            assert!(LatencyHistogram::bucket_floor(b) <= ps, "floor at {ps}");
+            prev = b;
+        }
+        // Small values are exact.
+        for ps in 0u64..16 {
+            assert_eq!(
+                LatencyHistogram::bucket_floor(LatencyHistogram::bucket_of(ps)),
+                ps
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_error() {
+        let mut h = LatencyHistogram::new();
+        let mut exact = LatencySamples::new();
+        for i in 1u64..=1000 {
+            let d = SimDuration::from_ps(i * i * 1000);
+            h.record(d);
+            exact.record(d);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.min(), SimDuration::from_ps(1000));
+        assert_eq!(h.max(), SimDuration::from_ps(1000 * 1000 * 1000));
+        assert_eq!(h.mean(), exact.mean());
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let approx = h.quantile(q).as_ps() as f64;
+            let truth = exact.quantile(q).as_ps() as f64;
+            assert!(
+                approx <= truth && approx >= truth * (1.0 - 1.0 / 16.0) - 1.0,
+                "q={q}: approx {approx} vs exact {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_merge_matches_combined_recording() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut both = LatencyHistogram::new();
+        for i in 0u64..100 {
+            let d = SimDuration::from_ns(i * 37 + 1);
+            if i % 2 == 0 {
+                a.record(d);
+            } else {
+                b.record(d);
+            }
+            both.record(d);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+        let mut empty = LatencyHistogram::new();
+        empty.merge(&both);
+        assert_eq!(empty, both);
+    }
+
+    #[test]
+    fn histogram_serde_round_trips() {
+        let mut h = LatencyHistogram::new();
+        for us in [1u64, 5, 5, 900, 12_000] {
+            h.record(SimDuration::from_us(us));
+        }
+        let v = h.to_value();
+        let back = LatencyHistogram::from_value(&v).expect("round trip");
+        assert_eq!(h, back);
+        // Empty histograms round-trip too.
+        let e = LatencyHistogram::new();
+        assert_eq!(LatencyHistogram::from_value(&e.to_value()).unwrap(), e);
     }
 
     #[test]

@@ -19,8 +19,10 @@
 use crate::graph::TaskGraph;
 use crate::task::{TaskId, TaskType, TypeId};
 use cata_sim::progress::ExecProfile;
-use serde::{Deserialize, Serialize, Value};
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::fmt;
+use std::ops::Deref;
+use std::sync::{Arc, OnceLock};
 
 /// Format tag carried by every TDG file; bumped on breaking layout changes.
 pub const TDG_SCHEMA: &str = "cata-tdg/v1";
@@ -250,6 +252,78 @@ impl TdgFile {
     }
 }
 
+/// A hash-consed, immutable handle to a [`TdgFile`] that memoizes
+/// [`verify`](TdgFile::verify).
+///
+/// `verify` serializes the whole payload to compute the content digest —
+/// O(file size) — which is fine once per load but not once per *cache
+/// probe*: the scenario graph cache digests its inline workload on every
+/// build, and service mode replays the same TDG thousands of times per
+/// run. The handle shares one `Arc`'d file and computes the verification
+/// result exactly once; clones are pointer copies and every subsequent
+/// probe is a `OnceLock` read.
+///
+/// The handle is deliberately immutable (no `DerefMut`): a memoized
+/// verdict over a mutable file would go stale. To edit, clone the inner
+/// file ([`Deref`] exposes it), edit, and re-wrap.
+///
+/// Serde delegates to the inner [`TdgFile`], so handles are byte-identical
+/// to plain files on disk and in digests.
+#[derive(Debug, Clone)]
+pub struct TdgHandle {
+    file: Arc<TdgFile>,
+    verified: Arc<OnceLock<Result<String, TdgFileError>>>,
+}
+
+impl TdgHandle {
+    /// Wraps a file. No verification happens until the first
+    /// [`verify_cached`](Self::verify_cached).
+    pub fn new(file: TdgFile) -> Self {
+        TdgHandle {
+            file: Arc::new(file),
+            verified: Arc::new(OnceLock::new()),
+        }
+    }
+
+    /// [`TdgFile::verify`], computed once per handle and shared by every
+    /// clone.
+    pub fn verify_cached(&self) -> Result<String, TdgFileError> {
+        self.verified.get_or_init(|| self.file.verify()).clone()
+    }
+}
+
+impl From<TdgFile> for TdgHandle {
+    fn from(file: TdgFile) -> Self {
+        TdgHandle::new(file)
+    }
+}
+
+impl Deref for TdgHandle {
+    type Target = TdgFile;
+
+    fn deref(&self) -> &TdgFile {
+        &self.file
+    }
+}
+
+impl PartialEq for TdgHandle {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.file, &other.file) || *self.file == *other.file
+    }
+}
+
+impl Serialize for TdgHandle {
+    fn to_value(&self) -> Value {
+        self.file.to_value()
+    }
+}
+
+impl Deserialize for TdgHandle {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        TdgFile::from_value(v).map(TdgHandle::new)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -354,5 +428,42 @@ mod tests {
         let g = TaskGraph::new();
         let file = TdgFile::from_graph("empty", &g);
         assert_eq!(file.to_graph().unwrap(), g);
+    }
+
+    #[test]
+    fn handle_memoizes_verification_and_shares_it_with_clones() {
+        let file = TdgFile::from_graph("sample", &sample_graph());
+        let want = file.digest.clone();
+        let handle = TdgHandle::new(file);
+        assert_eq!(handle.verify_cached().unwrap(), want);
+        // A clone sees the memoized verdict without recomputing.
+        let clone = handle.clone();
+        assert!(Arc::ptr_eq(&handle.verified, &clone.verified));
+        assert_eq!(clone.verify_cached().unwrap(), want);
+        // Failures are memoized too.
+        let mut bad = TdgFile::from_graph("sample", &sample_graph());
+        bad.tasks[0].profile.cpu_cycles += 1; // stale digest
+        let bad = TdgHandle::new(bad);
+        assert!(matches!(
+            bad.verify_cached(),
+            Err(TdgFileError::Digest { .. })
+        ));
+        assert!(matches!(
+            bad.verify_cached(),
+            Err(TdgFileError::Digest { .. })
+        ));
+    }
+
+    #[test]
+    fn handle_serde_matches_the_plain_file() {
+        let file = TdgFile::from_graph("sample", &sample_graph());
+        let handle = TdgHandle::new(file.clone());
+        assert_eq!(
+            serde_json::to_string(&handle).unwrap(),
+            serde_json::to_string(&file).unwrap(),
+            "handles must be byte-identical to files on the wire"
+        );
+        let back: TdgHandle = serde_json::from_str(&serde_json::to_string(&file).unwrap()).unwrap();
+        assert_eq!(*back, file);
     }
 }

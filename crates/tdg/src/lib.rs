@@ -52,6 +52,6 @@ pub mod graph;
 pub mod task;
 
 pub use criticality::{BottomLevelEstimator, CriticalityEstimator, StaticAnnotations};
-pub use file::{fnv1a_hex, TdgFile, TdgFileError, TdgTask, TDG_SCHEMA};
+pub use file::{fnv1a_hex, TdgFile, TdgFileError, TdgHandle, TdgTask, TDG_SCHEMA};
 pub use graph::TaskGraph;
 pub use task::{TaskId, TypeId};

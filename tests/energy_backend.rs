@@ -199,6 +199,48 @@ fn zero_energy_baselines_render_na_everywhere() {
     assert!(s.contains("src=none"), "{s}");
 }
 
+/// A clamped native run (spec machine wider than the worker pool) models
+/// energy over the *spec* machine — the unmapped cores are priced idle at
+/// the slow level so the joules stay comparable with full-width sim cells
+/// — and the provenance tag says so.
+#[test]
+fn clamped_native_run_scales_energy_to_the_spec_machine() {
+    let mut spec = small_spec("CATA", Backend::Native);
+    spec.machine = MachineConfig::small_test(8);
+    spec.fast_cores = 2;
+    let exec = NativeExecutor::new()
+        .max_workers(2)
+        .energy_source(EnergySource::Model)
+        .backend(Arc::new(MockDvfs::new(2, 1_000_000)) as Arc<dyn DvfsBackend>);
+    let report = exec.execute(&Scenario::from_spec(spec)).unwrap();
+    assert_eq!(report.effective_cores, Some(2), "the clamp must surface");
+    assert_eq!(report.energy.measurement, Measurement::ModeledScaled);
+    assert!(
+        report.summary().contains("src=modeled-scaled"),
+        "{}",
+        report.summary()
+    );
+    // Six idle spec cores are priced in: the energy must exceed what the
+    // two mapped workers alone could account for at the idle floor.
+    let p = PowerParams::mcpat_22nm();
+    let wall = report.energy.time_s;
+    let idle_floor_8 = 8.0
+        * wall
+        * (p.dynamic_w(PowerLevel::paper_slow(), cata_sim::activity::Activity::Idle)
+            + p.static_w(PowerLevel::paper_slow()));
+    assert!(
+        report.energy.energy_j >= idle_floor_8,
+        "scaled model must price all 8 spec cores: {} J < floor {} J",
+        report.energy.energy_j,
+        idle_floor_8
+    );
+    // And the scaled report round-trips through serde.
+    let json = serde_json::to_string(&report).unwrap();
+    assert!(json.contains("\"measurement\":\"modeled-scaled\""));
+    let back: cata_core::RunReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.energy.measurement, Measurement::ModeledScaled);
+}
+
 /// The machine's worker count shrinks to the host, but the energy model
 /// scales with the workers that actually ran — wall time × workers bounds
 /// the modeled core-seconds.

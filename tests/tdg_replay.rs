@@ -83,7 +83,7 @@ proptest! {
     fn inline_cost_estimate_is_exact(n in 0usize..40, seed in any::<u64>()) {
         let g = random_graph(n, 0.2, seed);
         let want: u64 = g.tasks().map(|t| t.profile.cpu_cycles).sum();
-        let w = WorkloadSpec::Inline(TdgFile::from_graph("prop", &g));
+        let w = WorkloadSpec::Inline(TdgFile::from_graph("prop", &g).into());
         prop_assert_eq!(w.cost_estimate(), want);
     }
 }
@@ -120,7 +120,7 @@ fn exported_generator_replays_bit_identically() {
 
     // Inline replay.
     let mut inline_spec = spec.clone();
-    inline_spec.workload = WorkloadSpec::Inline(tdg.clone());
+    inline_spec.workload = WorkloadSpec::Inline(tdg.clone().into());
     let inline_report = run_sim(&inline_spec);
     assert_eq!(
         serde_json::to_string(&inline_report).unwrap(),
@@ -162,7 +162,7 @@ fn sim_capture_round_trips_through_the_executor() {
     assert_eq!(captured.tdg.to_graph().unwrap(), original);
     // The capture replays to the same report as the original workload.
     let mut replay = scenario.spec().clone();
-    replay.workload = WorkloadSpec::Inline(captured.tdg);
+    replay.workload = WorkloadSpec::Inline(captured.tdg.into());
     assert_eq!(
         serde_json::to_string(&run_sim(&replay)).unwrap(),
         serde_json::to_string(&report).unwrap()
@@ -225,7 +225,7 @@ fn native_record_is_host_calibrated_and_replays_on_sim() {
 
     // The calibrated capture replays on the simulator.
     let mut replay = spec;
-    replay.workload = WorkloadSpec::Inline(captured.tdg);
+    replay.workload = WorkloadSpec::Inline(captured.tdg.into());
     let sim_report = run_sim(&replay);
     assert_eq!(sim_report.tasks, report.tasks);
     assert!(sim_report.exec_time > SimDuration::ZERO);
@@ -290,11 +290,11 @@ fn caches_never_serve_stale_graphs() {
     // not a silent replay of the cached original.
     let g = random_graph(14, 0.3, 11);
     let tdg = TdgFile::from_graph("stale-inline", &g);
-    let original = WorkloadSpec::Inline(tdg.clone());
+    let original = WorkloadSpec::Inline(tdg.clone().into());
     assert_eq!(*original.try_build_graph_shared().unwrap(), g);
     let mut edited = tdg.clone();
     edited.tasks[0].profile.cpu_cycles += 7; // no refresh_digest()
-    let stale = WorkloadSpec::Inline(edited);
+    let stale = WorkloadSpec::Inline(edited.into());
     match stale.try_build_graph_shared() {
         Err(ExpError::Workload(msg)) => assert!(msg.contains("digest"), "{msg}"),
         Ok(graph) => panic!(
@@ -310,7 +310,7 @@ fn caches_never_serve_stale_graphs() {
     let mut bad_schema = tdg.clone();
     bad_schema.schema = "cata-tdg/v999".into();
     assert!(matches!(
-        WorkloadSpec::Inline(bad_schema).try_build_graph_shared(),
+        WorkloadSpec::Inline(bad_schema.into()).try_build_graph_shared(),
         Err(ExpError::Workload(_))
     ));
 
@@ -396,7 +396,7 @@ fn inline_workloads_are_first_class_suite_cells() {
     let graph = spec.workload.try_build_graph().unwrap();
     let tdg = TdgFile::from_graph(spec.workload.label(), &graph);
     let mut inline = spec.clone();
-    inline.workload = WorkloadSpec::Inline(tdg);
+    inline.workload = WorkloadSpec::Inline(tdg.into());
 
     let path = tmp("inline-suite.jsonl");
     let _ = std::fs::remove_file(&path);
@@ -426,14 +426,14 @@ fn inline_workloads_are_first_class_suite_cells() {
 fn inline_content_is_part_of_the_cell_identity() {
     let g = random_graph(10, 0.25, 3);
     let tdg = TdgFile::from_graph("ident", &g);
-    let base = ScenarioSpec::preset("FIFO", 2, WorkloadSpec::Inline(tdg.clone()))
+    let base = ScenarioSpec::preset("FIFO", 2, WorkloadSpec::Inline(tdg.clone().into()))
         .unwrap()
         .with_small_machine(4, 2);
     let mut edited_tdg = tdg;
     edited_tdg.tasks[1].profile.cpu_cycles *= 3;
     edited_tdg.refresh_digest();
     let mut edited = base.clone();
-    edited.workload = WorkloadSpec::Inline(edited_tdg);
+    edited.workload = WorkloadSpec::Inline(edited_tdg.into());
     assert_ne!(spec_digest(&base), spec_digest(&edited));
 
     // And the spec round-trips through JSON and TOML with the TDG aboard.
