@@ -54,6 +54,15 @@
 //! JSONL cell. The report adds p50/p99/p999 response time, queue-wait
 //! vs service-time split, sustained graphs/sec, and drop accounting.
 //!
+//! Fault injection (`run`/`preset`/`serve`): `--faults FILE.json` loads a
+//! `FaultSpec`, `--fault-cores 0@1ms,3@2ms+5ms` schedules core fail-stop /
+//! fail-recover events, `--fault-rate P` injects transient task faults,
+//! `--recovery KEY` picks the displaced-work policy (`retry-same-core`,
+//! `reroute-prefer-fast`, `shed-noncritical-on-degraded`). Faulted runs
+//! print a `fault:` accounting line ending in the deterministic
+//! `FaultReport` digest; `--fault-axis` (run/preset) pairs every cell
+//! with its fault-free twin in the grid.
+//!
 //! Backends (`run`/`preset`/`gc`): `--backend sim|native|both` selects the
 //! executor per cell (`both` duplicates every spec into a sim + native
 //! pair, side by side in the grid); native cells run the thread-pool
@@ -91,6 +100,7 @@ use cata_core::exp::{
     Backend, BackendDispatch, CellRecord, EnergySource, Executor, NativeExecutor, ResultsStore,
     Scenario, ScenarioSpec, ShardOrder, Suite, WorkloadSpec, STORE_SCHEMA,
 };
+use cata_core::fault::FaultSpec;
 use cata_core::service::{
     default_admission_registry, replay_tape, run_service, AdmissionParams, ArrivalSpec,
     ServiceSpec, TrafficTape,
@@ -154,6 +164,17 @@ struct Opts {
     queue_cap: Option<usize>,
     /// `serve --record-tape FILE`: save the generated traffic tape.
     record_tape: Option<String>,
+    /// `--faults FILE.json`: load a [`FaultSpec`] file (run/preset/serve).
+    faults: Option<String>,
+    /// `--fault-cores LIST`: core fail-stop shorthand (`0@1ms,3@2ms+5ms`).
+    fault_cores: Option<String>,
+    /// `--fault-rate P`: transient task-fault probability per completion.
+    fault_rate: Option<f64>,
+    /// `--recovery KEY`: recovery-policy registry key for displaced work.
+    recovery: Option<String>,
+    /// `--fault-axis`: run each cell twice — fault-free twin, then the
+    /// faulted cell — side by side in the suite grid.
+    fault_axis: bool,
     /// Generator flags the user passed *explicitly* (`--bench`,
     /// `--scale`, `--seed`), so commands that take a SPEC file can
     /// reject them instead of silently ignoring a conflicting source.
@@ -220,6 +241,11 @@ fn parse_args() -> Opts {
     let mut admission = None;
     let mut queue_cap = None;
     let mut record_tape = None;
+    let mut faults = None;
+    let mut fault_cores = None;
+    let mut fault_rate = None;
+    let mut recovery = None;
+    let mut fault_axis = false;
     let mut generator_flags = Vec::new();
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -363,6 +389,31 @@ fn parse_args() -> Opts {
                         .unwrap_or_else(|| die("missing --record-tape path")),
                 );
             }
+            "--faults" => {
+                faults = Some(args.next().unwrap_or_else(|| die("missing --faults file")));
+            }
+            "--fault-cores" => {
+                fault_cores =
+                    Some(args.next().unwrap_or_else(|| {
+                        die("missing --fault-cores list (e.g. 0@1ms,3@2ms+5ms)")
+                    }));
+            }
+            "--fault-rate" => {
+                let p: f64 = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("bad --fault-rate (want a probability)"));
+                if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                    die(&format!(
+                        "bad --fault-rate {p} (want a probability in [0, 1])"
+                    ));
+                }
+                fault_rate = Some(p);
+            }
+            "--recovery" => {
+                recovery = Some(args.next().unwrap_or_else(|| die("missing --recovery key")));
+            }
+            "--fault-axis" => fault_axis = true,
             "--fig" => {
                 let name = args.next().unwrap_or_else(|| die("missing --fig name"));
                 if figure_labels(&name).is_none() {
@@ -431,6 +482,11 @@ fn parse_args() -> Opts {
         admission,
         queue_cap,
         record_tape,
+        faults,
+        fault_cores,
+        fault_rate,
+        recovery,
+        fault_axis,
         generator_flags,
     }
 }
@@ -477,6 +533,9 @@ fn print_help() {
          \x20         serve LABEL|SPEC.json [--rate R | --tape FILE.tape.jsonl]\n\
          \x20             [--arrival poisson|fixed] [--duration T] [--admission P]\n\
          \x20             [--queue-cap N] [--record-tape FILE] [--store FILE.jsonl]\n\
+         \x20         run/preset/serve fault injection: [--faults FILE.json]\n\
+         \x20             [--fault-cores 0@1ms,3@2ms+5ms] [--fault-rate P] [--recovery KEY]\n\
+         \x20             [--fault-axis]  (run/preset: add the fault-free twin cells)\n\
          \x20         export [SPEC.json] [--out FILE.tdg.json]   (workload -> TDG file)\n\
          \x20         record LABEL|SPEC.json [--backend sim|native] [--out FILE.tdg.json]\n\
          \x20         merge STORE.jsonl... [--out FILE] [--baseline FILE] [--min-ratio R]\n\
@@ -576,6 +635,73 @@ fn dispatch_executor(opts: &Opts) -> BackendDispatch {
     )
 }
 
+/// The fault schedule the CLI flags describe, if any: `--faults FILE`
+/// loads a [`FaultSpec`] JSON file, then `--fault-cores`, `--fault-rate`
+/// and `--recovery` overlay individual fields (flags-only works too —
+/// the rest of the spec defaults).
+fn fault_overlay(opts: &Opts) -> Option<FaultSpec> {
+    if opts.faults.is_none()
+        && opts.fault_cores.is_none()
+        && opts.fault_rate.is_none()
+        && opts.recovery.is_none()
+    {
+        return None;
+    }
+    let mut spec = match &opts.faults {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+            FaultSpec::from_json(&text).unwrap_or_else(|e| die(&format!("{path}: {e}")))
+        }
+        None => FaultSpec::default(),
+    };
+    if let Some(text) = &opts.fault_cores {
+        spec.core_failures = FaultSpec::parse_cores(text)
+            .unwrap_or_else(|e| die(&format!("bad --fault-cores: {e}")));
+    }
+    if let Some(p) = opts.fault_rate {
+        spec.task_fault_p = p;
+    }
+    if let Some(key) = &opts.recovery {
+        spec.recovery = key.clone();
+    }
+    Some(spec)
+}
+
+/// Prints a run's fault accounting — the summary line plus the report
+/// digest CI greps to assert same-seed determinism.
+fn print_fault(report: &RunReport) {
+    if let Some(f) = &report.fault {
+        println!("fault: {} digest {}", f.summary(), f.digest());
+    }
+}
+
+/// Applies the CLI fault schedule to a spec grid. With `--fault-axis`
+/// each cell expands into its fault-free twin followed by the faulted
+/// cell (named `LABEL+faults`), side by side in the grid — the
+/// degradation comparison as one suite.
+fn apply_faults(opts: &Opts, specs: Vec<ScenarioSpec>) -> Vec<ScenarioSpec> {
+    let Some(f) = fault_overlay(opts) else {
+        if opts.fault_axis {
+            die("--fault-axis needs a fault schedule (--faults/--fault-cores/--fault-rate)");
+        }
+        return specs;
+    };
+    specs
+        .into_iter()
+        .flat_map(|spec| {
+            let mut faulted = spec.clone();
+            faulted.faults = Some(f.clone());
+            if opts.fault_axis {
+                faulted.name = format!("{}+faults", faulted.name);
+                vec![spec, faulted]
+            } else {
+                vec![faulted]
+            }
+        })
+        .collect()
+}
+
 /// `repro run a.json b.toml …`: parse specs, fan them across the suite —
 /// optionally a `--shard K/N` slice streamed into/resumed from a
 /// `--store` JSONL file — and print one summary line per run.
@@ -583,6 +709,7 @@ fn run_specs(opts: &Opts, specs: Vec<ScenarioSpec>) {
     if specs.is_empty() {
         die("no specs given");
     }
+    let specs = apply_faults(opts, specs);
     let mut suite = Suite::from_specs(expand_backends(opts, specs)).jobs(opts.jobs);
     if let Some((k, n)) = opts.shard {
         suite = suite
@@ -612,6 +739,7 @@ fn run_specs(opts: &Opts, specs: Vec<ScenarioSpec>) {
         match result {
             Ok(report) => {
                 println!("{}", report.summary());
+                print_fault(&report);
                 ok.push(report);
             }
             Err(e) => {
@@ -715,14 +843,17 @@ fn serve_service(opts: &Opts) {
             queue_cap: Some(cap),
         });
     }
+    if let Some(f) = fault_overlay(opts) {
+        spec.base.faults = Some(f);
+    }
 
     let t0 = Instant::now();
     let report = match &opts.tape {
         Some(path) => {
-            let text = std::fs::read_to_string(path)
-                .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
-            let tape =
-                TrafficTape::from_jsonl(&text).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+            let (tape, truncated) = TrafficTape::load(path).unwrap_or_else(|e| die(&e.to_string()));
+            if truncated {
+                eprintln!("[tape {path}: discarded a torn trailing record]");
+            }
             // A spec whose arrival already pins a tape digest keeps its
             // pin (replay enforces it); any other arrival is replaced by
             // an unpinned tape arrival — the authoring flow.
@@ -769,6 +900,7 @@ fn serve_service(opts: &Opts) {
     let wall_s = t0.elapsed().as_secs_f64();
 
     println!("{}", report.summary());
+    print_fault(&report);
     let service = report
         .service
         .as_ref()
@@ -1198,6 +1330,22 @@ fn main() {
             "--tdg is not used by `{}` (only preset/spec/export/record/serve replay a TDG file)",
             opts.cmd
         ));
+    }
+    // Fault flags only shape run/preset/serve cells; anywhere else they
+    // would be silently ignored.
+    let has_fault_flags = opts.faults.is_some()
+        || opts.fault_cores.is_some()
+        || opts.fault_rate.is_some()
+        || opts.recovery.is_some()
+        || opts.fault_axis;
+    if has_fault_flags && !matches!(opts.cmd.as_str(), "run" | "preset" | "serve") {
+        die(&format!(
+            "fault flags are not used by `{}` (only run/preset/serve inject faults)",
+            opts.cmd
+        ));
+    }
+    if opts.fault_axis && opts.cmd == "serve" {
+        die("--fault-axis expands suite grids; `serve` is a single run (drop the flag)");
     }
     // Same silent-ignore class: `run`/`gc` operate on spec files whose
     // workloads are fully pinned, so an explicit generator flag next to

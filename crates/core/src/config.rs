@@ -295,6 +295,7 @@ impl RunConfig {
             trace: self.trace,
             seed: self.seed,
             backend: crate::exp::spec::Backend::Sim,
+            faults: None,
         }
     }
 

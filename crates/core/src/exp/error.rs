@@ -35,6 +35,14 @@ pub enum ExpError {
         /// The keys the registry knows.
         known: Vec<String>,
     },
+    /// The recovery-policy key is not registered. Carries the known
+    /// keys.
+    UnknownRecovery {
+        /// The unresolvable key.
+        key: String,
+        /// The keys the registry knows.
+        known: Vec<String>,
+    },
     /// No paper preset of that name exists.
     UnknownPreset(String),
     /// The scenario is internally inconsistent (e.g. budget > cores).
@@ -47,6 +55,11 @@ pub enum ExpError {
     /// malformed, or digest-mismatched TDG file behind an
     /// `Inline`/`File` workload.
     Workload(String),
+    /// The run cannot make forward progress: injected faults removed the
+    /// capacity (or shed the work) that remaining tasks need. Unlike a
+    /// deadlock panic this is a *clean* outcome — a dying machine
+    /// terminates and reports instead of hanging.
+    Stalled(String),
 }
 
 impl fmt::Display for ExpError {
@@ -72,6 +85,13 @@ impl fmt::Display for ExpError {
                     known.join(", ")
                 )
             }
+            ExpError::UnknownRecovery { key, known } => {
+                write!(
+                    f,
+                    "unknown recovery policy `{key}` (known: {})",
+                    known.join(", ")
+                )
+            }
             ExpError::UnknownPreset(name) => {
                 write!(
                     f,
@@ -83,6 +103,7 @@ impl fmt::Display for ExpError {
             ExpError::Parse(msg) => write!(f, "spec parse error: {msg}"),
             ExpError::Store(msg) => write!(f, "results store: {msg}"),
             ExpError::Workload(msg) => write!(f, "workload: {msg}"),
+            ExpError::Stalled(msg) => write!(f, "stalled: {msg}"),
         }
     }
 }

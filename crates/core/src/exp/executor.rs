@@ -8,7 +8,8 @@
 use super::error::ExpError;
 use super::scenario::Scenario;
 use super::spec::Backend;
-use crate::native::{NativeRuntime, RsmMode};
+use crate::fault::FaultReport;
+use crate::native::{MetricsSnapshot, NativeRuntime, RetryConfig, RsmMode};
 use crate::report::RunReport;
 use crate::sim_exec::SimExecutor;
 use cata_cpufreq::backend::DvfsBackend;
@@ -251,6 +252,78 @@ fn busy_work(iters: u64) -> u64 {
     x
 }
 
+/// A DVFS backend wrapper failing writes with seeded probability `p` —
+/// the native counterpart of the simulator's `reconfig_fail_p` fault
+/// axis. Each write draws from a SplitMix64 sequence; the *sequence* is
+/// reproducible per seed (the interleaving across worker threads is not,
+/// native runs being inherently racy).
+struct FlakyDvfs {
+    inner: Arc<dyn DvfsBackend>,
+    p: f64,
+    state: std::sync::Mutex<u64>,
+}
+
+impl FlakyDvfs {
+    fn new(inner: Arc<dyn DvfsBackend>, p: f64, seed: u64) -> Self {
+        FlakyDvfs {
+            inner,
+            p,
+            state: std::sync::Mutex::new(seed ^ 0xFA17_0001),
+        }
+    }
+
+    fn next_unit(&self) -> f64 {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        *s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        ((z ^ (z >> 31)) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl DvfsBackend for FlakyDvfs {
+    fn name(&self) -> &'static str {
+        "flaky"
+    }
+
+    fn set_speed(&self, cpu: usize, khz: u32) -> std::io::Result<()> {
+        if self.next_unit() < self.p {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Interrupted,
+                "injected transient DVFS-write fault",
+            ));
+        }
+        self.inner.set_speed(cpu, khz)
+    }
+
+    fn get_speed(&self, cpu: usize) -> std::io::Result<u32> {
+        self.inner.get_speed(cpu)
+    }
+
+    fn num_cpus(&self) -> usize {
+        self.inner.num_cpus()
+    }
+}
+
+/// The native run's [`FaultReport`]: present exactly when the spec
+/// carries a [`FaultSpec`](crate::fault::FaultSpec) (mirroring the sim
+/// engines), populated from the runtime's classified reconfiguration
+/// outcomes. Core fail-stop schedules don't apply to a real host, so
+/// those counts stay zero.
+fn native_fault_report(
+    spec: &super::spec::ScenarioSpec,
+    metrics: &MetricsSnapshot,
+) -> Option<FaultReport> {
+    spec.faults.as_ref()?;
+    Some(FaultReport {
+        reconfig_faults: metrics.reconfig_faults,
+        reconfig_recovered: metrics.reconfig_recovered,
+        reconfig_exhausted: metrics.reconfig_exhausted,
+        ..FaultReport::default()
+    })
+}
+
 impl NativeExecutor {
     /// The execution core shared by [`execute`](Executor::execute) and
     /// [`execute_captured`](Executor::execute_captured): runs `graph` —
@@ -292,8 +365,34 @@ impl NativeExecutor {
             .budget(budget)
             .rsm_mode(self.rsm_mode)
             .frequencies_khz(fast_khz, slow_khz);
-        if let Some(backend) = &self.backend {
-            builder = builder.backend(Arc::clone(backend));
+        // Fault injection on the native backend: flaky DVFS writes wrap
+        // whichever backend the run would have used, and the runtime gets
+        // a bounded-retry discipline (backoff jitter seeded by the run
+        // seed) instead of the default single try.
+        let backend: Option<Arc<dyn DvfsBackend>> = match &spec.faults {
+            Some(f) if f.reconfig_fail_p > 0.0 => {
+                let inner: Arc<dyn DvfsBackend> = self
+                    .backend
+                    .clone()
+                    .unwrap_or_else(|| Arc::new(cata_cpufreq::backend::NullDvfs::new(workers)));
+                Some(Arc::new(FlakyDvfs::new(
+                    inner,
+                    f.reconfig_fail_p,
+                    spec.seed,
+                )))
+            }
+            _ => self.backend.clone(),
+        };
+        if let Some(backend) = backend {
+            builder = builder.backend(backend);
+        }
+        if let Some(f) = &spec.faults {
+            builder = builder.retry(RetryConfig {
+                max_retries: f.max_retries,
+                backoff_base: std::time::Duration::from_micros(50),
+                attempt_timeout: Some(std::time::Duration::from_millis(50)),
+                seed: spec.seed,
+            });
         }
         let rt = builder.build();
 
@@ -368,7 +467,38 @@ impl NativeExecutor {
         let measured = match (rapl, &rapl_start, &rapl_end) {
             (Some(r), Some(a), Some(b)) if exclusive => {
                 let j = r.joules_between(a, b);
-                (j > 0.0).then(|| EnergyReport::measured(wall_s, j, Measurement::Rapl))
+                (j > 0.0).then(|| {
+                    // RAPL gives a trustworthy package *total* but no
+                    // attribution; the calibrated model gives attribution
+                    // at modeled magnitude. Blend them: scale the model's
+                    // per-component split to the measured total, tagged
+                    // "rapl-split" so tables can tell a blended breakdown
+                    // from a purely modeled one. Falls back to the plain
+                    // breakdown-less RAPL report when the model prices
+                    // the window at zero (nothing to apportion by).
+                    let model = model_native_energy(
+                        &spec.power,
+                        spec.machine.fast_level,
+                        spec.machine.slow_level,
+                        spec.machine.num_cores,
+                        wall_s,
+                        &busy,
+                    );
+                    let total = model.breakdown.total_j();
+                    if total > 0.0 && total.is_finite() {
+                        let k = j / total;
+                        let mut bd = model.breakdown;
+                        bd.core_busy_j *= k;
+                        bd.core_idle_j *= k;
+                        bd.core_halt_j *= k;
+                        bd.core_static_j *= k;
+                        bd.uncore_j *= k;
+                        EnergyReport::from_parts(wall_s, bd)
+                            .with_measurement(Measurement::RaplSplit)
+                    } else {
+                        EnergyReport::measured(wall_s, j, Measurement::Rapl)
+                    }
+                })
             }
             _ => None,
         };
@@ -430,6 +560,7 @@ impl NativeExecutor {
             effective_cores: (workers != spec.machine.num_cores).then_some(workers),
             // Native runs are closed-system: one graph, no arrivals.
             service: None,
+            fault: native_fault_report(scenario.spec(), &metrics),
         })
     }
 }

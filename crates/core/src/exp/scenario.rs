@@ -172,6 +172,12 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Attaches a deterministic fault-injection schedule.
+    pub fn faults(mut self, faults: crate::fault::FaultSpec) -> Self {
+        self.spec.faults = Some(faults);
+        self
+    }
+
     /// Shrinks the machine for unit tests.
     pub fn small_machine(mut self, n: usize, fast: usize) -> Self {
         self.spec = self.spec.with_small_machine(n, fast);

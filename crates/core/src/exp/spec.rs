@@ -607,13 +607,19 @@ pub struct ScenarioSpec {
     pub seed: u64,
     /// Which executor runs this cell (`sim` default / `native`).
     pub backend: Backend,
+    /// Deterministic fault-injection schedule, or `None` for a perfect
+    /// machine. Omitted from the serialized form when absent, so
+    /// fault-free specs — and their store digests — stay byte-identical
+    /// to the pre-fault layout.
+    pub faults: Option<crate::fault::FaultSpec>,
 }
 
 // Serde is hand-written (the vendored derive has no `#[serde(skip…)]` or
-// `#[serde(default)]`) so the `backend` field is *omitted* for `Sim`:
-// a sim spec serializes byte-identically to the pre-backend layout —
+// `#[serde(default)]`) so the `backend` field is *omitted* for `Sim` and
+// the `faults` field is *omitted* when `None`: a fault-free sim spec
+// serializes byte-identically to the pre-backend, pre-fault layout —
 // keeping `spec_digest` stable, so existing JSONL stores still resume —
-// and legacy spec files (no `backend` key) parse as sim.
+// and legacy spec files (no `backend`/`faults` keys) parse unchanged.
 impl Serialize for ScenarioSpec {
     fn to_value(&self) -> Value {
         let mut m: Vec<(String, Value)> = vec![
@@ -635,6 +641,9 @@ impl Serialize for ScenarioSpec {
         ];
         if self.backend != Backend::Sim {
             m.push(("backend".into(), self.backend.to_value()));
+        }
+        if let Some(ref faults) = self.faults {
+            m.push(("faults".into(), faults.to_value()));
         }
         Value::Map(m)
     }
@@ -661,6 +670,7 @@ impl Deserialize for ScenarioSpec {
             trace: serde::field(m, "trace", "ScenarioSpec")?,
             seed: serde::field(m, "seed", "ScenarioSpec")?,
             backend: backend.unwrap_or_default(),
+            faults: serde::field(m, "faults", "ScenarioSpec")?,
         })
     }
 }
@@ -699,6 +709,7 @@ impl ScenarioSpec {
             trace: base.trace,
             seed: base.seed,
             backend: Backend::Sim,
+            faults: None,
         }
     }
 
@@ -779,6 +790,9 @@ impl ScenarioSpec {
                 return Err(ExpError::InvalidSpec(format!("empty {what} key")));
             }
         }
+        if let Some(ref faults) = self.faults {
+            faults.validate(self.machine.num_cores)?;
+        }
         Ok(())
     }
 
@@ -811,6 +825,12 @@ impl ScenarioSpec {
     /// Selects the execution backend.
     pub fn with_backend(mut self, backend: Backend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Attaches a deterministic fault-injection schedule.
+    pub fn with_faults(mut self, faults: crate::fault::FaultSpec) -> Self {
+        self.faults = Some(faults);
         self
     }
 }

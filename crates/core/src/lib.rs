@@ -39,6 +39,7 @@
 pub mod accel;
 pub mod config;
 pub mod exp;
+pub mod fault;
 pub mod gantt;
 pub mod native;
 pub mod policy;
@@ -50,6 +51,10 @@ pub use config::{AccelKind, EstimatorKind, RunConfig, SchedulerKind};
 pub use exp::{
     CellRecord, Executor, ExpError, NativeExecutor, PolicyRegistries, ResultsStore, Scenario,
     ScenarioSpec, Suite, WorkloadSpec,
+};
+pub use fault::{
+    default_recovery_registry, CoreFailure, FaultReport, FaultSpec, RecoveryAction, RecoveryCtx,
+    RecoveryPolicy, RecoveryRegistry,
 };
 pub use report::RunReport;
 pub use sim_exec::SimExecutor;

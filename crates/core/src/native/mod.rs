@@ -57,6 +57,15 @@ pub struct NativeMetrics {
     /// Backend writes that failed (e.g. no cpufreq permission); the runtime
     /// degrades to scheduling-only.
     pub reconfig_failures: AtomicU64,
+    /// Individual write attempts that failed or timed out (every retry
+    /// counts; `reconfig_failures` counts only writes that stayed failed
+    /// after the retry budget).
+    pub reconfig_faults: AtomicU64,
+    /// Writes that landed after at least one failed attempt.
+    pub reconfig_recovered: AtomicU64,
+    /// Writes abandoned with the retry budget exhausted: the core stays
+    /// at its current frequency class (degraded, not wedged).
+    pub reconfig_exhausted: AtomicU64,
     /// Critical tasks that could not be accelerated (no budget).
     pub accel_denied: AtomicU64,
     /// Nanoseconds spent holding the RSM lock.
@@ -69,6 +78,9 @@ impl NativeMetrics {
             tasks_run: self.tasks_run.load(Ordering::Relaxed),
             reconfigs: self.reconfigs.load(Ordering::Relaxed),
             reconfig_failures: self.reconfig_failures.load(Ordering::Relaxed),
+            reconfig_faults: self.reconfig_faults.load(Ordering::Relaxed),
+            reconfig_recovered: self.reconfig_recovered.load(Ordering::Relaxed),
+            reconfig_exhausted: self.reconfig_exhausted.load(Ordering::Relaxed),
             accel_denied: self.accel_denied.load(Ordering::Relaxed),
             rsm_lock_ns: self.rsm_lock_ns.load(Ordering::Relaxed),
         }
@@ -84,6 +96,12 @@ pub struct MetricsSnapshot {
     pub reconfigs: u64,
     /// Failed backend writes.
     pub reconfig_failures: u64,
+    /// Failed or timed-out write *attempts* (retries included).
+    pub reconfig_faults: u64,
+    /// Writes that landed after at least one failed attempt.
+    pub reconfig_recovered: u64,
+    /// Writes abandoned after the retry budget.
+    pub reconfig_exhausted: u64,
     /// Denied accelerations of critical tasks.
     pub accel_denied: u64,
     /// Nanoseconds spent holding the RSM lock.
@@ -114,6 +132,35 @@ struct SchedState {
     shutdown: bool,
 }
 
+/// Retry discipline for DVFS backend writes. The default (`max_retries
+/// == 0`) is the historical single-try behaviour: one failed write
+/// degrades the core to scheduling-only immediately.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryConfig {
+    /// Extra attempts after the first failed write.
+    pub max_retries: u32,
+    /// Base backoff before the first retry; doubles per attempt.
+    pub backoff_base: std::time::Duration,
+    /// Budget per individual write attempt: a write that lands but takes
+    /// longer than this is classified as a fault that recovered (slow
+    /// silicon is a symptom, not a success).
+    pub attempt_timeout: Option<std::time::Duration>,
+    /// Seed for the backoff jitter (pass the run seed so two runs of the
+    /// same spec jitter identically).
+    pub seed: u64,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig {
+            max_retries: 0,
+            backoff_base: std::time::Duration::from_micros(50),
+            attempt_timeout: None,
+            seed: 0,
+        }
+    }
+}
+
 struct Inner {
     sched: Mutex<SchedState>,
     work: Condvar,
@@ -123,6 +170,10 @@ struct Inner {
     backend: Arc<dyn DvfsBackend>,
     fast_khz: u32,
     slow_khz: u32,
+    retry: RetryConfig,
+    /// Monotonic draw counter for backoff jitter: mixed with the seed it
+    /// gives each retry a distinct, reproducible-per-sequence jitter.
+    retry_draws: AtomicU64,
     metrics: NativeMetrics,
     regions: Mutex<DepTracker>,
     /// Per-core busy-time-at-frequency observations feeding the calibrated
@@ -131,6 +182,22 @@ struct Inner {
 }
 
 impl Inner {
+    /// Jitter in `[0, cap)` nanoseconds from the seeded draw sequence
+    /// (SplitMix64 finalizer over seed ⊕ draw index).
+    fn jitter_ns(&self, cap: u64) -> u64 {
+        if cap == 0 {
+            return 0;
+        }
+        let i = self.retry_draws.fetch_add(1, Ordering::Relaxed);
+        let mut z = self
+            .retry
+            .seed
+            .wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) % cap
+    }
+
     fn apply_cmds(&self, cmds: &[Cmd]) {
         for cmd in cmds {
             let (cpu, khz, class) = match *cmd {
@@ -138,15 +205,57 @@ impl Inner {
                 Cmd::Decelerate(c) => (c, self.slow_khz, FreqClass::Slow),
             };
             self.metrics.reconfigs.fetch_add(1, Ordering::Relaxed);
-            if self.backend.set_speed(cpu, khz).is_err() {
-                self.metrics
-                    .reconfig_failures
-                    .fetch_add(1, Ordering::Relaxed);
-            } else {
+            // Bounded retry with exponential backoff + seeded jitter.
+            // Outcomes are classified, never silently discarded:
+            // recovered (landed after a failed/slow attempt), exhausted
+            // (degraded to the current class), or clean first-try success.
+            let mut attempt = 0u32;
+            let mut faulted = false;
+            let landed = loop {
+                let t0 = Instant::now();
+                let ok = self.backend.set_speed(cpu, khz).is_ok();
+                let timed_out = self
+                    .retry
+                    .attempt_timeout
+                    .is_some_and(|budget| t0.elapsed() > budget);
+                if ok && !timed_out {
+                    break true;
+                }
+                faulted = true;
+                self.metrics.reconfig_faults.fetch_add(1, Ordering::Relaxed);
+                if ok {
+                    // The write landed, merely late: the operating point
+                    // changed, so this is a recovered fault, not a retry.
+                    break true;
+                }
+                if attempt >= self.retry.max_retries {
+                    break false;
+                }
+                let backoff = self
+                    .retry
+                    .backoff_base
+                    .saturating_mul(1u32 << attempt.min(16));
+                let jitter = self.jitter_ns(backoff.as_nanos().min(u64::MAX as u128) as u64 / 2);
+                std::thread::sleep(backoff + std::time::Duration::from_nanos(jitter));
+                attempt += 1;
+            };
+            if landed {
+                if faulted {
+                    self.metrics
+                        .reconfig_recovered
+                        .fetch_add(1, Ordering::Relaxed);
+                }
                 // Only a write that landed changes the core's operating
                 // point; failed writes leave the energy model at the old
                 // class, matching what the silicon actually did.
                 self.busy.set_class(cpu, class);
+            } else {
+                self.metrics
+                    .reconfig_failures
+                    .fetch_add(1, Ordering::Relaxed);
+                self.metrics
+                    .reconfig_exhausted
+                    .fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -184,6 +293,7 @@ pub struct NativeRuntimeBuilder {
     slow_khz: u32,
     rsm_mode: RsmMode,
     backend: Option<Arc<dyn DvfsBackend>>,
+    retry: RetryConfig,
 }
 
 impl NativeRuntimeBuilder {
@@ -196,6 +306,7 @@ impl NativeRuntimeBuilder {
             slow_khz: 1_000_000,
             rsm_mode: RsmMode::RsuEmulated,
             backend: None,
+            retry: RetryConfig::default(),
         }
     }
 
@@ -221,6 +332,12 @@ impl NativeRuntimeBuilder {
     /// Sets the DVFS backend (sysfs, mock, null).
     pub fn backend(mut self, backend: Arc<dyn DvfsBackend>) -> Self {
         self.backend = Some(backend);
+        self
+    }
+
+    /// Sets the DVFS-write retry discipline (default: single try).
+    pub fn retry(mut self, retry: RetryConfig) -> Self {
+        self.retry = retry;
         self
     }
 
@@ -254,6 +371,8 @@ impl NativeRuntimeBuilder {
             backend,
             fast_khz: self.fast_khz,
             slow_khz: self.slow_khz,
+            retry: self.retry,
+            retry_draws: AtomicU64::new(0),
             metrics: NativeMetrics::default(),
             regions: Mutex::new(DepTracker::new()),
             busy: BusyTracker::new(self.workers),
@@ -605,6 +724,60 @@ mod tests {
         rt.wait_all();
         assert_eq!(counter.load(Ordering::Relaxed), 20);
         assert!(rt.metrics().reconfig_failures > 0);
+    }
+
+    #[test]
+    fn transient_backend_failures_recover_with_retry() {
+        let mock = Arc::new(MockDvfs::new(2, 1_000_000));
+        mock.fail_next(2); // first two write attempts fail, then heal
+        let rt = NativeRuntime::builder(2)
+            .budget(1)
+            .backend(mock.clone() as Arc<dyn DvfsBackend>)
+            .retry(RetryConfig {
+                max_retries: 3,
+                backoff_base: std::time::Duration::from_micros(10),
+                attempt_timeout: None,
+                seed: 42,
+            })
+            .build();
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r = Arc::clone(&ran);
+        rt.spawn(true, &[], move || {
+            r.fetch_add(1, Ordering::Relaxed);
+        });
+        rt.wait_all();
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+        let m = rt.metrics();
+        assert!(m.reconfig_faults >= 2, "faults: {}", m.reconfig_faults);
+        assert!(m.reconfig_recovered >= 1, "nothing recovered");
+        assert_eq!(m.reconfig_failures, 0, "retry should have healed all");
+        assert_eq!(m.reconfig_exhausted, 0);
+    }
+
+    #[test]
+    fn exhausted_retries_classify_as_degraded() {
+        let mock = Arc::new(MockDvfs::new(2, 1_000_000));
+        mock.fail_after(0); // permanent failure: retries cannot heal it
+        let rt = NativeRuntime::builder(2)
+            .budget(1)
+            .backend(mock.clone() as Arc<dyn DvfsBackend>)
+            .retry(RetryConfig {
+                max_retries: 2,
+                backoff_base: std::time::Duration::from_micros(10),
+                attempt_timeout: None,
+                seed: 7,
+            })
+            .build();
+        for _ in 0..5 {
+            rt.spawn(true, &[], || {});
+        }
+        rt.wait_all();
+        let m = rt.metrics();
+        assert!(m.reconfig_exhausted > 0, "no write exhausted its budget");
+        assert_eq!(m.reconfig_exhausted, m.reconfig_failures);
+        assert_eq!(m.reconfig_recovered, 0);
+        // Every exhausted write burned its full attempt budget.
+        assert!(m.reconfig_faults >= m.reconfig_exhausted * 3);
     }
 
     #[test]

@@ -51,6 +51,11 @@ pub struct RunReport {
     /// serialized form, so closed-system reports and legacy stores stay
     /// byte-identical — for ordinary single-graph runs.
     pub service: Option<crate::service::ServiceReport>,
+    /// Fault-injection accounting, present only when the run carried a
+    /// [`FaultSpec`](crate::fault::FaultSpec). `None` — and skipped in
+    /// the serialized form, so fault-free reports and legacy stores stay
+    /// byte-identical — for runs on a perfect machine.
+    pub fault: Option<crate::fault::FaultReport>,
 }
 
 // Serde is hand-written (the vendored derive has no `#[serde(skip…)]`
@@ -91,6 +96,9 @@ impl Serialize for RunReport {
         if let Some(s) = &self.service {
             m.push(("service".into(), s.to_value()));
         }
+        if let Some(fr) = &self.fault {
+            m.push(("fault".into(), fr.to_value()));
+        }
         Value::Map(m)
     }
 }
@@ -114,6 +122,7 @@ impl Deserialize for RunReport {
             trace_counts: serde::field(m, "trace_counts", "RunReport")?,
             effective_cores: serde::field(m, "effective_cores", "RunReport")?,
             service: serde::field(m, "service", "RunReport")?,
+            fault: serde::field(m, "fault", "RunReport")?,
         })
     }
 }
@@ -202,6 +211,7 @@ mod tests {
             trace_counts: None,
             effective_cores: None,
             service: None,
+            fault: None,
         }
     }
 
@@ -295,6 +305,32 @@ mod tests {
         assert!(json.contains("\"service\""), "{json}");
         let back: RunReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.service, Some(sr));
+    }
+
+    #[test]
+    fn fault_report_is_skipped_when_absent_and_round_trips_when_present() {
+        let r = report(100, 1.0);
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(
+            !json.contains("\"fault\""),
+            "fault-free reports must keep the legacy layout: {json}"
+        );
+
+        let mut faulted = report(100, 1.0);
+        let mut fr = crate::fault::FaultReport {
+            injected: 2,
+            displaced: 3,
+            reexecuted: 3,
+            capacity_lost: SimDuration::from_us(50),
+            makespan_degradation: 1.25,
+            ..Default::default()
+        };
+        fr.recovery_latency.record(SimDuration::from_us(7));
+        faulted.fault = Some(fr.clone());
+        let json = serde_json::to_string(&faulted).unwrap();
+        assert!(json.contains("\"fault\""), "{json}");
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.fault, Some(fr));
     }
 
     #[test]

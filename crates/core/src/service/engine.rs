@@ -28,9 +28,10 @@ use crate::accel::{AccelEffects, AccelManager};
 use crate::exp::error::ExpError;
 use crate::exp::registry::{FactoryCtx, PolicyKeys, PolicyRegistries, ResolvedPolicies};
 use crate::exp::suite::derive_seed;
+use crate::fault::{default_recovery_registry, RecoveryAction, RecoveryCtx, RecoveryPolicy};
 use crate::policy::{DispatchCtx, SchedulerPolicy};
 use crate::report::RunReport;
-use crate::sim_exec::{EngineParams, IdleIndex};
+use crate::sim_exec::{EngineParams, FaultState, IdleIndex, RECONFIG_RETRY_DELAY};
 use cata_power::integrate_machine;
 use cata_sim::activity::Activity;
 use cata_sim::event::EventQueue;
@@ -109,6 +110,12 @@ pub fn replay_tape(
         &spec.admission,
         &spec.admission_params.clone().unwrap_or_default(),
     )?;
+    // Fault injection composes with admission control: admission gates
+    // arrivals, the recovery policy handles tasks displaced by failures.
+    let recovery: Option<Box<dyn RecoveryPolicy>> = match &spec.base.faults {
+        Some(f) => Some(default_recovery_registry().build(&f.recovery, f)?),
+        None => None,
+    };
 
     // Build each distinct workload once and precompute its per-task
     // criticality levels: a fresh estimator sees the whole graph
@@ -169,8 +176,9 @@ pub fn replay_tape(
         stride,
         resolved,
         admission,
+        recovery,
     );
-    Ok(engine.run(&workload_label))
+    engine.run(&workload_label)
 }
 
 /// One distinct workload: its graph plus the precomputed classification.
@@ -202,6 +210,10 @@ enum SEv {
     IdleHalt { core: u32, epoch: u64 },
     /// A core stayed idle past the deceleration debounce.
     IdleDecel { core: u32, epoch: u64 },
+    /// Injected fault: the core fail-stops (forever if `permanent`).
+    CoreFail { core: u32, permanent: bool },
+    /// Injected fault schedule: a failed core's recovery window closed.
+    CoreRecover { core: u32 },
 }
 
 /// What a core is doing (task ids are *global*: `slot·stride + local`).
@@ -236,6 +248,11 @@ struct Slot {
     arrival: SimTime,
     /// First task assignment (end of queue wait), once dispatched.
     started: Option<SimTime>,
+    /// Instance dropped by a shedding recovery policy mid-flight: its
+    /// queued tasks are discarded at dispatch, completions of its
+    /// already-running tasks are ignored, and the slot is retired (never
+    /// recycled — a reused slot would alias stale queued global ids).
+    shed: bool,
 }
 
 struct ServiceEngine<'g> {
@@ -273,6 +290,8 @@ struct ServiceEngine<'g> {
     latency: LatencyHistogram,
     queue_wait: LatencyHistogram,
     service_time: LatencyHistogram,
+    /// Fault-injection bookkeeping; `None` on fault-free runs.
+    fault: Option<FaultState>,
 }
 
 impl<'g> ServiceEngine<'g> {
@@ -283,8 +302,15 @@ impl<'g> ServiceEngine<'g> {
         stride: u32,
         resolved: ResolvedPolicies,
         admission: Box<dyn AdmissionPolicy>,
+        recovery: Option<Box<dyn RecoveryPolicy>>,
     ) -> Self {
         let n_cores = cfg.machine.num_cores;
+        // The per-task vectors start empty and grow with the slot pool.
+        let fault = cfg
+            .faults
+            .as_ref()
+            .zip(recovery)
+            .map(|(spec, policy)| FaultState::new(spec, policy, cfg.seed, n_cores, 0));
         let ResolvedPolicies {
             policy,
             estimator: _,
@@ -335,6 +361,7 @@ impl<'g> ServiceEngine<'g> {
             latency: LatencyHistogram::new(),
             queue_wait: LatencyHistogram::new(),
             service_time: LatencyHistogram::new(),
+            fault,
         }
     }
 
@@ -357,7 +384,7 @@ impl<'g> ServiceEngine<'g> {
         &graphs[self.slots[slot].graph as usize]
     }
 
-    fn run(mut self, workload: &str) -> RunReport {
+    fn run(mut self, workload: &str) -> Result<RunReport, ExpError> {
         let init = self.accel.on_init(&mut self.machine, SimTime::ZERO);
         self.push_settles(&init);
 
@@ -366,10 +393,34 @@ impl<'g> ServiceEngine<'g> {
                 .push(SimTime::from_ps(first.at_ps), SEv::Arrival);
         }
 
+        // The injected fault schedule rides the ordinary event queue.
+        if let Some(fs) = &self.fault {
+            for (at, ev) in fs.schedule_into(
+                |core, permanent| SEv::CoreFail { core, permanent },
+                |core| SEv::CoreRecover { core },
+            ) {
+                self.events.push(at, ev);
+            }
+        }
+
         // Drain: every admitted instance runs to completion, however far
         // past the arrival window its tail stretches.
         while self.live > 0 || self.next_rec < self.records.len() {
             let Some((now, ev)) = self.events.pop() else {
+                if let Some(fs) = &self.fault {
+                    // An exhausted queue with live instances is a *clean*
+                    // outcome under fault injection: the schedule removed
+                    // the capacity the tail needed.
+                    let dead = fs.failed.iter().filter(|&&f| f).count();
+                    return Err(ExpError::Stalled(format!(
+                        "fault schedule removed the capacity the service run needed: \
+                         {} live instance(s), record {}/{}, {} ready, {dead} core(s) failed",
+                        self.live,
+                        self.next_rec,
+                        self.records.len(),
+                        self.policy.len()
+                    )));
+                }
                 panic!(
                     "service deadlock: {} live instances, record {}/{}, queue len {}",
                     self.live,
@@ -388,6 +439,18 @@ impl<'g> ServiceEngine<'g> {
         // usually it *is* the last completion, but a trailing dropped
         // arrival or idle-halt can sit later.
         let end = self.horizon.max(self.last_completion);
+        // Close the capacity ledger: cores still failed at run end lost
+        // the remainder of the observation window.
+        let fault = self.fault.take().map(|mut fs| {
+            for i in 0..fs.failed.len() {
+                if fs.failed[i] {
+                    if let Some(t) = fs.fail_since[i].take() {
+                        fs.report.capacity_lost += end.saturating_since(t);
+                    }
+                }
+            }
+            fs.report
+        });
         self.machine.finish(end);
         let energy = integrate_machine(&self.machine, end.since(SimTime::ZERO), &self.cfg.power);
         let stats = self.accel.stats();
@@ -409,7 +472,7 @@ impl<'g> ServiceEngine<'g> {
             queue_wait: self.queue_wait,
             service_time: self.service_time,
         };
-        RunReport {
+        Ok(RunReport {
             label: self.cfg.label.clone(),
             workload: workload.to_string(),
             fast_cores: self.cfg.fast_cores,
@@ -433,7 +496,8 @@ impl<'g> ServiceEngine<'g> {
             trace_counts: None,
             effective_cores: None,
             service: Some(service),
-        }
+            fault,
+        })
     }
 
     fn handle(&mut self, now: SimTime, ev: SEv) {
@@ -445,6 +509,8 @@ impl<'g> ServiceEngine<'g> {
             SEv::DvfsSettle { core } => self.dvfs_settle(CoreId(core), now),
             SEv::IdleHalt { core, epoch } => self.idle_halt(CoreId(core), epoch, now),
             SEv::IdleDecel { core, epoch } => self.idle_decel(CoreId(core), epoch, now),
+            SEv::CoreFail { core, permanent } => self.core_fail(CoreId(core), permanent, now),
+            SEv::CoreRecover { core } => self.core_recover(CoreId(core), now),
         }
     }
 
@@ -509,15 +575,26 @@ impl<'g> ServiceEngine<'g> {
         s.remaining = g.num_tasks() as u32;
         s.arrival = now;
         s.started = None;
+        s.shed = false;
         s.indegree.clear();
         s.indegree
             .extend(g.task_ids().map(|t| g.preds(t).len() as u32));
+        let id_space = self.slots.len() * self.stride as usize;
+        if let Some(fs) = self.fault.as_mut() {
+            fs.grow_tasks(id_space);
+        }
         idx
     }
 
     fn make_ready(&mut self, task: TaskId, level: u8) {
         self.crit[task.index()] = level > 0;
         self.policy.enqueue(task, level);
+    }
+
+    /// True if `task` belongs to an instance a recovery policy shed.
+    #[inline]
+    fn is_shed(&self, task: TaskId) -> bool {
+        self.fault.is_some() && self.slots[(task.0 / self.stride) as usize].shed
     }
 
     fn push_settles(&mut self, effects: &AccelEffects) {
@@ -548,6 +625,12 @@ impl<'g> ServiceEngine<'g> {
                 };
                 if self.policy.has_work_for(core, ctx) {
                     if let Some(task) = self.policy.dequeue(core, ctx, &mut self.counters) {
+                        if self.is_shed(task) {
+                            // A shed instance's queued task: discard it and
+                            // let the same core draw again.
+                            assigned = true;
+                            continue;
+                        }
                         self.assign(core, task, now);
                         assigned = true;
                     }
@@ -597,6 +680,14 @@ impl<'g> ServiceEngine<'g> {
 
     fn assign(&mut self, core: CoreId, task: TaskId, now: SimTime) {
         self.idle.remove(core);
+        // A displaced task landing on a survivor closes its recovery
+        // window: this dispatch is the re-execution.
+        if let Some(fs) = self.fault.as_mut() {
+            if let Some(at) = fs.displaced_at[task.index()].take() {
+                fs.report.reexecuted += 1;
+                fs.report.recovery_latency.record(now.saturating_since(at));
+            }
+        }
         // First dispatch of the instance ends its queue wait.
         let (slot, _) = self.split(task);
         if self.slots[slot].started.is_none() {
@@ -708,10 +799,56 @@ impl<'g> ServiceEngine<'g> {
     }
 
     fn complete(&mut self, core: CoreId, task: TaskId, now: SimTime) {
+        let (slot, local) = self.split(task);
+
+        // The instance was shed while this task ran: discard the
+        // completion (no successor propagation, no histogram sample) and
+        // just free the core.
+        if self.fault.is_some() && self.slots[slot].shed {
+            self.counters.tasks_completed += 1;
+            let epoch = self.cores[core.index()].epoch;
+            self.cores[core.index()].run = CoreRun::Epilogue;
+            let e = self
+                .accel
+                .on_task_end(core, now, &mut self.machine, &mut self.counters);
+            self.push_settles(&e);
+            self.events.push(
+                e.resume_or(now),
+                SEv::CoreFree {
+                    core: core.0,
+                    epoch,
+                },
+            );
+            return;
+        }
+
+        // Injected transient task fault: the completion is void and the
+        // task re-executes in place on the same core (bounded retries so
+        // a p=1 schedule still terminates).
+        if let Some(fs) = self.fault.as_mut() {
+            if fs.spec.task_fault_p > 0.0
+                && fs.task_retries[task.index()] < fs.spec.max_retries
+                && fs.rng.next_unit() < fs.spec.task_fault_p
+            {
+                fs.task_retries[task.index()] += 1;
+                fs.report.task_faults += 1;
+                fs.report.reexecuted += 1;
+                let entry = self.entry_of(task);
+                let rt = RunningTask::start(
+                    &entry.graph.task(local).profile,
+                    now,
+                    self.machine.core(core).frequency(),
+                );
+                let epoch = self.cores[core.index()].epoch;
+                self.schedule_milestone(core, epoch, &rt);
+                self.cores[core.index()].run = CoreRun::Running { task, rt };
+                return;
+            }
+        }
+
         self.counters.tasks_completed += 1;
         self.last_completion = self.last_completion.max(now);
 
-        let (slot, local) = self.split(task);
         let entry = self.entry_of(task);
         let base = slot as u32 * self.stride;
         for i in 0..entry.graph.succs(local).len() {
@@ -769,6 +906,28 @@ impl<'g> ServiceEngine<'g> {
     }
 
     fn dvfs_settle(&mut self, core: CoreId, now: SimTime) {
+        // Injected transient reconfiguration fault: the settle write
+        // fails; retry shortly, or — retries exhausted — stay at the
+        // current class (degraded, not wedged).
+        if let Some(fs) = self.fault.as_mut() {
+            let i = core.index();
+            if fs.spec.reconfig_fail_p > 0.0 && fs.rng.next_unit() < fs.spec.reconfig_fail_p {
+                fs.report.reconfig_faults += 1;
+                if fs.settle_retries[i] < fs.spec.max_retries {
+                    fs.settle_retries[i] += 1;
+                    self.events
+                        .push(now + RECONFIG_RETRY_DELAY, SEv::DvfsSettle { core: core.0 });
+                } else {
+                    fs.settle_retries[i] = 0;
+                    fs.report.reconfig_exhausted += 1;
+                }
+                return;
+            }
+            if fs.settle_retries[i] > 0 {
+                fs.settle_retries[i] = 0;
+                fs.report.reconfig_recovered += 1;
+            }
+        }
         if let Some(level) = self.machine.settle(core, now) {
             let epoch = self.cores[core.index()].epoch;
             if let CoreRun::Running { ref mut rt, .. } = self.cores[core.index()].run {
@@ -803,5 +962,105 @@ impl<'g> ServiceEngine<'g> {
             .accel
             .on_core_halt(core, now, &mut self.machine, &mut self.counters);
         self.push_settles(&e);
+    }
+
+    /// Fail-stops a core under service load: evict it from the idle
+    /// index, cancel its pending events (epoch bump), and hand any
+    /// in-flight task to the recovery policy. Unlike the closed-system
+    /// engine, `Shed` is honored here: it drops the displaced task's
+    /// whole *instance* (an open system can decline work; a closed DAG
+    /// cannot lose a node without deadlocking its successors).
+    fn core_fail(&mut self, core: CoreId, permanent: bool, now: SimTime) {
+        let i = core.index();
+        let Some(fs) = self.fault.as_mut() else {
+            return;
+        };
+        if fs.failed[i] {
+            return; // overlapping windows: already down
+        }
+        fs.failed[i] = true;
+        fs.fail_since[i] = Some(now);
+        fs.report.injected += 1;
+
+        let displaced = match self.cores[i].run {
+            CoreRun::Prologue { task } => Some(task),
+            CoreRun::Running { task, .. } => Some(task),
+            _ => None,
+        };
+        if self.idle.is_linked(core) {
+            self.idle.remove(core);
+        }
+        let ctl = &mut self.cores[i];
+        ctl.epoch += 1;
+        ctl.halt_scheduled = false;
+        ctl.idle_notified = false;
+        ctl.run = CoreRun::Halted;
+        self.machine.set_activity(core, now, Activity::Halted);
+
+        if let Some(task) = displaced {
+            let (slot, local) = self.split(task);
+            if self.slots[slot].shed {
+                // The instance was already shed (a sibling's failure):
+                // its displaced task just evaporates with it.
+                return;
+            }
+            let critical = self.crit[task.index()];
+            let level = self.entry_of(task).levels[local.index()];
+            let fs = self.fault.as_mut().expect("fault state present");
+            fs.report.displaced += 1;
+            fs.displaced_at[task.index()] = Some(now);
+            let action = fs.policy.on_displaced(&RecoveryCtx {
+                now,
+                failed_core: i,
+                critical,
+                permanent,
+                degraded: true,
+            });
+            match action {
+                RecoveryAction::Requeue { prefer_fast } => {
+                    let mut level = level;
+                    if prefer_fast && level == 0 {
+                        level = 1;
+                    }
+                    self.make_ready(task, level);
+                }
+                RecoveryAction::Shed => {
+                    fs.report.shed += 1;
+                    // Retire the instance: the displaced task is dropped,
+                    // queued siblings are discarded at dispatch, running
+                    // siblings' completions are ignored. The slot is
+                    // *not* recycled (stale global ids may still sit in
+                    // scheduler queues and would alias a reused slot).
+                    self.slots[slot].shed = true;
+                    self.live -= 1;
+                }
+            }
+        }
+    }
+
+    /// A failed core's recovery window closed: it rejoins the idle index
+    /// and can take work again. Time spent down is charged to the
+    /// capacity ledger.
+    fn core_recover(&mut self, core: CoreId, now: SimTime) {
+        let i = core.index();
+        let Some(fs) = self.fault.as_mut() else {
+            return;
+        };
+        if !fs.failed[i] {
+            return;
+        }
+        fs.failed[i] = false;
+        fs.report.recovered_cores += 1;
+        if let Some(t) = fs.fail_since[i].take() {
+            fs.report.capacity_lost += now.saturating_since(t);
+        }
+        let ctl = &mut self.cores[i];
+        ctl.epoch += 1;
+        ctl.run = CoreRun::Idle;
+        ctl.halt_scheduled = false;
+        ctl.idle_notified = false;
+        self.idle.push(core);
+        self.idle_dirty = true;
+        self.machine.set_activity(core, now, Activity::Idle);
     }
 }

@@ -126,31 +126,88 @@ impl TrafficTape {
         out
     }
 
-    /// Parses the JSONL file form.
+    /// Parses the JSONL file form. Sugar for [`parse_jsonl`]
+    /// (Self::parse_jsonl) that drops the torn-tail flag.
     pub fn from_jsonl(text: &str) -> Result<Self, ExpError> {
-        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
-        let head = lines
-            .next()
-            .ok_or_else(|| ExpError::Parse("empty tape file".to_string()))?;
-        let header: TapeHeader =
-            serde_json::from_str(head).map_err(|e| ExpError::Parse(format!("tape header: {e}")))?;
-        if header.schema != TAPE_SCHEMA {
-            return Err(ExpError::Parse(format!(
-                "tape schema `{}` is not `{TAPE_SCHEMA}`",
-                header.schema
-            )));
-        }
+        Self::parse_jsonl(text).map(|(tape, _)| tape)
+    }
+
+    /// Parses the JSONL file form, tolerating a torn trailing line.
+    ///
+    /// Returns the tape plus whether a torn tail was discarded. Same
+    /// policy as the results store: [`to_jsonl`](Self::to_jsonl) writes
+    /// every line with its newline, so a killed writer can only leave a
+    /// *final line missing its `\n`* — that fragment is discarded (the
+    /// returned flag lets callers warn). Any unparseable line that kept
+    /// its newline completed its write and is therefore real corruption —
+    /// a hard error, never silently truncated.
+    pub fn parse_jsonl(text: &str) -> Result<(Self, bool), ExpError> {
+        let mut header: Option<TapeHeader> = None;
         let mut records = Vec::new();
-        for (i, line) in lines.enumerate() {
-            let r: TapeRecord = serde_json::from_str(line)
-                .map_err(|e| ExpError::Parse(format!("tape record {i}: {e}")))?;
-            records.push(r);
+        let mut truncated = false;
+        let mut offset = 0usize;
+        let mut line_no = 0usize;
+        while offset < text.len() {
+            let rest = &text[offset..];
+            let (line, consumed, complete) = match rest.find('\n') {
+                Some(i) => (&rest[..i], i + 1, true),
+                None => (rest, rest.len(), false),
+            };
+            offset += consumed;
+            if !complete {
+                // The killed-writer signature; the fragment may even
+                // parse as JSON (only the newline was cut) — still
+                // discarded.
+                truncated = true;
+                break;
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            if header.is_none() {
+                let h: TapeHeader = serde_json::from_str(line)
+                    .map_err(|e| ExpError::Parse(format!("tape header: {e}")))?;
+                if h.schema != TAPE_SCHEMA {
+                    return Err(ExpError::Parse(format!(
+                        "tape schema `{}` is not `{TAPE_SCHEMA}`",
+                        h.schema
+                    )));
+                }
+                header = Some(h);
+            } else {
+                let r: TapeRecord = serde_json::from_str(line)
+                    .map_err(|e| ExpError::Parse(format!("tape record {line_no}: {e}")))?;
+                records.push(r);
+                line_no += 1;
+            }
         }
-        Ok(TrafficTape {
-            name: header.name,
-            workloads: header.workloads,
-            records,
-            digest: header.digest,
+        let header = header.ok_or_else(|| ExpError::Parse("empty tape file".to_string()))?;
+        Ok((
+            TrafficTape {
+                name: header.name,
+                workloads: header.workloads,
+                records,
+                digest: header.digest,
+            },
+            truncated,
+        ))
+    }
+
+    /// Loads a tape file from disk. Errors carry the offending path —
+    /// "no such file" without a name helps nobody. Returns the tape plus
+    /// the torn-tail flag from [`parse_jsonl`](Self::parse_jsonl).
+    ///
+    /// A truncated tape no longer matches its stored digest (the digest
+    /// covers the records), so callers replaying a torn tape through
+    /// [`verify`](Self::verify) still get the integrity error; the flag
+    /// exists to *explain* it and to let explicit-recovery flows proceed.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<(Self, bool), ExpError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ExpError::Parse(format!("{}: {e}", path.display())))?;
+        Self::parse_jsonl(&text).map_err(|e| match e {
+            ExpError::Parse(msg) => ExpError::Parse(format!("{}: {msg}", path.display())),
+            other => other,
         })
     }
 
@@ -419,5 +476,56 @@ mod tests {
         back_in_time.refresh_digest();
         let err = back_in_time.verify().unwrap_err().to_string();
         assert!(err.contains("back in time"), "{err}");
+    }
+
+    #[test]
+    fn kill_mid_record_tolerates_torn_tail() {
+        let tape = TrafficTape::generate(
+            "torn",
+            &ArrivalSpec::Fixed { rate_hz: 1000.0 },
+            SimDuration::from_ms(8),
+            fork_join(),
+            3,
+        )
+        .unwrap();
+        let text = tape.to_jsonl();
+
+        // Simulate a kill mid-append: chop the file partway through the
+        // final record, leaving no trailing newline.
+        let last_line_start = text.trim_end().rfind('\n').unwrap() + 1;
+        let torn = &text[..last_line_start + (text.len() - last_line_start) / 2];
+        assert!(!torn.ends_with('\n'), "fixture must end mid-record");
+
+        let (back, truncated) = TrafficTape::parse_jsonl(torn).unwrap();
+        assert!(truncated, "torn tail must be flagged");
+        assert_eq!(back.records.len(), tape.records.len() - 1);
+
+        // A *complete* (newline-terminated) torn record is corruption,
+        // not a torn tail: it stays a hard error.
+        let mut corrupt = text[..last_line_start + (text.len() - last_line_start) / 2].to_string();
+        corrupt.push('\n');
+        let err = TrafficTape::parse_jsonl(&corrupt).unwrap_err().to_string();
+        assert!(err.contains("tape record"), "{err}");
+
+        // An intact file parses un-truncated via the same path.
+        let (full, truncated) = TrafficTape::parse_jsonl(&text).unwrap();
+        assert!(!truncated);
+        assert_eq!(full, tape);
+    }
+
+    #[test]
+    fn load_includes_path_in_errors() {
+        let dir = std::env::temp_dir().join(format!("cata-tape-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let missing = dir.join("nope.tape.jsonl");
+        let err = TrafficTape::load(&missing).unwrap_err().to_string();
+        assert!(err.contains("nope.tape.jsonl"), "{err}");
+
+        let bad = dir.join("bad.tape.jsonl");
+        std::fs::write(&bad, "{\"not\": \"a tape header\"}\n").unwrap();
+        let err = TrafficTape::load(&bad).unwrap_err().to_string();
+        assert!(err.contains("bad.tape.jsonl"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -25,6 +25,10 @@ use crate::config::{RunConfig, RuntimeCosts};
 use crate::exp::error::ExpError;
 use crate::exp::registry::{default_registries, PolicyRegistries, ResolvedPolicies};
 use crate::exp::spec::ScenarioSpec;
+use crate::fault::{
+    default_recovery_registry, fault_rng, FaultReport, FaultSpec, RecoveryAction, RecoveryCtx,
+    RecoveryPolicy, SplitMix64,
+};
 use crate::policy::{DispatchCtx, SchedulerPolicy};
 use crate::report::RunReport;
 use cata_power::{integrate_machine, PowerParams};
@@ -52,6 +56,8 @@ pub(crate) struct EngineParams {
     pub wake_latency: SimDuration,
     pub power: PowerParams,
     pub trace: TraceMode,
+    pub seed: u64,
+    pub faults: Option<FaultSpec>,
 }
 
 impl From<&RunConfig> for EngineParams {
@@ -66,6 +72,10 @@ impl From<&RunConfig> for EngineParams {
             wake_latency: cfg.wake_latency,
             power: cfg.power.clone(),
             trace: cfg.trace,
+            seed: cfg.seed,
+            // The enum-based compat surface predates fault injection;
+            // faulted runs go through `ScenarioSpec`.
+            faults: None,
         }
     }
 }
@@ -82,6 +92,8 @@ impl From<&ScenarioSpec> for EngineParams {
             wake_latency: spec.wake_latency,
             power: spec.power.clone(),
             trace: spec.trace,
+            seed: spec.seed,
+            faults: spec.faults.clone(),
         }
     }
 }
@@ -104,6 +116,10 @@ enum Ev {
     /// A core stayed idle past the deceleration debounce; CATA may now
     /// release its budget.
     IdleDecel { core: u32, epoch: u64 },
+    /// A scheduled fault fail-stops a core (fault injection only).
+    CoreFail { core: u32, permanent: bool },
+    /// A failed core's recovery window closed; it rejoins the machine.
+    CoreRecover { core: u32 },
 }
 
 /// What a core is doing, from the executor's point of view. The lifetime
@@ -266,7 +282,97 @@ impl IdleIndex {
     pub(crate) fn any_fast_available(&self) -> bool {
         self.avail_fast > 0
     }
+
+    /// True if `core` is currently linked as available — fault injection
+    /// must evict a failing idle core, but only if it is actually listed.
+    pub(crate) fn is_linked(&self, core: CoreId) -> bool {
+        self.linked[core.index()]
+    }
 }
+
+/// Per-run fault-injection state: the schedule's bookkeeping, the seeded
+/// RNG, and the accumulating [`FaultReport`]. Present only when the
+/// scenario carries a [`FaultSpec`]; fault-free runs never touch it.
+pub(crate) struct FaultState {
+    pub(crate) spec: FaultSpec,
+    pub(crate) policy: Box<dyn RecoveryPolicy>,
+    pub(crate) rng: SplitMix64,
+    /// Per-core "currently failed" flag.
+    pub(crate) failed: Vec<bool>,
+    /// When each currently-failed core failed (capacity accounting).
+    pub(crate) fail_since: Vec<Option<SimTime>>,
+    /// Consecutive transient failures of the core's pending DVFS settle.
+    pub(crate) settle_retries: Vec<u32>,
+    /// Per-task transient-fault re-executions used (bounded by
+    /// `max_retries` so a p=1 schedule still terminates).
+    pub(crate) task_retries: Vec<u32>,
+    /// When each displaced task was displaced (recovery-latency samples).
+    pub(crate) displaced_at: Vec<Option<SimTime>>,
+    pub(crate) report: FaultReport,
+}
+
+impl FaultState {
+    pub(crate) fn new(
+        spec: &FaultSpec,
+        policy: Box<dyn RecoveryPolicy>,
+        seed: u64,
+        cores: usize,
+        tasks: usize,
+    ) -> Self {
+        FaultState {
+            spec: spec.clone(),
+            policy,
+            rng: fault_rng(seed),
+            failed: vec![false; cores],
+            fail_since: vec![None; cores],
+            settle_retries: vec![0; cores],
+            task_retries: vec![0; tasks],
+            displaced_at: vec![None; tasks],
+            report: FaultReport::default(),
+        }
+    }
+
+    /// Grows the per-task vectors (the service engine's global-id space
+    /// expands as instance slots are allocated).
+    pub(crate) fn grow_tasks(&mut self, tasks: usize) {
+        if tasks > self.task_retries.len() {
+            self.task_retries.resize(tasks, 0);
+            self.displaced_at.resize(tasks, None);
+        }
+    }
+
+    /// The failure schedule as `(time, event)` pushes for the run's event
+    /// queue; `fail`/`recover` map to the engine's own event type.
+    pub(crate) fn schedule_into<E>(
+        &self,
+        mut fail: impl FnMut(u32, bool) -> E,
+        mut recover: impl FnMut(u32) -> E,
+    ) -> Vec<(SimTime, E)> {
+        let mut out = Vec::with_capacity(self.spec.core_failures.len() * 2);
+        for f in &self.spec.core_failures {
+            let at = SimTime::ZERO + f.at;
+            out.push((at, fail(f.core as u32, f.recover_after.is_none())));
+            if let Some(r) = f.recover_after {
+                out.push((at + r, recover(f.core as u32)));
+            }
+        }
+        out
+    }
+
+    /// The schedule for the closed-system engine's event type.
+    fn schedule(&self) -> Vec<(SimTime, Ev)> {
+        self.schedule_into(
+            |core, permanent| Ev::CoreFail { core, permanent },
+            |core| Ev::CoreRecover { core },
+        )
+    }
+}
+
+/// Retry penalty charged when a simulated DVFS settle write fails
+/// transiently: the settle re-fires this much later. Deterministic and
+/// deliberately small — the interesting effect is the *classification*
+/// (recovered vs exhausted), not the delay model.
+pub(crate) const RECONFIG_RETRY_DELAY: SimDuration = SimDuration::from_us(1);
 
 /// Per-thread engine buffers reused across runs: suite workers batch many
 /// small scenarios, and re-growing the event heap, dependence counters and
@@ -289,17 +395,25 @@ thread_local! {
 }
 
 /// Runs one engine execution with the thread's scratch buffers.
+///
+/// Fault-free runs cannot fail; a faulted run fails cleanly when the
+/// recovery key is unknown or the injected schedule stalls the machine.
 fn run_with_scratch(
     params: &EngineParams,
     resolved: ResolvedPolicies,
     graph: &TaskGraph,
     workload: &str,
-) -> (RunReport, Trace) {
+) -> Result<(RunReport, Trace), ExpError> {
+    let recovery = match &params.faults {
+        Some(f) => Some(default_recovery_registry().build(&f.recovery, f)?),
+        None => None,
+    };
     SCRATCH.with(|cell| {
         let scratch = cell.take();
-        let (report, trace, scratch) = Engine::new(params, resolved, graph, scratch).run(workload);
+        let (result, trace, scratch) =
+            Engine::new(params, resolved, graph, scratch, recovery).run(workload);
         cell.replace(scratch);
-        (report, trace)
+        result.map(|report| (report, trace))
     })
 }
 
@@ -352,7 +466,10 @@ impl SimExecutor {
                 &cfg.policy_params(),
             )
             .unwrap_or_else(|e| panic!("RunConfig `{}` failed to resolve: {e}", cfg.label));
+        // RunConfig carries no fault schedule, so the engine is infallible
+        // on this path.
         run_with_scratch(&EngineParams::from(cfg), resolved, graph, workload)
+            .expect("fault-free runs cannot fail")
     }
 
     /// Executes a scenario spec end to end: resolves its policy keys
@@ -363,22 +480,34 @@ impl SimExecutor {
         registries: &PolicyRegistries,
     ) -> Result<(RunReport, Trace), ExpError> {
         spec.validate()?;
-        let resolved = registries.resolve(
-            &crate::exp::registry::PolicyKeys {
-                scheduler: spec.scheduler.clone(),
-                estimator: spec.estimator.clone(),
-                accel: spec.accel.clone(),
-            },
-            &spec.machine,
-            spec.fast_cores,
-            spec.seed,
-            &spec.params_or_default(),
-        )?;
+        let keys = crate::exp::registry::PolicyKeys {
+            scheduler: spec.scheduler.clone(),
+            estimator: spec.estimator.clone(),
+            accel: spec.accel.clone(),
+        };
+        let params = spec.params_or_default();
+        let resolve =
+            || registries.resolve(&keys, &spec.machine, spec.fast_cores, spec.seed, &params);
         // Graph and report label come from one workload load, so a store
         // cell can never name a different revision of an unpinned TDG
         // file than the graph that actually ran.
         let (graph, label) = spec.workload.build_labeled_graph()?;
-        let (report, trace) = run_with_scratch(&EngineParams::from(spec), resolved, &graph, &label);
+        let mut engine_params = EngineParams::from(spec);
+        let (mut report, trace) = run_with_scratch(&engine_params, resolve()?, &graph, &label)?;
+        // Faulted cells also run their fault-free twin (same spec, no
+        // schedule) so the report carries makespan degradation — the
+        // number the robustness tables plot.
+        if report.fault.is_some() {
+            engine_params.faults = None;
+            engine_params.trace = TraceMode::Off;
+            let (twin, _) = run_with_scratch(&engine_params, resolve()?, &graph, &label)?;
+            let faulted_ps = report.exec_time.as_ps();
+            if let Some(fault) = report.fault.as_mut() {
+                if twin.exec_time.as_ps() > 0 {
+                    fault.makespan_degradation = faulted_ps as f64 / twin.exec_time.as_ps() as f64;
+                }
+            }
+        }
         Ok((report, trace))
     }
 }
@@ -409,6 +538,8 @@ struct Engine<'g> {
     trace: Trace,
     last_completion: SimTime,
     is_fast_static: Vec<bool>,
+    /// Fault-injection bookkeeping; `None` on a perfect machine.
+    fault: Option<FaultState>,
 }
 
 impl<'g> Engine<'g> {
@@ -417,6 +548,7 @@ impl<'g> Engine<'g> {
         resolved: ResolvedPolicies,
         graph: &'g TaskGraph,
         scratch: EngineScratch,
+        recovery: Option<Box<dyn RecoveryPolicy>>,
     ) -> Self {
         let n_cores = cfg.machine.num_cores;
         assert!(
@@ -478,10 +610,15 @@ impl<'g> Engine<'g> {
             trace: Trace::with_mode(cfg.trace),
             last_completion: SimTime::ZERO,
             is_fast_static,
+            fault: cfg
+                .faults
+                .as_ref()
+                .zip(recovery)
+                .map(|(spec, policy)| FaultState::new(spec, policy, cfg.seed, n_cores, n)),
         }
     }
 
-    fn run(mut self, workload: &str) -> (RunReport, Trace, EngineScratch) {
+    fn run(mut self, workload: &str) -> (Result<RunReport, ExpError>, Trace, EngineScratch) {
         let total = self.graph.num_tasks();
         // Controller initialization (TurboMode boots with budget assigned).
         let init = self.accel.on_init(&mut self.machine, SimTime::ZERO);
@@ -493,8 +630,36 @@ impl<'g> Engine<'g> {
             self.events.push(SimTime::ZERO + cost, Ev::SubmitDone);
         }
 
+        // The injected fault schedule rides the ordinary event queue.
+        if let Some(fs) = &self.fault {
+            for (at, ev) in fs.schedule() {
+                self.events.push(at, ev);
+            }
+        }
+
         while self.done < total {
             let Some((now, ev)) = self.events.pop() else {
+                if let Some(fs) = &self.fault {
+                    // An exhausted queue with work remaining is a *clean*
+                    // outcome under fault injection: the schedule removed
+                    // the capacity the rest of the graph needed.
+                    let dead = fs.failed.iter().filter(|&&f| f).count();
+                    let err = ExpError::Stalled(format!(
+                        "fault schedule removed the capacity the run needed: \
+                         {}/{} tasks done, {} submitted, {} ready, {dead} core(s) failed",
+                        self.done,
+                        total,
+                        self.submitted,
+                        self.policy.len()
+                    ));
+                    let scratch = EngineScratch {
+                        events: self.events,
+                        indegree: self.indegree,
+                        crit: self.crit,
+                        idle: self.idle,
+                    };
+                    return (Err(err), self.trace, scratch);
+                }
                 panic!(
                     "simulation deadlock: {}/{} tasks done, {} submitted, queue len {}",
                     self.done,
@@ -509,6 +674,18 @@ impl<'g> Engine<'g> {
         }
 
         let end = self.last_completion;
+        // Close the capacity ledger: cores still failed at run end lost
+        // the remainder of the window.
+        let fault = self.fault.take().map(|mut fs| {
+            for i in 0..fs.failed.len() {
+                if fs.failed[i] {
+                    if let Some(t) = fs.fail_since[i].take() {
+                        fs.report.capacity_lost += end.saturating_since(t);
+                    }
+                }
+            }
+            fs.report
+        });
         self.machine.finish(end);
         let energy = integrate_machine(&self.machine, end.since(SimTime::ZERO), &self.cfg.power);
         let stats = self.accel.stats();
@@ -541,6 +718,7 @@ impl<'g> Engine<'g> {
             effective_cores: None,
             // Closed-system run: one graph, no arrival stream.
             service: None,
+            fault,
         };
         let scratch = EngineScratch {
             events: self.events,
@@ -548,7 +726,7 @@ impl<'g> Engine<'g> {
             crit: self.crit,
             idle: self.idle,
         };
-        (report, self.trace, scratch)
+        (Ok(report), self.trace, scratch)
     }
 
     /// Cost of submitting `task` on the master thread.
@@ -576,7 +754,97 @@ impl<'g> Engine<'g> {
             Ev::DvfsSettle { core } => self.dvfs_settle(CoreId(core), now),
             Ev::IdleHalt { core, epoch } => self.idle_halt(CoreId(core), epoch, now),
             Ev::IdleDecel { core, epoch } => self.idle_decel(CoreId(core), epoch, now),
+            Ev::CoreFail { core, permanent } => self.core_fail(CoreId(core), permanent, now),
+            Ev::CoreRecover { core } => self.core_recover(CoreId(core), now),
         }
+    }
+
+    /// Fail-stops a core: evict it from the idle index, cancel its
+    /// pending events (epoch bump), and hand any in-flight task to the
+    /// recovery policy. The acceleration manager is *not* notified — a
+    /// dead accelerated core keeps its budget allocated, which is part of
+    /// the capacity the failure costs.
+    fn core_fail(&mut self, core: CoreId, permanent: bool, now: SimTime) {
+        let i = core.index();
+        let Some(fs) = self.fault.as_mut() else {
+            return;
+        };
+        if fs.failed[i] {
+            return; // overlapping windows: already down
+        }
+        fs.failed[i] = true;
+        fs.fail_since[i] = Some(now);
+        fs.report.injected += 1;
+
+        // An in-flight task (prologue, body, or a blocked body) dies with
+        // the core; a task in epilogue already completed.
+        let displaced = match self.cores[i].run {
+            CoreRun::Prologue { task } => Some(task),
+            CoreRun::Running { task, .. } => Some(task),
+            _ => None,
+        };
+        if self.idle.is_linked(core) {
+            self.idle.remove(core);
+        }
+        let ctl = &mut self.cores[i];
+        ctl.epoch += 1;
+        ctl.halt_scheduled = false;
+        ctl.idle_notified = false;
+        ctl.run = CoreRun::Halted;
+        self.machine.set_activity(core, now, Activity::Halted);
+
+        if let Some(task) = displaced {
+            let critical = self.crit[task.index()];
+            let fs = self.fault.as_mut().expect("fault state present");
+            fs.report.displaced += 1;
+            fs.displaced_at[task.index()] = Some(now);
+            let action = fs.policy.on_displaced(&RecoveryCtx {
+                now,
+                failed_core: i,
+                critical,
+                permanent,
+                degraded: true,
+            });
+            let prefer_fast = match action {
+                RecoveryAction::Requeue { prefer_fast } => prefer_fast,
+                // Dropping a DAG node would deadlock its successors; the
+                // closed-system engine degrades Shed to a plain requeue
+                // (service mode sheds the whole instance instead).
+                RecoveryAction::Shed => false,
+            };
+            let mut level = self.estimator.classify_level(self.graph, task);
+            if prefer_fast && level == 0 {
+                level = 1;
+                self.crit[task.index()] = true;
+            }
+            self.policy.enqueue(task, level);
+        }
+    }
+
+    /// A failed core's recovery window closed: it rejoins the idle index
+    /// and can take work again. Time spent down is charged to the
+    /// capacity ledger.
+    fn core_recover(&mut self, core: CoreId, now: SimTime) {
+        let i = core.index();
+        let Some(fs) = self.fault.as_mut() else {
+            return;
+        };
+        if !fs.failed[i] {
+            return;
+        }
+        fs.failed[i] = false;
+        fs.report.recovered_cores += 1;
+        if let Some(t) = fs.fail_since[i].take() {
+            fs.report.capacity_lost += now.saturating_since(t);
+        }
+        let ctl = &mut self.cores[i];
+        ctl.epoch += 1;
+        ctl.run = CoreRun::Idle;
+        ctl.halt_scheduled = false;
+        ctl.idle_notified = false;
+        self.idle.push(core);
+        self.idle_dirty = true;
+        self.machine.set_activity(core, now, Activity::Idle);
     }
 
     fn push_settles(&mut self, effects: &AccelEffects) {
@@ -681,6 +949,14 @@ impl<'g> Engine<'g> {
     }
 
     fn assign(&mut self, core: CoreId, task: TaskId, now: SimTime) {
+        // A displaced task landing on a survivor is a re-execution; the
+        // displacement→re-dispatch gap is its recovery latency.
+        if let Some(fs) = self.fault.as_mut() {
+            if let Some(at) = fs.displaced_at[task.index()].take() {
+                fs.report.reexecuted += 1;
+                fs.report.recovery_latency.record(now.saturating_since(at));
+            }
+        }
         self.idle.remove(core);
         let was_halted = matches!(self.cores[core.index()].run, CoreRun::Halted);
         let ctl = &mut self.cores[core.index()];
@@ -805,6 +1081,29 @@ impl<'g> Engine<'g> {
     }
 
     fn complete(&mut self, core: CoreId, task: TaskId, now: SimTime) {
+        // Transient task fault: the completion is discarded and the body
+        // re-executes in place, at most `max_retries` times per task (a
+        // p=1 schedule still terminates). One RNG draw per eligible
+        // completion, in event order — bit-identical per seed.
+        if let Some(fs) = self.fault.as_mut() {
+            if fs.spec.task_fault_p > 0.0
+                && fs.task_retries[task.index()] < fs.spec.max_retries
+                && fs.rng.next_unit() < fs.spec.task_fault_p
+            {
+                fs.task_retries[task.index()] += 1;
+                fs.report.task_faults += 1;
+                fs.report.reexecuted += 1;
+                let epoch = self.cores[core.index()].epoch;
+                let rt = RunningTask::start(
+                    &self.graph.task(task).profile,
+                    now,
+                    self.machine.core(core).frequency(),
+                );
+                self.schedule_milestone(core, epoch, &rt);
+                self.cores[core.index()].run = CoreRun::Running { task, rt };
+                return;
+            }
+        }
         self.trace
             .record(now, TraceEvent::TaskEnd { core, task: task.0 });
         self.counters.tasks_completed += 1;
@@ -854,6 +1153,30 @@ impl<'g> Engine<'g> {
     }
 
     fn dvfs_settle(&mut self, core: CoreId, now: SimTime) {
+        // Transient reconfiguration-write failure: the settle re-fires
+        // after a retry penalty, at most `max_retries` times; exhausted
+        // writes are dropped and the core degrades to its current class.
+        if let Some(fs) = self.fault.as_mut() {
+            if fs.spec.reconfig_fail_p > 0.0 {
+                let i = core.index();
+                if fs.rng.next_unit() < fs.spec.reconfig_fail_p {
+                    fs.report.reconfig_faults += 1;
+                    if fs.settle_retries[i] < fs.spec.max_retries {
+                        fs.settle_retries[i] += 1;
+                        self.events
+                            .push(now + RECONFIG_RETRY_DELAY, Ev::DvfsSettle { core: core.0 });
+                    } else {
+                        fs.settle_retries[i] = 0;
+                        fs.report.reconfig_exhausted += 1;
+                    }
+                    return;
+                }
+                if fs.settle_retries[i] > 0 {
+                    fs.settle_retries[i] = 0;
+                    fs.report.reconfig_recovered += 1;
+                }
+            }
+        }
         if let Some(level) = self.machine.settle(core, now) {
             self.trace
                 .record(now, TraceEvent::ReconfigApplied { core, level });
@@ -923,6 +1246,43 @@ mod tests {
 
     fn run_cfg(cfg: RunConfig, g: &TaskGraph) -> RunReport {
         SimExecutor::new(cfg).run(g, "test").0
+    }
+
+    /// Spec validation rejects schedules that kill every core up front;
+    /// this drives the engine *below* that guard to pin the dying-machine
+    /// contract: the run terminates with a clean `Stalled` error — it
+    /// never hangs, never panics.
+    #[test]
+    fn all_cores_dead_terminates_with_stalled_error() {
+        use crate::fault::{CoreFailure, FaultSpec};
+        let g = fork_join(2_000_000);
+        let cfg = RunConfig::fifo(2).with_small_machine(4, 2);
+        let mut params = EngineParams::from(&cfg);
+        params.faults = Some(FaultSpec {
+            core_failures: (0..4)
+                .map(|core| CoreFailure {
+                    core,
+                    at: SimDuration::from_us(1),
+                    recover_after: None,
+                })
+                .collect(),
+            ..FaultSpec::default()
+        });
+        let resolved = default_registries()
+            .resolve(
+                &cfg.policy_keys(),
+                &cfg.machine,
+                cfg.fast_cores,
+                cfg.seed,
+                &cfg.policy_params(),
+            )
+            .unwrap();
+        let err = run_with_scratch(&params, resolved, &g, "dead").unwrap_err();
+        assert!(
+            matches!(err, ExpError::Stalled(_)),
+            "want Stalled, got: {err}"
+        );
+        assert!(err.to_string().contains("core(s) failed"), "{err}");
     }
 
     #[test]

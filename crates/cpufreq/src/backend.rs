@@ -142,6 +142,7 @@ struct MockState {
     speeds: Vec<u32>,
     calls: Vec<(usize, u32)>,
     fail_after: Option<usize>,
+    fail_next: usize,
 }
 
 impl MockDvfs {
@@ -152,6 +153,7 @@ impl MockDvfs {
                 speeds: vec![initial_khz; num_cpus],
                 calls: Vec::new(),
                 fail_after: None,
+                fail_next: 0,
             }),
             num_cpus,
         }
@@ -161,6 +163,12 @@ impl MockDvfs {
     /// `PermissionDenied` — failure-injection for the fallback tests.
     pub fn fail_after(&self, n: usize) {
         self.state.lock().fail_after = Some(n);
+    }
+
+    /// Makes the next `k` `set_speed` calls fail transiently, then
+    /// succeed again — flaky-write injection for retry tests.
+    pub fn fail_next(&self, k: usize) {
+        self.state.lock().fail_next = k;
     }
 
     /// All recorded `(cpu, khz)` calls, in order.
@@ -185,6 +193,13 @@ impl DvfsBackend for MockDvfs {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
                 "cpu out of range",
+            ));
+        }
+        if st.fail_next > 0 {
+            st.fail_next -= 1;
+            return Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                "injected transient cpufreq failure",
             ));
         }
         if let Some(limit) = st.fail_after {

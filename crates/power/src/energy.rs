@@ -25,6 +25,9 @@ pub enum Measurement {
     ModeledScaled,
     /// Read from the RAPL energy counters under `/sys/class/powercap`.
     Rapl,
+    /// RAPL package total apportioned across components by the calibrated
+    /// model's per-component ratios: measured magnitude, modeled split.
+    RaplSplit,
     /// No energy was measured (legacy native runs, untagged stored reports).
     #[default]
     None,
@@ -39,6 +42,7 @@ impl Measurement {
             Measurement::Modeled => "modeled",
             Measurement::ModeledScaled => "modeled-scaled",
             Measurement::Rapl => "rapl",
+            Measurement::RaplSplit => "rapl-split",
             Measurement::None => "none",
         }
     }
@@ -58,6 +62,7 @@ impl Deserialize for Measurement {
                 "modeled" => Ok(Measurement::Modeled),
                 "modeled-scaled" => Ok(Measurement::ModeledScaled),
                 "rapl" => Ok(Measurement::Rapl),
+                "rapl-split" => Ok(Measurement::RaplSplit),
                 "none" => Ok(Measurement::None),
                 other => Err(DeError::new(format!("unknown measurement `{other}`"))),
             },
