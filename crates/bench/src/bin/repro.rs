@@ -72,8 +72,11 @@
 //!
 //! Sharded/stored suites (`run`/`preset`): `--shard K/N` keeps the
 //! deterministic `K`-th of `N` slices of the cell grid (`--shard-order
-//! snake` deals cells cost-aware serpentine instead of `i % N` striping),
-//! `--store FILE` streams each completed cell into a JSONL results store
+//! snake` deals cells cost-aware serpentine instead of `i % N` striping;
+//! `--calibrate-costs PRIOR.jsonl` fits the ranking's generator cost
+//! weights from a prior sweep's recorded wall times — pass the same store
+//! to every shard), `--store FILE` streams each completed cell into a
+//! JSONL results store
 //! and *resumes* from it (already-completed cells are loaded, not
 //! re-run). `merge` combines shard stores, prints the suite table from
 //! the store, writes `--out FILE` if given, renders paper-figure panels
@@ -97,8 +100,8 @@ use cata_bench::matrix::{run_matrix, MatrixResult, DEFAULT_SEED};
 use cata_bench::sweeps;
 use cata_bench::tables::{fmt_energy, Table};
 use cata_core::exp::{
-    Backend, BackendDispatch, CellRecord, EnergySource, Executor, NativeExecutor, ResultsStore,
-    Scenario, ScenarioSpec, ShardOrder, Suite, WorkloadSpec, STORE_SCHEMA,
+    Backend, BackendDispatch, CellRecord, CostCalibration, EnergySource, Executor, NativeExecutor,
+    ResultsStore, Scenario, ScenarioSpec, ShardOrder, Suite, WorkloadSpec, STORE_SCHEMA,
 };
 use cata_core::fault::FaultSpec;
 use cata_core::service::{
@@ -132,6 +135,15 @@ struct Opts {
     shard: Option<(usize, usize)>,
     shard_order: ShardOrder,
     store: Option<String>,
+    /// `--calibrate-costs FILE.jsonl`: fit snake-shard cost multipliers
+    /// from a prior sweep's recorded wall times (every shard of one grid
+    /// must pass the same store).
+    calibrate_costs: Option<String>,
+    /// `--event-queue KEY`: pin every cell's event-queue backend
+    /// (`heap`/`calendar-wheel`). A speed knob only — reports are
+    /// bit-identical across backends — but pinned specs serialize the key
+    /// and so digest differently from default ones.
+    event_queue: Option<String>,
     min_ratio: f64,
     trajectory: Option<String>,
     /// Which backend(s) `run`/`preset`/`gc` grids use. `None` (no
@@ -227,6 +239,8 @@ fn parse_args() -> Opts {
     let mut shard = None;
     let mut shard_order = ShardOrder::Striped;
     let mut store = None;
+    let mut calibrate_costs = None;
+    let mut event_queue = None;
     let mut min_ratio = 0.75f64;
     let mut trajectory = None;
     let mut backend = None;
@@ -314,6 +328,23 @@ fn parse_args() -> Opts {
             }
             "--store" => {
                 store = Some(args.next().unwrap_or_else(|| die("missing --store path")));
+            }
+            "--calibrate-costs" => {
+                calibrate_costs = Some(
+                    args.next()
+                        .unwrap_or_else(|| die("missing --calibrate-costs store")),
+                );
+            }
+            "--event-queue" => {
+                let key = args
+                    .next()
+                    .unwrap_or_else(|| die("missing --event-queue key"));
+                // Validate up front so a typo dies naming the known
+                // backends instead of failing mid-suite.
+                cata_core::exp::default_event_queue_registry()
+                    .resolve(&key)
+                    .unwrap_or_else(|e| die(&e.to_string()));
+                event_queue = Some(key);
             }
             "--shard-order" => {
                 let text = args
@@ -468,6 +499,8 @@ fn parse_args() -> Opts {
         shard,
         shard_order,
         store,
+        calibrate_costs,
+        event_queue,
         min_ratio,
         trajectory,
         backend,
@@ -529,6 +562,8 @@ fn print_help() {
          \x20         run SPEC.json|SPEC.toml...   preset LABEL...   spec LABEL\n\
          \x20             [--backend sim|native|both] [--native-energy auto|model]\n\
          \x20             [--shard K/N] [--shard-order striped|snake] [--store FILE.jsonl]\n\
+         \x20             [--calibrate-costs PRIOR.jsonl]  (fit snake costs from wall times)\n\
+         \x20             [--event-queue heap|calendar-wheel]  (run/preset/spec/serve)\n\
          \x20             [--tdg FILE.tdg.json]  (preset/spec: replay this TDG as the workload)\n\
          \x20         serve LABEL|SPEC.json [--rate R | --tape FILE.tape.jsonl]\n\
          \x20             [--arrival poisson|fixed] [--duration T] [--admission P]\n\
@@ -702,6 +737,18 @@ fn apply_faults(opts: &Opts, specs: Vec<ScenarioSpec>) -> Vec<ScenarioSpec> {
         .collect()
 }
 
+/// Applies `--event-queue KEY` to every cell of a grid (the key was
+/// validated at parse time).
+fn apply_event_queue(opts: &Opts, specs: Vec<ScenarioSpec>) -> Vec<ScenarioSpec> {
+    let Some(key) = &opts.event_queue else {
+        return specs;
+    };
+    specs
+        .into_iter()
+        .map(|s| s.with_event_queue(key.clone()))
+        .collect()
+}
+
 /// `repro run a.json b.toml …`: parse specs, fan them across the suite —
 /// optionally a `--shard K/N` slice streamed into/resumed from a
 /// `--store` JSONL file — and print one summary line per run.
@@ -710,7 +757,23 @@ fn run_specs(opts: &Opts, specs: Vec<ScenarioSpec>) {
         die("no specs given");
     }
     let specs = apply_faults(opts, specs);
-    let mut suite = Suite::from_specs(expand_backends(opts, specs)).jobs(opts.jobs);
+    let specs = apply_event_queue(opts, specs);
+    let specs = expand_backends(opts, specs);
+    let calibration = opts.calibrate_costs.as_ref().map(|path| {
+        let (records, _) = ResultsStore::load(path).unwrap_or_else(|e| die(&e.to_string()));
+        let cal = CostCalibration::fit(&records, &specs);
+        println!(
+            "[calibrated {} cost families from {} of {} records in {path}]",
+            cal.scale.len(),
+            cal.observations,
+            records.len()
+        );
+        cal
+    });
+    let mut suite = Suite::from_specs(specs).jobs(opts.jobs);
+    if let Some(cal) = calibration {
+        suite = suite.calibrate_costs(cal);
+    }
     if let Some((k, n)) = opts.shard {
         suite = suite
             .shard_ordered(k, n, opts.shard_order)
@@ -812,6 +875,9 @@ fn serve_service(opts: &Opts) {
         let mut base = ScenarioSpec::preset(target, opts.fast, base_workload(opts))
             .unwrap_or_else(|e| die(&e.to_string()));
         base.seed = opts.seed;
+        if let Some(key) = &opts.event_queue {
+            base = base.with_event_queue(key.clone());
+        }
         // The arrival fields below are overwritten by the flag block;
         // the placeholder only exists so tape-only runs validate.
         ServiceSpec::new(
@@ -1399,8 +1465,11 @@ fn main() {
         "spec" => {
             let label = opts.args.first().map(String::as_str).unwrap_or("CATA");
             let workload = base_workload(&opts);
-            let spec = ScenarioSpec::preset(label, opts.fast, workload)
+            let mut spec = ScenarioSpec::preset(label, opts.fast, workload)
                 .unwrap_or_else(|e| die(&e.to_string()));
+            if let Some(key) = &opts.event_queue {
+                spec = spec.with_event_queue(key.clone());
+            }
             if opts.emit_toml {
                 println!("{}", spec.to_toml());
             } else {
@@ -1446,6 +1515,33 @@ fn main() {
                 let base = cata_bench::perf::PerfReport::from_json(&text)
                     .unwrap_or_else(|e| die(&format!("{path}: {e}")));
                 report = report.with_baseline(&base);
+                // Regression gate, per size: every workload size present
+                // in both reports must hold `--min-ratio` of the
+                // baseline's events/sec. Full mode therefore gates
+                // `large` directly instead of via the medium proxy.
+                let mut worst: Option<(&str, f64)> = None;
+                for cur in &report.summaries {
+                    let Some(b) = base.summaries.iter().find(|s| s.workload == cur.workload) else {
+                        continue;
+                    };
+                    let ratio = cur.events_per_sec / b.events_per_sec.max(1e-12);
+                    println!(
+                        "[gate {}: {:.0} vs baseline {:.0} events/sec = {ratio:.2}x (min {:.2})]",
+                        cur.workload, cur.events_per_sec, b.events_per_sec, opts.min_ratio
+                    );
+                    if ratio < opts.min_ratio && worst.is_none_or(|(_, w)| ratio < w) {
+                        worst = Some((&cur.workload, ratio));
+                    }
+                }
+                if let Some((size, ratio)) = worst {
+                    eprintln!(
+                        "error: {size} throughput regressed to {:.0}% of the baseline \
+                         (min {:.0}%)",
+                        ratio * 100.0,
+                        opts.min_ratio * 100.0
+                    );
+                    std::process::exit(1);
+                }
             }
             print!("{}", report.render());
             let out = opts.out.as_deref().unwrap_or("BENCH_engine.json");

@@ -296,6 +296,7 @@ impl RunConfig {
             seed: self.seed,
             backend: crate::exp::spec::Backend::Sim,
             faults: None,
+            event_queue: None,
         }
     }
 

@@ -43,6 +43,14 @@ pub enum ExpError {
         /// The keys the registry knows.
         known: Vec<String>,
     },
+    /// The event-queue backend key is not registered. Carries the known
+    /// keys.
+    UnknownEventQueue {
+        /// The unresolvable key.
+        key: String,
+        /// The keys the registry knows.
+        known: Vec<String>,
+    },
     /// No paper preset of that name exists.
     UnknownPreset(String),
     /// The scenario is internally inconsistent (e.g. budget > cores).
@@ -89,6 +97,13 @@ impl fmt::Display for ExpError {
                 write!(
                     f,
                     "unknown recovery policy `{key}` (known: {})",
+                    known.join(", ")
+                )
+            }
+            ExpError::UnknownEventQueue { key, known } => {
+                write!(
+                    f,
+                    "unknown event-queue backend `{key}` (known: {})",
                     known.join(", ")
                 )
             }

@@ -53,6 +53,7 @@
 //! assert_eq!(reports.len(), 6);
 //! ```
 
+pub mod calibrate;
 pub mod error;
 pub mod executor;
 pub mod registry;
@@ -61,11 +62,12 @@ pub mod spec;
 pub mod store;
 pub mod suite;
 
+pub use calibrate::CostCalibration;
 pub use error::ExpError;
 pub use executor::{BackendDispatch, CapturedGraph, EnergySource, Executor, NativeExecutor};
 pub use registry::{
-    default_registries, AccelEntry, AllNonCritical, EstimatorEntry, FactoryCtx, PolicyCaps,
-    PolicyKeys, PolicyRegistries, SchedulerEntry,
+    default_event_queue_registry, default_registries, AccelEntry, AllNonCritical, EstimatorEntry,
+    EventQueueRegistry, FactoryCtx, PolicyCaps, PolicyKeys, PolicyRegistries, SchedulerEntry,
 };
 pub use scenario::{Scenario, ScenarioBuilder};
 pub use spec::{Backend, PolicyParams, ScenarioSpec, WorkloadSpec};

@@ -612,14 +612,24 @@ pub struct ScenarioSpec {
     /// fault-free specs — and their store digests — stay byte-identical
     /// to the pre-fault layout.
     pub faults: Option<crate::fault::FaultSpec>,
+    /// Event-queue backend registry key (`"heap"`, `"calendar-wheel"`,
+    /// or a third-party alias registered in an
+    /// [`EventQueueRegistry`](super::registry::EventQueueRegistry)), or
+    /// `None` for the engine default. Every backend pops the same total
+    /// `(time, seq)` order, so this knob changes *speed only* — results
+    /// are bit-identical — and it is omitted from the serialized form
+    /// when absent, keeping spec digests, golden preset digests, store
+    /// records and tapes byte-identical to the pre-knob layout.
+    pub event_queue: Option<String>,
 }
 
 // Serde is hand-written (the vendored derive has no `#[serde(skip…)]` or
 // `#[serde(default)]`) so the `backend` field is *omitted* for `Sim` and
-// the `faults` field is *omitted* when `None`: a fault-free sim spec
-// serializes byte-identically to the pre-backend, pre-fault layout —
-// keeping `spec_digest` stable, so existing JSONL stores still resume —
-// and legacy spec files (no `backend`/`faults` keys) parse unchanged.
+// the `faults`/`event_queue` fields are *omitted* when `None`: a
+// fault-free, default-queue sim spec serializes byte-identically to the
+// pre-backend, pre-fault, pre-event-queue layout — keeping `spec_digest`
+// stable, so existing JSONL stores still resume — and legacy spec files
+// (no `backend`/`faults`/`event_queue` keys) parse unchanged.
 impl Serialize for ScenarioSpec {
     fn to_value(&self) -> Value {
         let mut m: Vec<(String, Value)> = vec![
@@ -644,6 +654,9 @@ impl Serialize for ScenarioSpec {
         }
         if let Some(ref faults) = self.faults {
             m.push(("faults".into(), faults.to_value()));
+        }
+        if let Some(ref eq) = self.event_queue {
+            m.push(("event_queue".into(), eq.to_value()));
         }
         Value::Map(m)
     }
@@ -671,6 +684,7 @@ impl Deserialize for ScenarioSpec {
             seed: serde::field(m, "seed", "ScenarioSpec")?,
             backend: backend.unwrap_or_default(),
             faults: serde::field(m, "faults", "ScenarioSpec")?,
+            event_queue: serde::field(m, "event_queue", "ScenarioSpec")?,
         })
     }
 }
@@ -710,6 +724,7 @@ impl ScenarioSpec {
             seed: base.seed,
             backend: Backend::Sim,
             faults: None,
+            event_queue: None,
         }
     }
 
@@ -793,6 +808,9 @@ impl ScenarioSpec {
         if let Some(ref faults) = self.faults {
             faults.validate(self.machine.num_cores)?;
         }
+        if let Some(ref key) = self.event_queue {
+            super::registry::default_event_queue_registry().resolve(key)?;
+        }
         Ok(())
     }
 
@@ -831,6 +849,14 @@ impl ScenarioSpec {
     /// Attaches a deterministic fault-injection schedule.
     pub fn with_faults(mut self, faults: crate::fault::FaultSpec) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Pins the event-queue backend by registry key (`"heap"`,
+    /// `"calendar-wheel"`). The backends pop identical orders, so this
+    /// changes speed only, never results.
+    pub fn with_event_queue(mut self, key: impl Into<String>) -> Self {
+        self.event_queue = Some(key.into());
         self
     }
 }
@@ -904,6 +930,33 @@ mod tests {
         assert_eq!(ScenarioSpec::from_toml(&ntoml).unwrap(), native);
         // The backend is part of the cell identity.
         assert_ne!(json, njson);
+    }
+
+    #[test]
+    fn event_queue_key_is_omitted_when_default() {
+        let w = WorkloadSpec::Chain { n: 2, cycles: 10 };
+        let spec = ScenarioSpec::preset("CATA", 8, w).unwrap();
+        assert_eq!(spec.event_queue, None);
+        let json = spec.to_json();
+        assert!(
+            !json.contains("event_queue"),
+            "default specs must keep the pre-knob layout (digest stability): {json}"
+        );
+        assert_eq!(ScenarioSpec::from_json(&json).unwrap(), spec);
+
+        let pinned = spec.clone().with_event_queue("heap");
+        let pjson = pinned.to_json();
+        assert!(pjson.contains("\"event_queue\":\"heap\""), "{pjson}");
+        assert_eq!(ScenarioSpec::from_json(&pjson).unwrap(), pinned);
+        assert_eq!(ScenarioSpec::from_toml(&pinned.to_toml()).unwrap(), pinned);
+        assert!(pinned.validate().is_ok());
+
+        // Unknown keys are caught at validation, naming the alternatives.
+        let bad = ScenarioSpec::from_json(&pjson.replace("heap", "splay-tree")).unwrap();
+        assert!(matches!(
+            bad.validate(),
+            Err(ExpError::UnknownEventQueue { .. })
+        ));
     }
 
     #[test]

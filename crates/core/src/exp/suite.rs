@@ -15,6 +15,7 @@
 //! to the store and, on a re-run, loads completed cells instead of
 //! recomputing them — the resume path for interrupted sweeps.
 
+use super::calibrate::CostCalibration;
 use super::error::ExpError;
 use super::executor::Executor;
 use super::registry::PolicyRegistries;
@@ -109,6 +110,9 @@ pub struct Suite {
     /// before filtering, so every shard stamps its records with the same
     /// provenance tag (unsharded suites compute it from their own cells).
     grid: Option<String>,
+    /// Wall-time-fitted cost multipliers applied by snake sharding's cost
+    /// ranking (see [`calibrate_costs`](Self::calibrate_costs)).
+    calibration: Option<CostCalibration>,
     jobs: usize,
 }
 
@@ -120,6 +124,7 @@ impl Suite {
             indices: Vec::new(),
             shard_of: None,
             grid: None,
+            calibration: None,
             jobs: 1,
         }
     }
@@ -150,8 +155,20 @@ impl Suite {
             indices,
             shard_of: None,
             grid: None,
+            calibration: None,
             jobs: 1,
         }
+    }
+
+    /// Installs wall-time-fitted cost multipliers
+    /// ([`CostCalibration::fit`]) for snake sharding's cost ranking.
+    /// Every shard process of one grid must install the *same*
+    /// calibration (fit from the same records, or one shipped fit) —
+    /// shards ranking cells by different costs would deal overlapping,
+    /// non-covering hands. Striped sharding and execution ignore it.
+    pub fn calibrate_costs(mut self, calibration: CostCalibration) -> Self {
+        self.calibration = Some(calibration);
+        self
     }
 
     /// Adds one scenario at the next free grid index. On a striped shard
@@ -281,7 +298,14 @@ impl Suite {
                              (pin it, or use --shard-order striped)"
                             )))
                         }
-                        w => w.try_cost_estimate().map_err(|e| {
+                        // Calibrated when a fit is installed — same
+                        // failure surface either way (`calibrated_cost`
+                        // delegates to `try_cost_estimate`).
+                        w => match &self.calibration {
+                            Some(cal) => cal.calibrated_cost(w),
+                            None => w.try_cost_estimate(),
+                        }
+                        .map_err(|e| {
                             ExpError::Workload(format!(
                                 "snake sharding needs every cell's cost: {e}"
                             ))
@@ -316,6 +340,7 @@ impl Suite {
                 grid_len,
             }),
             grid,
+            calibration: self.calibration,
             jobs: self.jobs,
         })
     }
@@ -613,6 +638,51 @@ mod tests {
         assert_eq!(b.cell_indices(), &[1, 2, 5]);
         // Cells stay in input order within each shard.
         assert!(a.cell_indices().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn calibration_reorders_the_snake_deal() {
+        // Chain and diamond cells with equal built-in estimates (1000
+        // cycles each): uncalibrated, ranking falls back to grid-index
+        // tie-breaks. A calibration that weighs diamonds 8x must pull
+        // both diamonds apart onto different shards.
+        let mk = |w: WorkloadSpec, name: &str| ScenarioSpec::new(name, w).with_small_machine(2, 1);
+        let specs = vec![
+            mk(WorkloadSpec::Chain { n: 1, cycles: 1000 }, "c0"),
+            mk(
+                WorkloadSpec::SkewedDiamond {
+                    width: 99,
+                    cycles: 10,
+                    skew: 1,
+                },
+                "d1",
+            ),
+            mk(WorkloadSpec::Chain { n: 2, cycles: 500 }, "c2"),
+            mk(
+                WorkloadSpec::SkewedDiamond {
+                    width: 49,
+                    cycles: 20,
+                    skew: 1,
+                },
+                "d3",
+            ),
+        ];
+        let mut cal = super::super::calibrate::CostCalibration::identity();
+        cal.scale
+            .insert("diamond".into(), 8 * super::super::calibrate::SCALE_ONE);
+        let all = Suite::from_specs(specs);
+        let deal = |shard| {
+            Suite::clone(&all)
+                .calibrate_costs(cal.clone())
+                .shard_ordered(shard, 2, ShardOrder::Snake)
+                .unwrap()
+                .cell_indices()
+                .to_vec()
+        };
+        // Ranked by calibrated cost: d1 (8000), d3 (8000, later index),
+        // c0/c2 (1000 each) → rows (d1,d3),(c2,c0): one diamond per shard.
+        assert_eq!(deal(1), vec![1, 2]);
+        assert_eq!(deal(2), vec![0, 3]);
     }
 
     #[test]

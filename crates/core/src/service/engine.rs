@@ -39,7 +39,7 @@ use cata_sim::machine::{CoreId, Machine};
 use cata_sim::progress::{Milestone, RunningTask};
 use cata_sim::stats::{Counters, LatencyHistogram};
 use cata_sim::time::{SimDuration, SimTime};
-use cata_tdg::{TaskGraph, TaskId};
+use cata_tdg::{GraphView, TaskGraph, TaskId};
 use std::sync::Arc;
 
 /// Seed-stream tag for arrival generation, so the traffic draw is
@@ -141,8 +141,13 @@ pub fn replay_tape(
             .map(|t| est.classify_level(&graph, t))
             .collect();
         let critical = levels.iter().any(|&l| l > 0);
+        // One SoA snapshot per *distinct* workload, shared by every
+        // instance: arrivals seed indegrees from its predecessor counts
+        // and completions walk its CSR successor spans.
+        let view = GraphView::from_graph(&graph);
         graphs.push(GraphEntry {
             graph,
+            view,
             label,
             levels,
             critical,
@@ -169,8 +174,11 @@ pub fn replay_tape(
     } else {
         tape.name.clone()
     };
+    let mut engine_params = EngineParams::from(&spec.base);
+    engine_params.event_queue = crate::exp::registry::default_event_queue_registry()
+        .resolve_spec(spec.base.event_queue.as_deref())?;
     let engine = ServiceEngine::new(
-        EngineParams::from(&spec.base),
+        engine_params,
         &graphs,
         &tape.records,
         stride,
@@ -184,6 +192,8 @@ pub fn replay_tape(
 /// One distinct workload: its graph plus the precomputed classification.
 struct GraphEntry {
     graph: Arc<TaskGraph>,
+    /// SoA snapshot of `graph` (CSR successors, predecessor counts).
+    view: GraphView,
     label: String,
     /// Per-task criticality level (estimator's steady-state view).
     levels: Vec<u8>,
@@ -320,7 +330,7 @@ impl<'g> ServiceEngine<'g> {
             caps,
         } = resolved;
 
-        let mut events = EventQueue::new();
+        let mut events = EventQueue::with_backend(cfg.event_queue);
         events.reserve(4096.min(records.len() * 4 + 64));
         let mut idle = IdleIndex::default();
         idle.reset(n_cores, caps.prefer_fast, &is_fast_static);
@@ -569,16 +579,18 @@ impl<'g> ServiceEngine<'g> {
                 .resize(self.slots.len() * self.stride as usize, false);
             i
         });
-        let g = &self.graphs[graph as usize].graph;
+        let entry = &self.graphs[graph as usize];
         let s = &mut self.slots[idx as usize];
         s.graph = graph;
-        s.remaining = g.num_tasks() as u32;
+        s.remaining = entry.graph.num_tasks() as u32;
         s.arrival = now;
         s.started = None;
         s.shed = false;
+        // Indegree seeding is a copy of the view's predecessor-count
+        // array — one memcpy per arriving instance instead of a
+        // vector-length read per task.
         s.indegree.clear();
-        s.indegree
-            .extend(g.task_ids().map(|t| g.preds(t).len() as u32));
+        s.indegree.extend_from_slice(entry.view.pred_counts());
         let id_space = self.slots.len() * self.stride as usize;
         if let Some(fs) = self.fault.as_mut() {
             fs.grow_tasks(id_space);
@@ -851,8 +863,10 @@ impl<'g> ServiceEngine<'g> {
 
         let entry = self.entry_of(task);
         let base = slot as u32 * self.stride;
-        for i in 0..entry.graph.succs(local).len() {
-            let s = entry.graph.succs(local)[i];
+        // CSR successor walk over the shared view — `entry` borrows the
+        // `'g` workload table, not `self`, so the span iterates while
+        // `make_ready` mutates engine state.
+        for &s in entry.view.succs(local) {
             let d = &mut self.slots[slot].indegree[s.index()];
             debug_assert!(*d > 0, "indegree underflow at {s}");
             *d -= 1;

@@ -33,14 +33,14 @@ use crate::policy::{DispatchCtx, SchedulerPolicy};
 use crate::report::RunReport;
 use cata_power::{integrate_machine, PowerParams};
 use cata_sim::activity::Activity;
-use cata_sim::event::EventQueue;
+use cata_sim::event::{EventBackend, EventQueue};
 use cata_sim::machine::{CoreId, Machine, MachineConfig};
 use cata_sim::progress::{Milestone, RunningTask};
 use cata_sim::stats::Counters;
 use cata_sim::time::{SimDuration, SimTime};
 use cata_sim::trace::{Trace, TraceEvent, TraceMode};
 use cata_tdg::criticality::CriticalityEstimator;
-use cata_tdg::{TaskGraph, TaskId};
+use cata_tdg::{GraphView, TaskGraph, TaskId};
 
 /// Every non-policy knob the engine needs: the common denominator of
 /// [`RunConfig`] (the enum-based compat surface) and
@@ -58,6 +58,7 @@ pub(crate) struct EngineParams {
     pub trace: TraceMode,
     pub seed: u64,
     pub faults: Option<FaultSpec>,
+    pub event_queue: EventBackend,
 }
 
 impl From<&RunConfig> for EngineParams {
@@ -76,6 +77,7 @@ impl From<&RunConfig> for EngineParams {
             // The enum-based compat surface predates fault injection;
             // faulted runs go through `ScenarioSpec`.
             faults: None,
+            event_queue: cata_sim::event::default_backend(),
         }
     }
 }
@@ -94,6 +96,9 @@ impl From<&ScenarioSpec> for EngineParams {
             trace: spec.trace,
             seed: spec.seed,
             faults: spec.faults.clone(),
+            // Key resolution is fallible; the spec entry points resolve
+            // through the registry (after `validate`) and overwrite this.
+            event_queue: cata_sim::event::default_backend(),
         }
     }
 }
@@ -384,6 +389,9 @@ pub(crate) const RECONFIG_RETRY_DELAY: SimDuration = SimDuration::from_us(1);
 #[derive(Debug, Default)]
 struct EngineScratch {
     events: EventQueue<Ev>,
+    /// SoA snapshot of the run's graph (CSR successors, predecessor
+    /// counts, criticality levels, work scalars), rebuilt per run.
+    view: GraphView,
     indegree: Vec<u32>,
     crit: Vec<bool>,
     idle: IdleIndex,
@@ -493,6 +501,8 @@ impl SimExecutor {
         // file than the graph that actually ran.
         let (graph, label) = spec.workload.build_labeled_graph()?;
         let mut engine_params = EngineParams::from(spec);
+        engine_params.event_queue = crate::exp::registry::default_event_queue_registry()
+            .resolve_spec(spec.event_queue.as_deref())?;
         let (mut report, trace) = run_with_scratch(&engine_params, resolve()?, &graph, &label)?;
         // Faulted cells also run their fault-free twin (same spec, no
         // schedule) so the report carries makespan degradation — the
@@ -519,7 +529,13 @@ struct Engine<'g> {
     policy: Box<dyn SchedulerPolicy>,
     accel: Box<dyn AccelManager>,
     estimator: Box<dyn CriticalityEstimator>,
+    /// The estimator's `classify_level` is the task type's static
+    /// annotation (cached once — `make_ready` then reads the view's
+    /// level array instead of making a virtual call per ready task).
+    est_static: bool,
     events: EventQueue<Ev>,
+    /// SoA snapshot of `graph` (owned via scratch; returned after the run).
+    view: GraphView,
     cores: Vec<CoreCtl<'g>>,
     /// Available (idle/halted) cores in dispatch order; maintained
     /// incrementally so dispatch never builds or sorts a candidate list.
@@ -569,6 +585,7 @@ impl<'g> Engine<'g> {
         let n = graph.num_tasks();
         let EngineScratch {
             mut events,
+            mut view,
             mut indegree,
             mut crit,
             mut idle,
@@ -576,14 +593,17 @@ impl<'g> Engine<'g> {
         // Pre-size from the graph: ~4 events per task in flight worst-case
         // (submit, begin, milestone, free). Reused buffers keep their
         // allocation from the previous run on this thread.
+        events.ensure_backend(cfg.event_queue);
         events.reset();
         events.reserve(n * 4);
+        view.rebuild(graph);
         indegree.clear();
-        indegree.extend(graph.task_ids().map(|t| graph.preds(t).len() as u32));
+        indegree.extend_from_slice(view.pred_counts());
         crit.clear();
         crit.resize(n, false);
         idle.reset(n_cores, caps.prefer_fast, &is_fast_static);
 
+        let est_static = estimator.is_annotation_static();
         Engine {
             cfg,
             graph,
@@ -591,7 +611,9 @@ impl<'g> Engine<'g> {
             policy,
             accel,
             estimator,
+            est_static,
             events,
+            view,
             cores: (0..n_cores)
                 .map(|_| CoreCtl {
                     run: CoreRun::Idle,
@@ -654,6 +676,7 @@ impl<'g> Engine<'g> {
                     ));
                     let scratch = EngineScratch {
                         events: self.events,
+                        view: self.view,
                         indegree: self.indegree,
                         crit: self.crit,
                         idle: self.idle,
@@ -722,6 +745,7 @@ impl<'g> Engine<'g> {
         };
         let scratch = EngineScratch {
             events: self.events,
+            view: self.view,
             indegree: self.indegree,
             crit: self.crit,
             idle: self.idle,
@@ -867,7 +891,15 @@ impl<'g> Engine<'g> {
     }
 
     fn make_ready(&mut self, task: TaskId, _now: SimTime) {
-        let level = self.estimator.classify_level(self.graph, task);
+        // Annotation-static estimators (the `+SA` configurations) equal
+        // the view's precomputed level array by definition; dynamic ones
+        // (bottom-level) and the always-zero baseline keep the virtual
+        // call.
+        let level = if self.est_static {
+            self.view.crit_level(task)
+        } else {
+            self.estimator.classify_level(self.graph, task)
+        };
         self.crit[task.index()] = level > 0;
         self.policy.enqueue(task, level);
     }
@@ -1111,8 +1143,12 @@ impl<'g> Engine<'g> {
         self.last_completion = self.last_completion.max(now);
         self.estimator.on_complete(self.graph, task);
 
-        for i in 0..self.graph.succs(task).len() {
-            let s = self.graph.succs(task)[i];
+        // Successor walk over the view's CSR arrays: one contiguous span
+        // instead of a pointer chase into the task's own `succs` vector.
+        // The span is a `Copy` range, so `make_ready` can borrow `self`
+        // mutably between element reads.
+        for i in self.view.succ_span(task) {
+            let s = self.view.succ_at(i);
             let d = &mut self.indegree[s.index()];
             debug_assert!(*d > 0, "indegree underflow at {s}");
             *d -= 1;

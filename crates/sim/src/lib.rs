@@ -18,8 +18,11 @@
 //!
 //! - [`time`]: picosecond-resolution simulated time ([`SimTime`],
 //!   [`SimDuration`]) and exact frequency/cycle arithmetic ([`Frequency`]).
-//! - [`event`]: a deterministic event queue ([`event::EventQueue`]) — ties are
-//!   broken by insertion sequence so simulations are reproducible.
+//! - [`event`]: deterministic event queues behind the [`event::EventSource`]
+//!   trait — a binary-heap backend and the default calendar-wheel backend
+//!   ([`event::EventQueue`] is the dispatching facade). Ties are broken by
+//!   insertion sequence, and pop order is a *total* order, so every backend
+//!   produces bit-identical simulations.
 //! - [`machine`]: the simulated chip ([`machine::Machine`]): per-core
 //!   frequency/voltage state, DVFS transitions in flight, and the Table I
 //!   configuration ([`machine::MachineConfig`]).
@@ -61,5 +64,6 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use event::{EventBackend, EventQueue, EventSource};
 pub use machine::{CoreId, Machine, MachineConfig, PowerLevel};
 pub use time::{Frequency, SimDuration, SimTime};

@@ -47,6 +47,19 @@ pub trait CriticalityEstimator: Send {
 
     /// Retires a completed task (pending-set maintenance).
     fn on_complete(&mut self, _graph: &TaskGraph, _task: TaskId) {}
+
+    /// True when [`classify_level`](Self::classify_level) equals the task
+    /// type's static `criticality(c)` annotation for every task,
+    /// independent of submission/completion history. Engines use this to
+    /// serve levels from a precomputed per-task array
+    /// ([`GraphView::crit_level`](crate::view::GraphView::crit_level))
+    /// instead of making a virtual call per ready task. Dynamic
+    /// estimators (bottom-level) and estimators that *ignore* the
+    /// annotation (the FIFO baseline's always-zero classifier) must
+    /// return `false` — the default.
+    fn is_annotation_static(&self) -> bool {
+        false
+    }
 }
 
 /// Criticality from the `criticality(c)` clause on the task type.
@@ -64,6 +77,10 @@ impl CriticalityEstimator for StaticAnnotations {
 
     fn classify_level(&mut self, graph: &TaskGraph, task: TaskId) -> u8 {
         graph.type_of(task).criticality
+    }
+
+    fn is_annotation_static(&self) -> bool {
+        true
     }
 }
 

@@ -11,6 +11,10 @@
 //! - [`graph`]: the TDG itself, built incrementally in submission order —
 //!   dependences may only point at already-submitted tasks, so the graph is
 //!   acyclic by construction, exactly like a real task runtime;
+//! - [`view`]: a structure-of-arrays snapshot of the dispatch-hot graph
+//!   fields (CSR successor lists, predecessor counts, criticality levels,
+//!   profile work) that the engines rebuild once per run so their inner
+//!   loops touch contiguous memory instead of per-task structs;
 //! - [`deps`]: OmpSs-style derivation of edges from `in`/`out`/`inout` data
 //!   accesses (RAW, WAR and WAW dependences over named regions);
 //! - [`bottom_level`]: the incremental bottom-level computation of
@@ -50,8 +54,10 @@ pub mod deps;
 pub mod file;
 pub mod graph;
 pub mod task;
+pub mod view;
 
 pub use criticality::{BottomLevelEstimator, CriticalityEstimator, StaticAnnotations};
 pub use file::{fnv1a_hex, TdgFile, TdgFileError, TdgHandle, TdgTask, TDG_SCHEMA};
 pub use graph::TaskGraph;
 pub use task::{TaskId, TypeId};
+pub use view::GraphView;
