@@ -63,6 +63,14 @@
 //! `FaultReport` digest; `--fault-axis` (run/preset) pairs every cell
 //! with its fault-free twin in the grid.
 //!
+//! Memory interference (`run`/`preset`/`serve`): `--mem-slots N` bounds
+//! the shared memory subsystem's concurrent accesses (comma list expands
+//! the grid; `inf` = uncontended), `--arbitration KEY` picks who waits
+//! (`fifo`, `crit-first`, `round-robin`). Contended runs print a
+//! `memory:` accounting line ending in the deterministic `MemoryReport`
+//! digest; `--mem-axis` (run/preset) keeps every cell's memory-free twin
+//! first in the grid.
+//!
 //! Backends (`run`/`preset`/`gc`): `--backend sim|native|both` selects the
 //! executor per cell (`both` duplicates every spec into a sim + native
 //! pair, side by side in the grid); native cells run the thread-pool
@@ -104,6 +112,7 @@ use cata_core::exp::{
     ResultsStore, Scenario, ScenarioSpec, ShardOrder, Suite, WorkloadSpec, STORE_SCHEMA,
 };
 use cata_core::fault::FaultSpec;
+use cata_core::mem::{default_arbitration_registry, MemorySpec};
 use cata_core::service::{
     default_admission_registry, replay_tape, run_service, AdmissionParams, ArrivalSpec,
     ServiceSpec, TrafficTape,
@@ -187,6 +196,15 @@ struct Opts {
     /// `--fault-axis`: run each cell twice — fault-free twin, then the
     /// faulted cell — side by side in the suite grid.
     fault_axis: bool,
+    /// `--mem-slots LIST`: shared-memory bandwidth slots (`1`, `2,4`,
+    /// `inf`; `inf`/`0` = uncontended). A comma list expands the grid.
+    mem_slots: Option<Vec<u64>>,
+    /// `--arbitration LIST`: memory arbitration keys (comma list expands
+    /// the grid; default `fifo`).
+    arbitration: Option<Vec<String>>,
+    /// `--mem-axis`: keep each cell's memory-free twin first, then the
+    /// contended variants — side by side in the suite grid.
+    mem_axis: bool,
     /// Generator flags the user passed *explicitly* (`--bench`,
     /// `--scale`, `--seed`), so commands that take a SPEC file can
     /// reject them instead of silently ignoring a conflicting source.
@@ -260,6 +278,9 @@ fn parse_args() -> Opts {
     let mut fault_rate = None;
     let mut recovery = None;
     let mut fault_axis = false;
+    let mut mem_slots = None;
+    let mut arbitration = None;
+    let mut mem_axis = false;
     let mut generator_flags = Vec::new();
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -445,6 +466,39 @@ fn parse_args() -> Opts {
                 recovery = Some(args.next().unwrap_or_else(|| die("missing --recovery key")));
             }
             "--fault-axis" => fault_axis = true,
+            "--mem-slots" => {
+                let text = args
+                    .next()
+                    .unwrap_or_else(|| die("missing --mem-slots list (e.g. 1 or 2,4,inf)"));
+                let parsed: Vec<u64> = text
+                    .split(',')
+                    .map(|s| match s.trim() {
+                        "inf" | "unlimited" => 0,
+                        n => n
+                            .parse()
+                            .unwrap_or_else(|_| die(&format!("bad --mem-slots entry {n:?}"))),
+                    })
+                    .collect();
+                if parsed.is_empty() {
+                    die("empty --mem-slots list");
+                }
+                mem_slots = Some(parsed);
+            }
+            "--arbitration" => {
+                let text = args
+                    .next()
+                    .unwrap_or_else(|| die("missing --arbitration key(s)"));
+                let keys: Vec<String> = text.split(',').map(|s| s.trim().to_string()).collect();
+                // Validate up front so a typo dies naming the known
+                // policies instead of failing mid-suite.
+                for key in &keys {
+                    default_arbitration_registry()
+                        .build(key, &MemorySpec::default())
+                        .unwrap_or_else(|e| die(&e.to_string()));
+                }
+                arbitration = Some(keys);
+            }
+            "--mem-axis" => mem_axis = true,
             "--fig" => {
                 let name = args.next().unwrap_or_else(|| die("missing --fig name"));
                 if figure_labels(&name).is_none() {
@@ -520,6 +574,9 @@ fn parse_args() -> Opts {
         fault_rate,
         recovery,
         fault_axis,
+        mem_slots,
+        arbitration,
+        mem_axis,
         generator_flags,
     }
 }
@@ -571,6 +628,11 @@ fn print_help() {
          \x20         run/preset/serve fault injection: [--faults FILE.json]\n\
          \x20             [--fault-cores 0@1ms,3@2ms+5ms] [--fault-rate P] [--recovery KEY]\n\
          \x20             [--fault-axis]  (run/preset: add the fault-free twin cells)\n\
+         \x20         run/preset/serve memory interference: [--mem-slots 1|2,4,inf]\n\
+         \x20             [--arbitration fifo|crit-first|round-robin]\n\
+         \x20             [--mem-axis]  (run/preset: add the memory-free twin cells)\n\
+         \x20         env: CATA_EVENT_QUEUE=heap|calendar-wheel  (backend when no\n\
+         \x20             --event-queue flag or spec field pins one)\n\
          \x20         export [SPEC.json] [--out FILE.tdg.json]   (workload -> TDG file)\n\
          \x20         record LABEL|SPEC.json [--backend sim|native] [--out FILE.tdg.json]\n\
          \x20         merge STORE.jsonl... [--out FILE] [--baseline FILE] [--min-ratio R]\n\
@@ -737,6 +799,90 @@ fn apply_faults(opts: &Opts, specs: Vec<ScenarioSpec>) -> Vec<ScenarioSpec> {
         .collect()
 }
 
+/// The shared-memory configurations the CLI flags describe: the cross
+/// product of `--mem-slots` and `--arbitration` (default `fifo`).
+/// `--arbitration` alone is rejected — a policy needs contention to
+/// arbitrate.
+fn memory_overlay(opts: &Opts) -> Option<Vec<MemorySpec>> {
+    let Some(slots) = &opts.mem_slots else {
+        if opts.arbitration.is_some() {
+            die("--arbitration needs --mem-slots N (a policy needs contention to arbitrate)");
+        }
+        return None;
+    };
+    let keys = opts
+        .arbitration
+        .clone()
+        .unwrap_or_else(|| vec![cata_core::mem::DEFAULT_ARBITRATION.to_string()]);
+    let mut specs = Vec::new();
+    for &n in slots {
+        for key in &keys {
+            specs.push(MemorySpec {
+                slots: n,
+                arbitration: key.clone(),
+            });
+        }
+    }
+    Some(specs)
+}
+
+/// `inf` for the unlimited sentinel, the count otherwise — the cell-name
+/// suffix and the summary tables read the same way.
+fn fmt_slots(slots: u64) -> String {
+    if slots == 0 {
+        "inf".to_string()
+    } else {
+        slots.to_string()
+    }
+}
+
+/// Applies the CLI memory configurations to a spec grid. One
+/// configuration replaces each cell in place (same name — the
+/// uncontended digest check in CI relies on `slots=inf` serializing yet
+/// reporting identically); several, or `--mem-axis`, expand each cell
+/// into named `LABEL+memN/KEY` variants — with the memory-free twin kept
+/// first under `--mem-axis` — side by side in the grid.
+fn apply_memory(opts: &Opts, specs: Vec<ScenarioSpec>) -> Vec<ScenarioSpec> {
+    let Some(mems) = memory_overlay(opts) else {
+        if opts.mem_axis {
+            die("--mem-axis needs --mem-slots N (and optionally --arbitration)");
+        }
+        return specs;
+    };
+    let rename = opts.mem_axis || mems.len() > 1;
+    specs
+        .into_iter()
+        .flat_map(|spec| {
+            let mut cells = Vec::new();
+            if opts.mem_axis {
+                cells.push(spec.clone());
+            }
+            for m in &mems {
+                let mut contended = spec.clone();
+                if rename {
+                    contended.name = format!(
+                        "{}+mem{}/{}",
+                        contended.name,
+                        fmt_slots(m.slots),
+                        m.arbitration
+                    );
+                }
+                contended.memory = Some(m.clone());
+                cells.push(contended);
+            }
+            cells
+        })
+        .collect()
+}
+
+/// Prints a run's memory-interference accounting — the summary line plus
+/// the report digest CI greps to compare arbitration policies.
+fn print_memory(report: &RunReport) {
+    if let Some(m) = &report.memory {
+        println!("memory: {} digest {}", m.summary(), m.digest());
+    }
+}
+
 /// Applies `--event-queue KEY` to every cell of a grid (the key was
 /// validated at parse time).
 fn apply_event_queue(opts: &Opts, specs: Vec<ScenarioSpec>) -> Vec<ScenarioSpec> {
@@ -757,6 +903,7 @@ fn run_specs(opts: &Opts, specs: Vec<ScenarioSpec>) {
         die("no specs given");
     }
     let specs = apply_faults(opts, specs);
+    let specs = apply_memory(opts, specs);
     let specs = apply_event_queue(opts, specs);
     let specs = expand_backends(opts, specs);
     let calibration = opts.calibrate_costs.as_ref().map(|path| {
@@ -803,6 +950,7 @@ fn run_specs(opts: &Opts, specs: Vec<ScenarioSpec>) {
             Ok(report) => {
                 println!("{}", report.summary());
                 print_fault(&report);
+                print_memory(&report);
                 ok.push(report);
             }
             Err(e) => {
@@ -912,6 +1060,12 @@ fn serve_service(opts: &Opts) {
     if let Some(f) = fault_overlay(opts) {
         spec.base.faults = Some(f);
     }
+    if let Some(mems) = memory_overlay(opts) {
+        if mems.len() > 1 {
+            die("serve is a single run — pass one --mem-slots value and one --arbitration key");
+        }
+        spec.base.memory = mems.into_iter().next();
+    }
 
     let t0 = Instant::now();
     let report = match &opts.tape {
@@ -967,6 +1121,7 @@ fn serve_service(opts: &Opts) {
 
     println!("{}", report.summary());
     print_fault(&report);
+    print_memory(&report);
     let service = report
         .service
         .as_ref()
@@ -1047,6 +1202,39 @@ fn merge_stores(opts: &Opts) {
     );
     let table = report_table(merged.records.iter().map(|r: &CellRecord| &r.report));
     println!("{}", table.render());
+    // Contended cells carry memory-interference accounting: render the
+    // policy comparison (critical wait under fifo vs crit-first sits
+    // side by side when the store came from a `--mem-axis` sweep).
+    if merged.records.iter().any(|r| r.report.memory.is_some()) {
+        let mut mem_table = Table::new(&[
+            "config",
+            "slots",
+            "arbitration",
+            "requests",
+            "waited",
+            "total wait",
+            "max wait",
+            "crit req",
+            "crit wait",
+        ]);
+        for rec in &merged.records {
+            let Some(m) = &rec.report.memory else {
+                continue;
+            };
+            mem_table.row(vec![
+                rec.report.label.clone(),
+                fmt_slots(m.slots),
+                m.arbitration.clone(),
+                m.requests.to_string(),
+                m.waited.to_string(),
+                m.total_wait.to_string(),
+                m.max_wait.to_string(),
+                m.crit_requests.to_string(),
+                m.crit_wait.to_string(),
+            ]);
+        }
+        println!("== memory interference ==\n{}", mem_table.render());
+    }
     if let Some(fig) = &opts.fig {
         render_figure_from_records(opts, fig, &merged.records);
     }
@@ -1412,6 +1600,18 @@ fn main() {
     }
     if opts.fault_axis && opts.cmd == "serve" {
         die("--fault-axis expands suite grids; `serve` is a single run (drop the flag)");
+    }
+    // Memory flags gate the same way: only run/preset/serve build the
+    // cells they shape.
+    let has_mem_flags = opts.mem_slots.is_some() || opts.arbitration.is_some() || opts.mem_axis;
+    if has_mem_flags && !matches!(opts.cmd.as_str(), "run" | "preset" | "serve") {
+        die(&format!(
+            "memory flags are not used by `{}` (only run/preset/serve model interference)",
+            opts.cmd
+        ));
+    }
+    if opts.mem_axis && opts.cmd == "serve" {
+        die("--mem-axis expands suite grids; `serve` is a single run (drop the flag)");
     }
     // Same silent-ignore class: `run`/`gc` operate on spec files whose
     // workloads are fully pinned, so an explicit generator flag next to

@@ -297,6 +297,7 @@ impl RunConfig {
             backend: crate::exp::spec::Backend::Sim,
             faults: None,
             event_queue: None,
+            memory: None,
         }
     }
 

@@ -185,6 +185,7 @@ mod tests {
             effective_cores: None,
             service: None,
             fault: None,
+            memory: None,
         };
         CellRecord {
             schema: STORE_SCHEMA.to_string(),

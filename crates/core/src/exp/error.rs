@@ -51,6 +51,14 @@ pub enum ExpError {
         /// The keys the registry knows.
         known: Vec<String>,
     },
+    /// The arbitration-policy key is not registered. Carries the known
+    /// keys.
+    UnknownArbitration {
+        /// The unresolvable key.
+        key: String,
+        /// The keys the registry knows.
+        known: Vec<String>,
+    },
     /// No paper preset of that name exists.
     UnknownPreset(String),
     /// The scenario is internally inconsistent (e.g. budget > cores).
@@ -104,6 +112,13 @@ impl fmt::Display for ExpError {
                 write!(
                     f,
                     "unknown event-queue backend `{key}` (known: {})",
+                    known.join(", ")
+                )
+            }
+            ExpError::UnknownArbitration { key, known } => {
+                write!(
+                    f,
+                    "unknown arbitration policy `{key}` (known: {})",
                     known.join(", ")
                 )
             }

@@ -260,7 +260,7 @@ fn busy_work(iters: u64) -> u64 {
 struct FlakyDvfs {
     inner: Arc<dyn DvfsBackend>,
     p: f64,
-    state: std::sync::Mutex<u64>,
+    state: std::sync::Mutex<cata_sim::seeded::SplitMix64>,
 }
 
 impl FlakyDvfs {
@@ -268,17 +268,17 @@ impl FlakyDvfs {
         FlakyDvfs {
             inner,
             p,
-            state: std::sync::Mutex::new(seed ^ 0xFA17_0001),
+            // Same stream-tagged seed as ever; the shared generator draws
+            // the identical sequence the inlined copy did.
+            state: std::sync::Mutex::new(cata_sim::seeded::SplitMix64::new(seed ^ 0xFA17_0001)),
         }
     }
 
     fn next_unit(&self) -> f64 {
-        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        *s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = *s;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        ((z ^ (z >> 31)) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .next_unit()
     }
 }
 
@@ -561,6 +561,9 @@ impl NativeExecutor {
             // Native runs are closed-system: one graph, no arrivals.
             service: None,
             fault: native_fault_report(scenario.spec(), &metrics),
+            // The native backend runs on real shared memory; the modeled
+            // interference gate is a simulator-only component.
+            memory: None,
         })
     }
 }

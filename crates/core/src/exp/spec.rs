@@ -621,6 +621,12 @@ pub struct ScenarioSpec {
     /// when absent, keeping spec digests, golden preset digests, store
     /// records and tapes byte-identical to the pre-knob layout.
     pub event_queue: Option<String>,
+    /// Shared-memory interference model, or `None` for the uncontended
+    /// legacy machine (memory demand elapses for free inside the blended
+    /// task duration). Omitted from the serialized form when absent, so
+    /// uncontended specs — and their store digests — stay byte-identical
+    /// to the pre-interference layout.
+    pub memory: Option<crate::mem::MemorySpec>,
 }
 
 // Serde is hand-written (the vendored derive has no `#[serde(skip…)]` or
@@ -658,6 +664,9 @@ impl Serialize for ScenarioSpec {
         if let Some(ref eq) = self.event_queue {
             m.push(("event_queue".into(), eq.to_value()));
         }
+        if let Some(ref mem) = self.memory {
+            m.push(("memory".into(), mem.to_value()));
+        }
         Value::Map(m)
     }
 }
@@ -685,6 +694,7 @@ impl Deserialize for ScenarioSpec {
             backend: backend.unwrap_or_default(),
             faults: serde::field(m, "faults", "ScenarioSpec")?,
             event_queue: serde::field(m, "event_queue", "ScenarioSpec")?,
+            memory: serde::field(m, "memory", "ScenarioSpec")?,
         })
     }
 }
@@ -725,6 +735,7 @@ impl ScenarioSpec {
             backend: Backend::Sim,
             faults: None,
             event_queue: None,
+            memory: None,
         }
     }
 
@@ -811,6 +822,9 @@ impl ScenarioSpec {
         if let Some(ref key) = self.event_queue {
             super::registry::default_event_queue_registry().resolve(key)?;
         }
+        if let Some(ref memory) = self.memory {
+            memory.validate()?;
+        }
         Ok(())
     }
 
@@ -857,6 +871,13 @@ impl ScenarioSpec {
     /// changes speed only, never results.
     pub fn with_event_queue(mut self, key: impl Into<String>) -> Self {
         self.event_queue = Some(key.into());
+        self
+    }
+
+    /// Attaches a shared-memory interference model (bandwidth slots +
+    /// arbitration policy). `slots == 0` keeps the uncontended model.
+    pub fn with_memory(mut self, memory: crate::mem::MemorySpec) -> Self {
+        self.memory = Some(memory);
         self
     }
 }

@@ -48,32 +48,11 @@ pub const DEFAULT_MAX_RETRIES: u32 = 3;
 /// The default recovery-policy key.
 pub const DEFAULT_RECOVERY: &str = "retry-same-core";
 
-/// SplitMix64 — the same tiny deterministic generator the traffic-tape
-/// generator uses, duplicated privately so fault draws can never entangle
-/// with arrival draws.
-#[derive(Debug, Clone)]
-pub(crate) struct SplitMix64 {
-    state: u64,
-}
-
-impl SplitMix64 {
-    pub(crate) fn new(seed: u64) -> Self {
-        SplitMix64 { state: seed }
-    }
-
-    pub(crate) fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    /// A uniform draw in [0, 1) with 53 bits of precision.
-    pub(crate) fn next_unit(&mut self) -> f64 {
-        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
-    }
-}
+/// SplitMix64 — the workspace-shared generator ([`cata_sim::seeded`]),
+/// re-exported on the historical path. Stream separation (fault draws
+/// never entangle with arrival draws) comes from the [`FAULT_STREAM`]
+/// seed diversion, not from a private copy of the generator.
+pub(crate) use cata_sim::seeded::SplitMix64;
 
 /// The fault-injection RNG for a run: the run seed, diverted onto the
 /// fault stream. Same seed ⇒ bit-identical fault trace.

@@ -41,6 +41,7 @@ pub mod config;
 pub mod exp;
 pub mod fault;
 pub mod gantt;
+pub mod mem;
 pub mod native;
 pub mod policy;
 pub mod report;
@@ -56,5 +57,6 @@ pub use fault::{
     default_recovery_registry, CoreFailure, FaultReport, FaultSpec, RecoveryAction, RecoveryCtx,
     RecoveryPolicy, RecoveryRegistry,
 };
+pub use mem::{default_arbitration_registry, ArbitrationRegistry, MemoryReport, MemorySpec};
 pub use report::RunReport;
 pub use sim_exec::SimExecutor;

@@ -189,13 +189,12 @@ impl Inner {
             return 0;
         }
         let i = self.retry_draws.fetch_add(1, Ordering::Relaxed);
-        let mut z = self
-            .retry
-            .seed
-            .wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        (z ^ (z >> 31)) % cap
+        let z = cata_sim::seeded::mix64(
+            self.retry
+                .seed
+                .wrapping_add(i.wrapping_mul(cata_sim::seeded::GOLDEN_GAMMA)),
+        );
+        z % cap
     }
 
     fn apply_cmds(&self, cmds: &[Cmd]) {

@@ -56,6 +56,11 @@ pub struct RunReport {
     /// the serialized form, so fault-free reports and legacy stores stay
     /// byte-identical — for runs on a perfect machine.
     pub fault: Option<crate::fault::FaultReport>,
+    /// Memory-gate accounting, present only when the run carried a
+    /// contended [`MemorySpec`](crate::mem::MemorySpec). `None` — and
+    /// skipped in the serialized form, so uncontended reports and legacy
+    /// stores stay byte-identical — for runs on the uncontended machine.
+    pub memory: Option<crate::mem::MemoryReport>,
 }
 
 // Serde is hand-written (the vendored derive has no `#[serde(skip…)]`
@@ -99,6 +104,9 @@ impl Serialize for RunReport {
         if let Some(fr) = &self.fault {
             m.push(("fault".into(), fr.to_value()));
         }
+        if let Some(mr) = &self.memory {
+            m.push(("memory".into(), mr.to_value()));
+        }
         Value::Map(m)
     }
 }
@@ -123,6 +131,7 @@ impl Deserialize for RunReport {
             effective_cores: serde::field(m, "effective_cores", "RunReport")?,
             service: serde::field(m, "service", "RunReport")?,
             fault: serde::field(m, "fault", "RunReport")?,
+            memory: serde::field(m, "memory", "RunReport")?,
         })
     }
 }
@@ -212,6 +221,7 @@ mod tests {
             effective_cores: None,
             service: None,
             fault: None,
+            memory: None,
         }
     }
 
@@ -331,6 +341,35 @@ mod tests {
         assert!(json.contains("\"fault\""), "{json}");
         let back: RunReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.fault, Some(fr));
+    }
+
+    #[test]
+    fn memory_report_is_skipped_when_absent_and_round_trips_when_present() {
+        let r = report(100, 1.0);
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(
+            !json.contains("\"memory\""),
+            "uncontended reports must keep the legacy layout: {json}"
+        );
+
+        let mut contended = report(100, 1.0);
+        let mr = crate::mem::MemoryReport {
+            requests: 5,
+            waited: 2,
+            total_wait: SimDuration::from_us(12),
+            max_wait: SimDuration::from_us(9),
+            crit_requests: 1,
+            crit_wait: SimDuration::from_us(4),
+            demand: SimDuration::from_us(40),
+            serviced: SimDuration::from_us(52),
+            slots: 2,
+            arbitration: "crit-first".to_string(),
+        };
+        contended.memory = Some(mr.clone());
+        let json = serde_json::to_string(&contended).unwrap();
+        assert!(json.contains("\"memory\""), "{json}");
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.memory, Some(mr));
     }
 
     #[test]

@@ -29,13 +29,15 @@ use crate::exp::error::ExpError;
 use crate::exp::registry::{FactoryCtx, PolicyKeys, PolicyRegistries, ResolvedPolicies};
 use crate::exp::suite::derive_seed;
 use crate::fault::{default_recovery_registry, RecoveryAction, RecoveryCtx, RecoveryPolicy};
+use crate::mem::default_arbitration_registry;
 use crate::policy::{DispatchCtx, SchedulerPolicy};
 use crate::report::RunReport;
-use crate::sim_exec::{EngineParams, FaultState, IdleIndex, RECONFIG_RETRY_DELAY};
+use crate::sim_exec::{EngineParams, FaultState, IdleIndex, MemState, RECONFIG_RETRY_DELAY};
 use cata_power::integrate_machine;
 use cata_sim::activity::Activity;
 use cata_sim::event::EventQueue;
 use cata_sim::machine::{CoreId, Machine};
+use cata_sim::memory::ArbitrationPolicy;
 use cata_sim::progress::{Milestone, RunningTask};
 use cata_sim::stats::{Counters, LatencyHistogram};
 use cata_sim::time::{SimDuration, SimTime};
@@ -177,6 +179,13 @@ pub fn replay_tape(
     let mut engine_params = EngineParams::from(&spec.base);
     engine_params.event_queue = crate::exp::registry::default_event_queue_registry()
         .resolve_spec(spec.base.event_queue.as_deref())?;
+    // Shared-memory contention composes with service load the same way
+    // it does with a closed-system run: the gate slows execution, which
+    // backs up the ready queues, which admission control then sees.
+    let arbitration: Option<Box<dyn ArbitrationPolicy>> = match &engine_params.memory {
+        Some(m) => Some(default_arbitration_registry().build(&m.arbitration, m)?),
+        None => None,
+    };
     let engine = ServiceEngine::new(
         engine_params,
         &graphs,
@@ -185,6 +194,7 @@ pub fn replay_tape(
         resolved,
         admission,
         recovery,
+        arbitration,
     );
     engine.run(&workload_label)
 }
@@ -224,6 +234,9 @@ enum SEv {
     CoreFail { core: u32, permanent: bool },
     /// Injected fault schedule: a failed core's recovery window closed.
     CoreRecover { core: u32 },
+    /// A granted task's memory-bandwidth hold expired; the slot frees and
+    /// arbitration picks the next waiter (contended memory only).
+    MemRelease { core: u32, epoch: u64 },
 }
 
 /// What a core is doing (task ids are *global*: `slot·stride + local`).
@@ -231,8 +244,19 @@ enum SEv {
 enum CoreRun<'g> {
     Idle,
     Halted,
-    Prologue { task: TaskId },
-    Running { task: TaskId, rt: RunningTask<'g> },
+    Prologue {
+        task: TaskId,
+    },
+    Running {
+        task: TaskId,
+        rt: RunningTask<'g>,
+    },
+    /// Parked at the memory gate: every bandwidth slot is taken. The
+    /// core stays busy (spinning on the access) until arbitration grants
+    /// a slot.
+    MemWait {
+        task: TaskId,
+    },
     Epilogue,
 }
 
@@ -302,9 +326,12 @@ struct ServiceEngine<'g> {
     service_time: LatencyHistogram,
     /// Fault-injection bookkeeping; `None` on fault-free runs.
     fault: Option<FaultState>,
+    /// Memory-gate bookkeeping; `None` on the uncontended machine.
+    mem: Option<MemState>,
 }
 
 impl<'g> ServiceEngine<'g> {
+    #[allow(clippy::too_many_arguments)] // one constructor, one call site
     fn new(
         cfg: EngineParams,
         graphs: &'g [GraphEntry],
@@ -313,6 +340,7 @@ impl<'g> ServiceEngine<'g> {
         resolved: ResolvedPolicies,
         admission: Box<dyn AdmissionPolicy>,
         recovery: Option<Box<dyn RecoveryPolicy>>,
+        arbitration: Option<Box<dyn ArbitrationPolicy>>,
     ) -> Self {
         let n_cores = cfg.machine.num_cores;
         // The per-task vectors start empty and grow with the slot pool.
@@ -325,10 +353,17 @@ impl<'g> ServiceEngine<'g> {
             policy,
             estimator: _,
             accel,
-            machine,
+            mut machine,
             is_fast_static,
             caps,
         } = resolved;
+
+        // A contended scenario attaches the shared memory subsystem to
+        // the machine, exactly as the closed-system engine does.
+        let mem = cfg.memory.as_ref().zip(arbitration).map(|(spec, policy)| {
+            machine.attach_memory(spec.slots as usize);
+            MemState::new(spec, policy, n_cores)
+        });
 
         let mut events = EventQueue::with_backend(cfg.event_queue);
         events.reserve(4096.min(records.len() * 4 + 64));
@@ -372,6 +407,7 @@ impl<'g> ServiceEngine<'g> {
             queue_wait: LatencyHistogram::new(),
             service_time: LatencyHistogram::new(),
             fault,
+            mem,
         }
     }
 
@@ -461,6 +497,7 @@ impl<'g> ServiceEngine<'g> {
             }
             fs.report
         });
+        let memory = self.mem.take().map(|ms| ms.report);
         self.machine.finish(end);
         let energy = integrate_machine(&self.machine, end.since(SimTime::ZERO), &self.cfg.power);
         let stats = self.accel.stats();
@@ -507,6 +544,7 @@ impl<'g> ServiceEngine<'g> {
             effective_cores: None,
             service: Some(service),
             fault,
+            memory,
         })
     }
 
@@ -521,6 +559,7 @@ impl<'g> ServiceEngine<'g> {
             SEv::IdleDecel { core, epoch } => self.idle_decel(CoreId(core), epoch, now),
             SEv::CoreFail { core, permanent } => self.core_fail(CoreId(core), permanent, now),
             SEv::CoreRecover { core } => self.core_recover(CoreId(core), now),
+            SEv::MemRelease { core, epoch } => self.mem_release(CoreId(core), epoch, now),
         }
     }
 
@@ -747,6 +786,53 @@ impl<'g> ServiceEngine<'g> {
         let CoreRun::Prologue { task } = ctl.run else {
             return;
         };
+        self.gate_or_begin(core, task, now);
+    }
+
+    /// Routes a task that is ready to execute through the shared-memory
+    /// gate: memory-free tasks (and uncontended machines) start the body
+    /// immediately; a memory-demanding task either acquires a bandwidth
+    /// slot or parks in [`CoreRun::MemWait`] until arbitration grants one.
+    fn gate_or_begin(&mut self, core: CoreId, task: TaskId, now: SimTime) {
+        let (_, local) = self.split(task);
+        let mem_ps = self.entry_of(task).view.mem_ps(local);
+        if self.mem.is_none() || mem_ps == 0 {
+            self.begin_body(core, task, now);
+            return;
+        }
+        let crit = self.crit[task.index()];
+        let ms = self.mem.as_mut().expect("checked above");
+        ms.report.requests += 1;
+        ms.report.demand += SimDuration::from_ps(mem_ps);
+        if crit {
+            ms.report.crit_requests += 1;
+        }
+        let sub = self
+            .machine
+            .memory_mut()
+            .expect("memory subsystem attached when MemState exists");
+        if sub.try_acquire() {
+            ms.holding[core.index()] = true;
+            ms.report.serviced += SimDuration::from_ps(mem_ps);
+            let epoch = self.cores[core.index()].epoch;
+            self.events.push(
+                now + SimDuration::from_ps(mem_ps),
+                SEv::MemRelease {
+                    core: core.0,
+                    epoch,
+                },
+            );
+            self.begin_body(core, task, now);
+        } else {
+            sub.enqueue(core, u8::from(crit), mem_ps);
+            ms.report.waited += 1;
+            ms.wait_since[core.index()] = Some(now);
+            self.cores[core.index()].run = CoreRun::MemWait { task };
+        }
+    }
+
+    /// Starts the task body proper (after any memory gating).
+    fn begin_body(&mut self, core: CoreId, task: TaskId, now: SimTime) {
         let (_, local) = self.split(task);
         let entry = self.entry_of(task);
         let rt = RunningTask::start(
@@ -754,8 +840,73 @@ impl<'g> ServiceEngine<'g> {
             now,
             self.machine.core(core).frequency(),
         );
+        let epoch = self.cores[core.index()].epoch;
         self.schedule_milestone(core, epoch, &rt);
         self.cores[core.index()].run = CoreRun::Running { task, rt };
+    }
+
+    /// A granted hold expired: free the bandwidth slot and run the
+    /// arbitration policy over the wait queue.
+    fn mem_release(&mut self, core: CoreId, epoch: u64, now: SimTime) {
+        if self.cores[core.index()].epoch != epoch {
+            return; // the hold was already torn down (core failed)
+        }
+        let Some(ms) = self.mem.as_mut() else {
+            return;
+        };
+        if !ms.holding[core.index()] {
+            return;
+        }
+        ms.holding[core.index()] = false;
+        self.machine
+            .memory_mut()
+            .expect("memory subsystem attached when MemState exists")
+            .release();
+        self.mem_grant(now);
+    }
+
+    /// Grants freed bandwidth slots to queued waiters until either runs
+    /// out, charging each grantee its measured wait.
+    fn mem_grant(&mut self, now: SimTime) {
+        loop {
+            let Some(ms) = self.mem.as_mut() else {
+                return;
+            };
+            let sub = self
+                .machine
+                .memory_mut()
+                .expect("memory subsystem attached when MemState exists");
+            let Some(req) = sub.grant(ms.policy.as_mut()) else {
+                return;
+            };
+            let core = req.core;
+            let wait = ms.wait_since[core.index()]
+                .take()
+                .map(|since| now.saturating_since(since))
+                .unwrap_or(SimDuration::ZERO);
+            ms.report.total_wait += wait;
+            if wait > ms.report.max_wait {
+                ms.report.max_wait = wait;
+            }
+            if req.crit_level > 0 {
+                ms.report.crit_wait += wait;
+            }
+            ms.report.serviced += wait + SimDuration::from_ps(req.mem_ps);
+            ms.holding[core.index()] = true;
+            let epoch = self.cores[core.index()].epoch;
+            self.events.push(
+                now + SimDuration::from_ps(req.mem_ps),
+                SEv::MemRelease {
+                    core: core.0,
+                    epoch,
+                },
+            );
+            let CoreRun::MemWait { task } = self.cores[core.index()].run else {
+                debug_assert!(false, "granted core {core} was not in MemWait");
+                continue;
+            };
+            self.begin_body(core, task, now);
+        }
     }
 
     fn schedule_milestone(&mut self, core: CoreId, epoch: u64, rt: &RunningTask<'_>) {
@@ -845,15 +996,9 @@ impl<'g> ServiceEngine<'g> {
                 fs.task_retries[task.index()] += 1;
                 fs.report.task_faults += 1;
                 fs.report.reexecuted += 1;
-                let entry = self.entry_of(task);
-                let rt = RunningTask::start(
-                    &entry.graph.task(local).profile,
-                    now,
-                    self.machine.core(core).frequency(),
-                );
-                let epoch = self.cores[core.index()].epoch;
-                self.schedule_milestone(core, epoch, &rt);
-                self.cores[core.index()].run = CoreRun::Running { task, rt };
+                // Re-execution re-demands memory: the earlier hold expired
+                // at begin + mem_ps, which is never after this completion.
+                self.gate_or_begin(core, task, now);
                 return;
             }
         }
@@ -999,6 +1144,7 @@ impl<'g> ServiceEngine<'g> {
         let displaced = match self.cores[i].run {
             CoreRun::Prologue { task } => Some(task),
             CoreRun::Running { task, .. } => Some(task),
+            CoreRun::MemWait { task } => Some(task),
             _ => None,
         };
         if self.idle.is_linked(core) {
@@ -1010,6 +1156,25 @@ impl<'g> ServiceEngine<'g> {
         ctl.idle_notified = false;
         ctl.run = CoreRun::Halted;
         self.machine.set_activity(core, now, Activity::Halted);
+
+        // A failed core cannot keep a bandwidth slot (or a queue spot):
+        // release before displacement handling so the freed slot flows to
+        // waiters even when the displaced instance was already shed.
+        if let Some(ms) = self.mem.as_mut() {
+            if ms.holding[i] {
+                ms.holding[i] = false;
+                self.machine
+                    .memory_mut()
+                    .expect("memory subsystem attached when MemState exists")
+                    .release();
+                self.mem_grant(now);
+            } else if ms.wait_since[i].take().is_some() {
+                self.machine
+                    .memory_mut()
+                    .expect("memory subsystem attached when MemState exists")
+                    .cancel_core(core);
+            }
+        }
 
         if let Some(task) = displaced {
             let (slot, local) = self.split(task);

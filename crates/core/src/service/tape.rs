@@ -288,30 +288,7 @@ fn check_rate(rate_hz: f64) -> Result<(), ExpError> {
     Ok(())
 }
 
-/// splitmix64: the same generator the suite uses for seed derivation —
-/// tiny, dependency-free, and well distributed for uniform draws.
-struct SplitMix64 {
-    state: u64,
-}
-
-impl SplitMix64 {
-    fn new(seed: u64) -> Self {
-        SplitMix64 { state: seed }
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    /// Uniform in `[0, 1)` with 53 bits of precision.
-    fn next_unit(&mut self) -> f64 {
-        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
-    }
-}
+use cata_sim::seeded::SplitMix64;
 
 /// `-ln(1 - u)` for `u ∈ [0, 1)`, computed without libm.
 ///

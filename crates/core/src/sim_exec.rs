@@ -29,12 +29,14 @@ use crate::fault::{
     default_recovery_registry, fault_rng, FaultReport, FaultSpec, RecoveryAction, RecoveryCtx,
     RecoveryPolicy, SplitMix64,
 };
+use crate::mem::{default_arbitration_registry, MemoryReport, MemorySpec};
 use crate::policy::{DispatchCtx, SchedulerPolicy};
 use crate::report::RunReport;
 use cata_power::{integrate_machine, PowerParams};
 use cata_sim::activity::Activity;
 use cata_sim::event::{EventBackend, EventQueue};
 use cata_sim::machine::{CoreId, Machine, MachineConfig};
+use cata_sim::memory::ArbitrationPolicy;
 use cata_sim::progress::{Milestone, RunningTask};
 use cata_sim::stats::Counters;
 use cata_sim::time::{SimDuration, SimTime};
@@ -59,6 +61,9 @@ pub(crate) struct EngineParams {
     pub seed: u64,
     pub faults: Option<FaultSpec>,
     pub event_queue: EventBackend,
+    /// Contended shared-memory model; `None` (or a noop spec, filtered at
+    /// construction) keeps the uncontended legacy machine bit-identical.
+    pub memory: Option<MemorySpec>,
 }
 
 impl From<&RunConfig> for EngineParams {
@@ -78,6 +83,7 @@ impl From<&RunConfig> for EngineParams {
             // faulted runs go through `ScenarioSpec`.
             faults: None,
             event_queue: cata_sim::event::default_backend(),
+            memory: None,
         }
     }
 }
@@ -99,6 +105,9 @@ impl From<&ScenarioSpec> for EngineParams {
             // Key resolution is fallible; the spec entry points resolve
             // through the registry (after `validate`) and overwrite this.
             event_queue: cata_sim::event::default_backend(),
+            // An unlimited-slot spec is the uncontended model: filter it
+            // here so the engine's fast path stays gate-free.
+            memory: spec.memory.clone().filter(|m| !m.is_noop()),
         }
     }
 }
@@ -125,6 +134,9 @@ enum Ev {
     CoreFail { core: u32, permanent: bool },
     /// A failed core's recovery window closed; it rejoins the machine.
     CoreRecover { core: u32 },
+    /// A granted task's memory-bandwidth hold expired; the slot frees and
+    /// arbitration picks the next waiter (contended memory only).
+    MemRelease { core: u32, epoch: u64 },
 }
 
 /// What a core is doing, from the executor's point of view. The lifetime
@@ -140,6 +152,11 @@ enum CoreRun<'g> {
     Prologue { task: TaskId },
     /// Executing a task body.
     Running { task: TaskId, rt: RunningTask<'g> },
+    /// Parked at the memory gate: the prologue finished but every
+    /// bandwidth slot is taken. The core stays *busy* (spinning on the
+    /// access), burning energy without progress — interference stretches
+    /// wall time.
+    MemWait { task: TaskId },
     /// Running the runtime epilogue (task-end acceleration path).
     Epilogue,
 }
@@ -373,6 +390,37 @@ impl FaultState {
     }
 }
 
+/// Per-run memory-gate state: the arbitration policy, per-core wait/hold
+/// bookkeeping, and the accumulating [`MemoryReport`]. Present only when
+/// the scenario carries a *contended* [`MemorySpec`]; uncontended runs
+/// never touch it (and no
+/// [`MemorySubsystem`](cata_sim::MemorySubsystem) is attached to the
+/// machine, so the legacy model stays bit-identical).
+pub(crate) struct MemState {
+    pub(crate) policy: Box<dyn ArbitrationPolicy>,
+    /// When each core's pending slot request was enqueued.
+    pub(crate) wait_since: Vec<Option<SimTime>>,
+    /// Per-core "currently holds a slot" flag — guards stale release
+    /// events after faults and re-executions.
+    pub(crate) holding: Vec<bool>,
+    pub(crate) report: MemoryReport,
+}
+
+impl MemState {
+    pub(crate) fn new(spec: &MemorySpec, policy: Box<dyn ArbitrationPolicy>, cores: usize) -> Self {
+        MemState {
+            policy,
+            wait_since: vec![None; cores],
+            holding: vec![false; cores],
+            report: MemoryReport {
+                slots: spec.slots,
+                arbitration: spec.arbitration.clone(),
+                ..MemoryReport::default()
+            },
+        }
+    }
+}
+
 /// Retry penalty charged when a simulated DVFS settle write fails
 /// transiently: the settle re-fires this much later. Deterministic and
 /// deliberately small — the interesting effect is the *classification*
@@ -416,10 +464,14 @@ fn run_with_scratch(
         Some(f) => Some(default_recovery_registry().build(&f.recovery, f)?),
         None => None,
     };
+    let arbitration = match &params.memory {
+        Some(m) => Some(default_arbitration_registry().build(&m.arbitration, m)?),
+        None => None,
+    };
     SCRATCH.with(|cell| {
         let scratch = cell.take();
         let (result, trace, scratch) =
-            Engine::new(params, resolved, graph, scratch, recovery).run(workload);
+            Engine::new(params, resolved, graph, scratch, recovery, arbitration).run(workload);
         cell.replace(scratch);
         result.map(|report| (report, trace))
     })
@@ -556,6 +608,8 @@ struct Engine<'g> {
     is_fast_static: Vec<bool>,
     /// Fault-injection bookkeeping; `None` on a perfect machine.
     fault: Option<FaultState>,
+    /// Memory-gate bookkeeping; `None` on the uncontended machine.
+    mem: Option<MemState>,
 }
 
 impl<'g> Engine<'g> {
@@ -565,6 +619,7 @@ impl<'g> Engine<'g> {
         graph: &'g TaskGraph,
         scratch: EngineScratch,
         recovery: Option<Box<dyn RecoveryPolicy>>,
+        arbitration: Option<Box<dyn ArbitrationPolicy>>,
     ) -> Self {
         let n_cores = cfg.machine.num_cores;
         assert!(
@@ -577,10 +632,18 @@ impl<'g> Engine<'g> {
             policy,
             estimator,
             accel,
-            machine,
+            mut machine,
             is_fast_static,
             caps,
         } = resolved;
+
+        // A contended scenario attaches the shared memory subsystem to
+        // the machine as an explicit component; uncontended runs leave
+        // the machine exactly as the registry built it.
+        let mem = cfg.memory.as_ref().zip(arbitration).map(|(spec, policy)| {
+            machine.attach_memory(spec.slots as usize);
+            MemState::new(spec, policy, n_cores)
+        });
 
         let n = graph.num_tasks();
         let EngineScratch {
@@ -637,6 +700,7 @@ impl<'g> Engine<'g> {
                 .as_ref()
                 .zip(recovery)
                 .map(|(spec, policy)| FaultState::new(spec, policy, cfg.seed, n_cores, n)),
+            mem,
         }
     }
 
@@ -709,6 +773,7 @@ impl<'g> Engine<'g> {
             }
             fs.report
         });
+        let memory = self.mem.take().map(|ms| ms.report);
         self.machine.finish(end);
         let energy = integrate_machine(&self.machine, end.since(SimTime::ZERO), &self.cfg.power);
         let stats = self.accel.stats();
@@ -742,6 +807,7 @@ impl<'g> Engine<'g> {
             // Closed-system run: one graph, no arrival stream.
             service: None,
             fault,
+            memory,
         };
         let scratch = EngineScratch {
             events: self.events,
@@ -780,6 +846,7 @@ impl<'g> Engine<'g> {
             Ev::IdleDecel { core, epoch } => self.idle_decel(CoreId(core), epoch, now),
             Ev::CoreFail { core, permanent } => self.core_fail(CoreId(core), permanent, now),
             Ev::CoreRecover { core } => self.core_recover(CoreId(core), now),
+            Ev::MemRelease { core, epoch } => self.mem_release(CoreId(core), epoch, now),
         }
     }
 
@@ -805,6 +872,8 @@ impl<'g> Engine<'g> {
         let displaced = match self.cores[i].run {
             CoreRun::Prologue { task } => Some(task),
             CoreRun::Running { task, .. } => Some(task),
+            // A task parked at the memory gate dies with its core too.
+            CoreRun::MemWait { task } => Some(task),
             _ => None,
         };
         if self.idle.is_linked(core) {
@@ -816,6 +885,25 @@ impl<'g> Engine<'g> {
         ctl.idle_notified = false;
         ctl.run = CoreRun::Halted;
         self.machine.set_activity(core, now, Activity::Halted);
+
+        // A failed core frees its memory-gate state: a held bandwidth
+        // slot is released (a waiter may be granted right now), a queued
+        // request is cancelled.
+        if let Some(ms) = self.mem.as_mut() {
+            if ms.holding[i] {
+                ms.holding[i] = false;
+                self.machine
+                    .memory_mut()
+                    .expect("memory subsystem")
+                    .release();
+                self.mem_grant(now);
+            } else if ms.wait_since[i].take().is_some() {
+                self.machine
+                    .memory_mut()
+                    .expect("memory subsystem")
+                    .cancel_core(core);
+            }
+        }
 
         if let Some(task) = displaced {
             let critical = self.crit[task.index()];
@@ -1033,11 +1121,6 @@ impl<'g> Engine<'g> {
         let CoreRun::Prologue { task } = ctl.run else {
             return;
         };
-        let rt = RunningTask::start(
-            &self.graph.task(task).profile,
-            now,
-            self.machine.core(core).frequency(),
-        );
         self.trace.record(
             now,
             TraceEvent::TaskStart {
@@ -1046,8 +1129,124 @@ impl<'g> Engine<'g> {
                 critical: self.crit[task.index()],
             },
         );
+        self.gate_or_begin(core, task, now);
+    }
+
+    /// Routes a task about to execute through the shared-memory gate:
+    /// with no contended subsystem (or no memory demand) the body begins
+    /// immediately; otherwise the task acquires a bandwidth slot or parks
+    /// in [`CoreRun::MemWait`] until arbitration grants one. The slot is
+    /// held for the task's `mem_ps` of *wall* time (memory time is
+    /// frequency-invariant) while the body runs concurrently.
+    fn gate_or_begin(&mut self, core: CoreId, task: TaskId, now: SimTime) {
+        let mem_ps = self.view.mem_ps(task);
+        if self.mem.is_none() || mem_ps == 0 {
+            self.begin_body(core, task, now);
+            return;
+        }
+        let crit = self.crit[task.index()];
+        let ms = self.mem.as_mut().expect("gate only runs contended");
+        ms.report.requests += 1;
+        ms.report.demand += SimDuration::from_ps(mem_ps);
+        if crit {
+            ms.report.crit_requests += 1;
+        }
+        let sub = self
+            .machine
+            .memory_mut()
+            .expect("contended machine carries a memory subsystem");
+        if sub.try_acquire() {
+            ms.holding[core.index()] = true;
+            ms.report.serviced += SimDuration::from_ps(mem_ps);
+            let epoch = self.cores[core.index()].epoch;
+            self.events.push(
+                now + SimDuration::from_ps(mem_ps),
+                Ev::MemRelease {
+                    core: core.0,
+                    epoch,
+                },
+            );
+            self.begin_body(core, task, now);
+        } else {
+            sub.enqueue(core, u8::from(crit), mem_ps);
+            ms.report.waited += 1;
+            ms.wait_since[core.index()] = Some(now);
+            self.cores[core.index()].run = CoreRun::MemWait { task };
+        }
+    }
+
+    /// Starts the task body on `core` (prologue finished and, when
+    /// contended, the memory gate passed).
+    fn begin_body(&mut self, core: CoreId, task: TaskId, now: SimTime) {
+        let epoch = self.cores[core.index()].epoch;
+        let rt = RunningTask::start(
+            &self.graph.task(task).profile,
+            now,
+            self.machine.core(core).frequency(),
+        );
         self.schedule_milestone(core, epoch, &rt);
         self.cores[core.index()].run = CoreRun::Running { task, rt };
+    }
+
+    /// A granted task's memory hold expired: free the slot and let the
+    /// arbitration policy hand it to a waiter. Stale releases (the core
+    /// failed, bumping its epoch, or no longer holds) are ignored.
+    fn mem_release(&mut self, core: CoreId, epoch: u64, now: SimTime) {
+        if self.cores[core.index()].epoch != epoch {
+            return;
+        }
+        let Some(ms) = self.mem.as_mut() else {
+            return;
+        };
+        if !ms.holding[core.index()] {
+            return;
+        }
+        ms.holding[core.index()] = false;
+        self.machine
+            .memory_mut()
+            .expect("memory subsystem")
+            .release();
+        self.mem_grant(now);
+    }
+
+    /// Drains freed bandwidth slots into waiting cores — one arbitration
+    /// pick per free slot — recording each granted waiter's queueing
+    /// delay and starting its parked body.
+    fn mem_grant(&mut self, now: SimTime) {
+        loop {
+            let Some(ms) = self.mem.as_mut() else {
+                return;
+            };
+            let sub = self.machine.memory_mut().expect("memory subsystem");
+            let Some(req) = sub.grant(ms.policy.as_mut()) else {
+                return;
+            };
+            let core = req.core;
+            let wait = ms.wait_since[core.index()]
+                .take()
+                .map(|t| now.saturating_since(t))
+                .unwrap_or(SimDuration::ZERO);
+            ms.report.total_wait += wait;
+            ms.report.max_wait = ms.report.max_wait.max(wait);
+            if req.crit_level > 0 {
+                ms.report.crit_wait += wait;
+            }
+            ms.report.serviced += wait + SimDuration::from_ps(req.mem_ps);
+            ms.holding[core.index()] = true;
+            let epoch = self.cores[core.index()].epoch;
+            self.events.push(
+                now + SimDuration::from_ps(req.mem_ps),
+                Ev::MemRelease {
+                    core: core.0,
+                    epoch,
+                },
+            );
+            let CoreRun::MemWait { task } = self.cores[core.index()].run else {
+                debug_assert!(false, "granted {core} is not waiting on memory");
+                continue;
+            };
+            self.begin_body(core, task, now);
+        }
     }
 
     fn schedule_milestone(&mut self, core: CoreId, epoch: u64, rt: &RunningTask<'_>) {
@@ -1125,14 +1324,10 @@ impl<'g> Engine<'g> {
                 fs.task_retries[task.index()] += 1;
                 fs.report.task_faults += 1;
                 fs.report.reexecuted += 1;
-                let epoch = self.cores[core.index()].epoch;
-                let rt = RunningTask::start(
-                    &self.graph.task(task).profile,
-                    now,
-                    self.machine.core(core).frequency(),
-                );
-                self.schedule_milestone(core, epoch, &rt);
-                self.cores[core.index()].run = CoreRun::Running { task, rt };
+                // The re-execution re-demands memory, so it routes back
+                // through the gate like any fresh body (its earlier slot
+                // hold expired at `begin + mem_ps`, before completion).
+                self.gate_or_begin(core, task, now);
                 return;
             }
         }

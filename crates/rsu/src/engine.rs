@@ -403,11 +403,9 @@ mod tests {
         // Deterministic pseudo-random walk over start/end events.
         let mut e = ReconfigEngine::new(8, 3);
         let mut running = [false; 8];
-        let mut x: u64 = 0x9E3779B97F4A7C15;
+        let mut rng = cata_sim::seeded::SplitMix64::new(0);
         for _ in 0..10_000 {
-            x ^= x << 13;
-            x ^= x >> 7;
-            x ^= x << 17;
+            let x = rng.next_u64();
             let core = (x % 8) as usize;
             if running[core] {
                 e.on_task_end(core);

@@ -942,11 +942,9 @@ mod tests {
         let mut q: EventQueue<u64> = EventQueue::with_backend(EventBackend::CalendarWheel);
         let mut r: EventQueue<u64> = EventQueue::with_backend(EventBackend::Heap);
         // Deterministic scramble of times, many ties, wide range.
-        let mut x = 0x9E3779B97F4A7C15u64;
+        let mut rng = crate::seeded::SplitMix64::new(0);
         for i in 0..10_000u64 {
-            x ^= x << 13;
-            x ^= x >> 7;
-            x ^= x << 17;
+            let x = rng.next_u64();
             let t = SimTime::from_ps((x % (1 << 30)) * (i % 7));
             q.push(t, i);
             r.push(t, i);

@@ -26,6 +26,13 @@
 //! - [`machine`]: the simulated chip ([`machine::Machine`]): per-core
 //!   frequency/voltage state, DVFS transitions in flight, and the Table I
 //!   configuration ([`machine::MachineConfig`]).
+//! - [`memory`]: the shared memory subsystem ([`memory::MemorySubsystem`])
+//!   the machine optionally carries — bandwidth slots that co-running
+//!   tasks contend for, arbitrated by a pluggable
+//!   [`memory::ArbitrationPolicy`] (FIFO / criticality-first /
+//!   round-robin).
+//! - [`seeded`]: the one SplitMix64 / FNV-1a implementation every seeded
+//!   stream and content digest in the workspace shares.
 //! - [`progress`]: the task execution-time model ([`progress::ExecProfile`],
 //!   [`progress::RunningTask`]): frequency-scaled CPU work plus
 //!   frequency-invariant memory time, with support for mid-task frequency
@@ -59,11 +66,15 @@
 pub mod activity;
 pub mod event;
 pub mod machine;
+pub mod memory;
 pub mod progress;
+pub mod seeded;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
 pub use event::{EventBackend, EventQueue, EventSource};
 pub use machine::{CoreId, Machine, MachineConfig, PowerLevel};
+pub use memory::{ArbitrationPolicy, MemRequest, MemorySubsystem};
+pub use seeded::SplitMix64;
 pub use time::{Frequency, SimDuration, SimTime};

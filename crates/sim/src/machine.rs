@@ -8,6 +8,7 @@
 //! running at its old frequency.
 
 use crate::activity::{Activity, ActivityTimeline};
+use crate::memory::MemorySubsystem;
 use crate::time::{Frequency, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -245,11 +246,17 @@ impl Core {
 }
 
 /// The simulated chip: an indexed collection of [`Core`]s plus the static
-/// [`MachineConfig`].
+/// [`MachineConfig`] — and, when the scenario models shared-resource
+/// interference, a [`MemorySubsystem`] component the cores contend on.
 #[derive(Debug, Clone)]
 pub struct Machine {
     config: MachineConfig,
     cores: Vec<Core>,
+    /// The shared memory subsystem, when attached. `None` is the
+    /// uncontended legacy model: memory time elapses for free. Not part
+    /// of [`MachineConfig`] (which is serialized in specs); contention
+    /// config rides the scenario's own `memory` field.
+    memory: Option<MemorySubsystem>,
 }
 
 impl Machine {
@@ -264,7 +271,11 @@ impl Machine {
                 transitions_done: 0,
             })
             .collect();
-        Machine { config, cores }
+        Machine {
+            config,
+            cores,
+            memory: None,
+        }
     }
 
     /// Builds a machine with the first `num_fast` cores settled at the fast
@@ -289,6 +300,23 @@ impl Machine {
     /// The static configuration.
     pub fn config(&self) -> &MachineConfig {
         &self.config
+    }
+
+    /// Attaches a shared [`MemorySubsystem`] with `slots` bandwidth slots,
+    /// replacing any previous one. The uncontended model is the default
+    /// (no subsystem); engines attach one only for contended scenarios.
+    pub fn attach_memory(&mut self, slots: usize) {
+        self.memory = Some(MemorySubsystem::new(slots));
+    }
+
+    /// The attached memory subsystem, if any.
+    pub fn memory(&self) -> Option<&MemorySubsystem> {
+        self.memory.as_ref()
+    }
+
+    /// Mutable access to the attached memory subsystem, if any.
+    pub fn memory_mut(&mut self) -> Option<&mut MemorySubsystem> {
+        self.memory.as_mut()
     }
 
     /// Number of cores.
@@ -418,6 +446,16 @@ mod tests {
     #[should_panic(expected = "exceeds core count")]
     fn static_hetero_rejects_too_many_fast() {
         Machine::new_static_hetero(cfg(), 5);
+    }
+
+    #[test]
+    fn memory_subsystem_is_opt_in() {
+        let mut m = Machine::new(cfg());
+        assert!(m.memory().is_none(), "uncontended by default");
+        m.attach_memory(2);
+        assert_eq!(m.memory().unwrap().slots(), 2);
+        assert!(m.memory_mut().unwrap().try_acquire());
+        assert_eq!(m.memory().unwrap().in_use(), 1);
     }
 
     #[test]

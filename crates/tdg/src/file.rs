@@ -28,17 +28,10 @@ use std::sync::{Arc, OnceLock};
 pub const TDG_SCHEMA: &str = "cata-tdg/v1";
 
 /// FNV-1a over a byte stream, rendered as 16 hex digits. The one digest
-/// function of the whole workspace: TDG content digests here and the
-/// results store's spec/grid digests (`cata-core::exp::store`) all call
-/// it, so every identity lives in one namespace by construction.
-pub fn fnv1a_hex(bytes: impl Iterator<Item = u8>) -> String {
-    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
-    for b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    format!("{h:016x}")
-}
+/// function of the whole workspace — now implemented in
+/// [`cata_sim::seeded`] and re-exported here so every historical call
+/// path (`cata_tdg::fnv1a_hex`) keeps compiling unchanged.
+pub use cata_sim::seeded::fnv1a_hex;
 
 /// One task entry of a [`TdgFile`]: its type (by index into
 /// [`types`](TdgFile::types)), its execution profile, and the indices of
