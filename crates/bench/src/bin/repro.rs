@@ -21,6 +21,8 @@
 //! repro merge STORE...  merge JSONL result shards, render, gate vs baseline
 //! repro gc STORE SPEC.. drop stored cells whose grid no longer names them
 //! repro perf            engine perf harness: events/sec -> BENCH_engine.json
+//! repro watch STORE...  operator console: live-tail stores + progress streams
+//! repro replay KEY      re-run a stored cell bit-identically, diff the reports
 //! ```
 //!
 //! Options: `--scale tiny|small|paper` (default `paper`), `--seed N`,
@@ -99,6 +101,28 @@
 //! FILE` (embed a previous report's medium summary + speedup),
 //! `--trajectory FILE` (append this run as one JSONL point to the
 //! append-only perf trajectory).
+//!
+//! Operator console (`watch`): `repro watch [STORE.jsonl...]` live-tails
+//! one or more shard stores — plus `--progress FILE` heartbeat sidecars
+//! and a `--trajectory FILE` perf series — into a terminal dashboard:
+//! grid-completion heatmap, events/sec sparkline, per-cell accounting,
+//! `Enter` for a finished cell's detail pane. `--once` renders a single
+//! headless frame to stdout (CI-friendly, auto-sized so every cell gets a
+//! table row); `--until-done [--timeout S]` polls headlessly until the
+//! grid completes, then prints the final frame; `--interval-ms N`,
+//! `--width N`, `--height N` tune the loop. Runs *emit* the heartbeats:
+//! `run`/`preset` (with `--store`) and `serve` accept `--progress FILE`
+//! and stream `cata-progress/v1` records — cell-start / cell-finish /
+//! grid / service snapshots — with the store's atomic-append discipline.
+//! Telemetry is best-effort and purely observational: results, digests,
+//! and stores are byte-identical with or without it.
+//!
+//! Replay (`replay`): `repro replay CELL_KEY --store FILE.jsonl` finds
+//! the stored cell (by exact key or grid index), re-runs its embedded
+//! spec on the deterministic sim backend, and diffs the fresh report
+//! against the stored one — exit 0 on a bit-identical match, 1 on
+//! divergence. Records predating spec embedding (or `serve` cells, whose
+//! service spec is not a scenario spec) are refused with a clear error.
 
 use cata_bench::figures::{
     fig4_configs, fig5_configs, figure_labels, render_latency_analysis, render_panel,
@@ -108,17 +132,22 @@ use cata_bench::matrix::{run_matrix, MatrixResult, DEFAULT_SEED};
 use cata_bench::sweeps;
 use cata_bench::tables::{fmt_energy, Table};
 use cata_core::exp::{
-    Backend, BackendDispatch, CellRecord, CostCalibration, EnergySource, Executor, NativeExecutor,
-    ResultsStore, Scenario, ScenarioSpec, ShardOrder, Suite, WorkloadSpec, STORE_SCHEMA,
+    spec_digest, Backend, BackendDispatch, CellRecord, CostCalibration, EnergySource, Executor,
+    NativeExecutor, ProgressWriter, ResultsStore, Scenario, ScenarioSpec, ShardOrder, Suite,
+    WorkloadSpec, STORE_SCHEMA,
 };
 use cata_core::fault::FaultSpec;
 use cata_core::mem::{default_arbitration_registry, MemorySpec};
 use cata_core::service::{
-    default_admission_registry, replay_tape, run_service, AdmissionParams, ArrivalSpec,
-    ServiceSpec, TrafficTape,
+    default_admission_registry, replay_tape_observed, run_service_observed, AdmissionParams,
+    ArrivalSpec, ServiceSpec, TrafficTape,
 };
-use cata_core::{exp::default_registries, RunReport};
+use cata_core::{
+    exp::{default_registries, host_fingerprint, now_unix_ms},
+    RunReport, SimExecutor,
+};
 use cata_cpufreq::backend::{DvfsBackend, MockDvfs};
+use cata_obs::{run_watch, WatchConfig};
 use cata_sim::time::SimDuration;
 use cata_tdg::TdgFile;
 use cata_workloads::{Benchmark, Scale};
@@ -155,6 +184,21 @@ struct Opts {
     event_queue: Option<String>,
     min_ratio: f64,
     trajectory: Option<String>,
+    /// `--progress FILE`: heartbeat sidecars. Emitters (`run`/`preset`
+    /// with `--store`, `serve`) accept exactly one; `watch` tails many
+    /// (repeat the flag, one per shard).
+    progress: Vec<String>,
+    /// `watch --once`: render one headless frame and exit.
+    watch_once: bool,
+    /// `watch --until-done`: poll headlessly until the grid completes.
+    watch_until_done: bool,
+    /// `watch --timeout S`: give up on `--until-done` after S seconds.
+    watch_timeout_s: Option<u64>,
+    /// `watch --interval-ms N`: tail-poll cadence (default 250).
+    watch_interval_ms: Option<u64>,
+    /// `watch --width N` / `--height N`: frame-size overrides.
+    watch_width: Option<usize>,
+    watch_height: Option<usize>,
     /// Which backend(s) `run`/`preset`/`gc` grids use. `None` (no
     /// `--backend` flag) keeps each spec's own backend field — a spec
     /// file that says `"backend": "native"` runs native; `both`
@@ -261,6 +305,13 @@ fn parse_args() -> Opts {
     let mut event_queue = None;
     let mut min_ratio = 0.75f64;
     let mut trajectory = None;
+    let mut progress = Vec::new();
+    let mut watch_once = false;
+    let mut watch_until_done = false;
+    let mut watch_timeout_s = None;
+    let mut watch_interval_ms = None;
+    let mut watch_width = None;
+    let mut watch_height = None;
     let mut backend = None;
     let mut native_energy = EnergySource::Auto;
     let mut spec_files = Vec::new();
@@ -518,6 +569,42 @@ fn parse_args() -> Opts {
                         .unwrap_or_else(|| die("missing --trajectory path")),
                 );
             }
+            "--progress" => {
+                progress.push(
+                    args.next()
+                        .unwrap_or_else(|| die("missing --progress path")),
+                );
+            }
+            "--once" => watch_once = true,
+            "--until-done" => watch_until_done = true,
+            "--timeout" => {
+                watch_timeout_s = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| die("bad --timeout (want seconds)")),
+                );
+            }
+            "--interval-ms" => {
+                watch_interval_ms = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| die("bad --interval-ms")),
+                );
+            }
+            "--width" => {
+                watch_width = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| die("bad --width")),
+                );
+            }
+            "--height" => {
+                watch_height = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| die("bad --height")),
+                );
+            }
             "--help" | "-h" => {
                 print_help();
                 std::process::exit(0);
@@ -527,7 +614,16 @@ fn parse_args() -> Opts {
                 if matches!(
                     cmd.as_deref(),
                     Some(
-                        "run" | "preset" | "spec" | "merge" | "gc" | "export" | "record" | "serve"
+                        "run"
+                            | "preset"
+                            | "spec"
+                            | "merge"
+                            | "gc"
+                            | "export"
+                            | "record"
+                            | "serve"
+                            | "watch"
+                            | "replay"
                     )
                 ) && !other.starts_with('-') =>
             {
@@ -557,6 +653,13 @@ fn parse_args() -> Opts {
         event_queue,
         min_ratio,
         trajectory,
+        progress,
+        watch_once,
+        watch_until_done,
+        watch_timeout_s,
+        watch_interval_ms,
+        watch_width,
+        watch_height,
         backend,
         native_energy,
         spec_files,
@@ -639,7 +742,14 @@ fn print_help() {
          \x20             [--fig fig4|fig5]\n\
          \x20         gc STORE.jsonl SPEC... [--spec FILE] [--backend sim|native|both]\n\
          \x20         perf [--smoke] [--reps N] [--out FILE] [--baseline FILE]\n\
-         \x20             [--trajectory FILE]"
+         \x20             [--trajectory FILE]\n\
+         \x20         watch [STORE.jsonl...] [--progress FILE]... [--trajectory FILE]\n\
+         \x20             [--once | --until-done [--timeout S]] [--interval-ms N]\n\
+         \x20             [--width N] [--height N]   (operator console; q/j/k/Enter)\n\
+         \x20         replay CELL_KEY|INDEX --store FILE.jsonl   (re-run a stored cell\n\
+         \x20             bit-identically on the sim backend; exit 1 on divergence)\n\
+         \x20         run/preset (with --store) and serve emit heartbeats with\n\
+         \x20             [--progress FILE.progress.jsonl]  (cata-progress/v1 sidecar)"
     );
 }
 
@@ -934,7 +1044,8 @@ fn run_specs(opts: &Opts, specs: Vec<ScenarioSpec>) {
             if store.recovered_torn_tail() {
                 eprintln!("[store {path}: discarded a torn trailing line]");
             }
-            let outcome = suite.run_with_store(&exec, &store);
+            let progress = progress_writer(opts);
+            let outcome = suite.run_with_store_observed(&exec, &store, progress.as_ref());
             println!(
                 "[store {path}: {} resumed, {} executed]",
                 outcome.resumed, outcome.executed
@@ -968,6 +1079,15 @@ fn run_specs(opts: &Opts, specs: Vec<ScenarioSpec>) {
     if failed > 0 {
         std::process::exit(1);
     }
+}
+
+/// Opens the `--progress` heartbeat sidecar, if one was requested. The
+/// writer's shard id matches `--shard K/N` so a multi-shard watch can
+/// tell the streams apart; emission itself is best-effort downstream.
+fn progress_writer(opts: &Opts) -> Option<ProgressWriter> {
+    let path = opts.progress.first()?;
+    let shard = opts.shard.map(|(k, _)| k as u64).unwrap_or(0);
+    Some(ProgressWriter::open(path, shard).unwrap_or_else(|e| die(&e.to_string())))
 }
 
 /// `repro serve TARGET`: run the open-system service engine — graph
@@ -1067,6 +1187,8 @@ fn serve_service(opts: &Opts) {
         spec.base.memory = mems.into_iter().next();
     }
 
+    let progress = progress_writer(opts);
+    let started_ms = now_unix_ms();
     let t0 = Instant::now();
     let report = match &opts.tape {
         Some(path) => {
@@ -1087,11 +1209,12 @@ fn serve_service(opts: &Opts) {
                 tape.records.len(),
                 tape.digest
             );
-            replay_tape(
+            replay_tape_observed(
                 &spec,
                 &tape,
                 default_registries(),
                 default_admission_registry(),
+                progress.as_ref(),
             )
             .unwrap_or_else(|e| die(&e.to_string()))
         }
@@ -1102,9 +1225,13 @@ fn serve_service(opts: &Opts) {
                      the recorded traffic (or --rate R to generate instead)"
                 ));
             }
-            let (report, tape) =
-                run_service(&spec, default_registries(), default_admission_registry())
-                    .unwrap_or_else(|e| die(&e.to_string()));
+            let (report, tape) = run_service_observed(
+                &spec,
+                default_registries(),
+                default_admission_registry(),
+                progress.as_ref(),
+            )
+            .unwrap_or_else(|e| die(&e.to_string()));
             if let Some(out) = &opts.record_tape {
                 std::fs::write(out, tape.to_jsonl())
                     .unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
@@ -1152,6 +1279,9 @@ fn serve_service(opts: &Opts) {
         // spec digest is both the cell's identity and its "grid", and
         // the index is the digest reinterpreted — collision-free per
         // distinct spec, stable across re-runs (resume-friendly).
+        // `spec: None` deliberately: a `ServiceSpec` is not a
+        // `ScenarioSpec`, so serve cells are not `repro replay`able —
+        // replay refuses them with a clear error instead.
         let record = CellRecord {
             schema: STORE_SCHEMA.to_string(),
             index: u64::from_str_radix(&digest, 16).unwrap_or(0),
@@ -1164,6 +1294,10 @@ fn serve_service(opts: &Opts) {
             seed: spec.base.seed,
             wall_s,
             report: report.clone(),
+            host: Some(host_fingerprint()),
+            started_unix_ms: Some(started_ms),
+            finished_unix_ms: Some(now_unix_ms()),
+            spec: None,
         };
         store
             .append(&record)
@@ -1568,6 +1702,128 @@ fn gc_store(opts: &Opts) {
     println!("[gc {store_path}: kept {kept}, dropped {dropped} stale record(s)]");
 }
 
+/// `repro watch [STORE...]`: the operator console. Tails the given
+/// stores (positional or `--store`), `--progress` sidecars, and the
+/// `--trajectory` perf series into the live dashboard — or a headless
+/// frame with `--once`/`--until-done`.
+fn watch_dashboard(opts: &Opts) {
+    let mut stores: Vec<std::path::PathBuf> =
+        opts.args.iter().map(std::path::PathBuf::from).collect();
+    if let Some(s) = &opts.store {
+        stores.push(std::path::PathBuf::from(s));
+    }
+    let progress: Vec<std::path::PathBuf> =
+        opts.progress.iter().map(std::path::PathBuf::from).collect();
+    let trajectory = opts.trajectory.as_ref().map(std::path::PathBuf::from);
+    if stores.is_empty() && progress.is_empty() && trajectory.is_none() {
+        die(
+            "watch needs something to tail: store files (positional or --store), \
+             --progress FILE sidecars, or a --trajectory FILE",
+        );
+    }
+    if opts.watch_once && opts.watch_until_done {
+        die("watch: --once renders immediately and conflicts with --until-done");
+    }
+    if opts.watch_timeout_s.is_some() && !opts.watch_until_done {
+        die("watch: --timeout only bounds --until-done");
+    }
+    let cfg = WatchConfig {
+        stores,
+        progress,
+        trajectory,
+        interval_ms: opts.watch_interval_ms.unwrap_or(250),
+        once: opts.watch_once,
+        until_done: opts.watch_until_done,
+        timeout_s: opts.watch_timeout_s,
+        width: opts.watch_width,
+        height: opts.watch_height,
+    };
+    if let Err(e) = run_watch(&cfg) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// `repro replay CELL_KEY --store FILE`: re-run a stored cell from its
+/// embedded spec on the deterministic sim backend and diff the fresh
+/// report against the stored one. Exit 0 when bit-identical, 1 on
+/// divergence — the store's own determinism check.
+fn replay_stored_cell(opts: &Opts) {
+    let Some(key) = opts.args.first() else {
+        die("replay needs a cell key (or grid index) from the store");
+    };
+    let Some(store_path) = &opts.store else {
+        die("replay needs --store FILE.jsonl naming the results store");
+    };
+    let (records, truncated) =
+        ResultsStore::load(store_path).unwrap_or_else(|e| die(&e.to_string()));
+    if truncated {
+        eprintln!("[store {store_path}: discarded a torn trailing line]");
+    }
+    let index: Option<u64> = key.parse().ok();
+    // Last match wins: a resumed store may hold several attempts of one
+    // cell, and the newest is the one the suite would have kept.
+    let record = records
+        .iter()
+        .rev()
+        .find(|r| r.cell == **key || Some(r.index) == index)
+        .unwrap_or_else(|| {
+            let known: Vec<&str> = records.iter().map(|r| r.cell.as_str()).take(8).collect();
+            die(&format!(
+                "no cell {key:?} in {store_path} (first cells: {})",
+                known.join(", ")
+            ))
+        });
+    let Some(spec) = &record.spec else {
+        die(&format!(
+            "cell {} carries no embedded spec — records from pre-observability \
+             sweeps and `serve` cells cannot be replayed (re-run the sweep to \
+             stamp specs into the store)",
+            record.cell
+        ));
+    };
+    if spec_digest(spec) != record.spec_digest {
+        die(&format!(
+            "cell {}: embedded spec digests to {} but the record pins {} — \
+             the store is corrupt",
+            record.cell,
+            spec_digest(spec),
+            record.spec_digest
+        ));
+    }
+    if spec.backend == Backend::Native {
+        die(&format!(
+            "cell {} ran on the native backend, which is host-timed and not \
+             bit-replayable; only sim cells replay deterministically",
+            record.cell
+        ));
+    }
+    println!(
+        "[replaying cell {} (index {}, seed {}, spec {})]",
+        record.cell, record.index, record.seed, record.spec_digest
+    );
+    let fresh = SimExecutor::default()
+        .execute(&Scenario::from_spec(spec.clone()))
+        .unwrap_or_else(|e| die(&e.to_string()));
+    let fresh_json = serde_json::to_string(&fresh).expect("report serializes");
+    let stored_json = serde_json::to_string(&record.report).expect("report serializes");
+    if fresh_json == stored_json {
+        println!(
+            "[replay OK: report bit-identical to the stored cell ({} bytes)]",
+            stored_json.len()
+        );
+    } else {
+        eprintln!(
+            "error: replay diverged from the stored report\n  stored: {} bytes, digest {}\n  fresh:  {} bytes, digest {}",
+            stored_json.len(),
+            cata_tdg::fnv1a_hex(stored_json.bytes()),
+            fresh_json.len(),
+            cata_tdg::fnv1a_hex(fresh_json.bytes()),
+        );
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let opts = parse_args();
     // `--tdg` replaces the generator workload of the commands that build
@@ -1621,6 +1877,44 @@ fn main() {
         die(&format!(
             "{} have no effect on `{}` — its spec files already pin the workload",
             opts.generator_flags.join("/"),
+            opts.cmd
+        ));
+    }
+    // Heartbeat sidecars: only run/preset/serve emit them and only watch
+    // tails them; anywhere else the flag would be silently ignored.
+    if !opts.progress.is_empty()
+        && !matches!(opts.cmd.as_str(), "run" | "preset" | "serve" | "watch")
+    {
+        die(&format!(
+            "--progress is not used by `{}` (run/preset/serve emit heartbeats, watch tails them)",
+            opts.cmd
+        ));
+    }
+    if matches!(opts.cmd.as_str(), "run" | "preset" | "serve") {
+        if opts.progress.len() > 1 {
+            die(&format!(
+                "`{}` emits one heartbeat stream — pass --progress once (watch tails many)",
+                opts.cmd
+            ));
+        }
+        if !opts.progress.is_empty() && opts.cmd != "serve" && opts.store.is_none() {
+            die(&format!(
+                "`{}` --progress rides the store path — add --store FILE.jsonl",
+                opts.cmd
+            ));
+        }
+    }
+    // Watch presentation flags shape only the dashboard loop.
+    let has_watch_flags = opts.watch_once
+        || opts.watch_until_done
+        || opts.watch_timeout_s.is_some()
+        || opts.watch_interval_ms.is_some()
+        || opts.watch_width.is_some()
+        || opts.watch_height.is_some();
+    if has_watch_flags && opts.cmd != "watch" {
+        die(&format!(
+            "--once/--until-done/--timeout/--interval-ms/--width/--height only shape \
+             `watch`, not `{}`",
             opts.cmd
         ));
     }
@@ -1679,6 +1973,15 @@ fn main() {
         }
         "serve" => {
             serve_service(&opts);
+            eprintln!("[done in {:.1}s]", t0.elapsed().as_secs_f64());
+            return;
+        }
+        "watch" => {
+            watch_dashboard(&opts);
+            return;
+        }
+        "replay" => {
+            replay_stored_cell(&opts);
             eprintln!("[done in {:.1}s]", t0.elapsed().as_secs_f64());
             return;
         }

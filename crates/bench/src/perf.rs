@@ -58,7 +58,7 @@ pub struct PerfSummary {
 /// One point of the append-only perf trajectory: a harness run boiled
 /// down to its per-size aggregates, stored as a single JSONL line so
 /// every PR/CI run *appends* to the history instead of overwriting it.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PerfPoint {
     /// Format tag.
     pub schema: String,
@@ -71,6 +71,55 @@ pub struct PerfPoint {
     /// Medium-workload speedup over the baseline the run was gated
     /// against, if one was given.
     pub speedup_vs_baseline: Option<f64>,
+    /// Fingerprint of the measuring host
+    /// ([`cata_core::exp::host_fingerprint`]) — events/sec on two
+    /// different machines is not one trajectory, and the `repro watch`
+    /// sparkline refuses to plot a cross-host mix. `None` on points
+    /// appended before this field existed.
+    pub host: Option<String>,
+    /// Wall-clock append time, milliseconds since the Unix epoch (gives
+    /// the trajectory an x-axis). `None` on legacy points.
+    pub unix_ms: Option<u64>,
+}
+
+// Serde is hand-written so the provenance fields are *omitted* — not
+// `null` — when absent, and legacy trajectory lines (which predate them)
+// keep parsing.
+impl Serialize for PerfPoint {
+    fn to_value(&self) -> serde::Value {
+        let mut m: Vec<(String, serde::Value)> = vec![
+            ("schema".into(), self.schema.to_value()),
+            ("mode".into(), self.mode.to_value()),
+            ("reps".into(), self.reps.to_value()),
+            ("summaries".into(), self.summaries.to_value()),
+            (
+                "speedup_vs_baseline".into(),
+                self.speedup_vs_baseline.to_value(),
+            ),
+        ];
+        if let Some(h) = &self.host {
+            m.push(("host".into(), h.to_value()));
+        }
+        if let Some(ms) = self.unix_ms {
+            m.push(("unix_ms".into(), ms.to_value()));
+        }
+        serde::Value::Map(m)
+    }
+}
+
+impl Deserialize for PerfPoint {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let m = v.as_map_for("PerfPoint")?;
+        Ok(PerfPoint {
+            schema: serde::field(m, "schema", "PerfPoint")?,
+            mode: serde::field(m, "mode", "PerfPoint")?,
+            reps: serde::field(m, "reps", "PerfPoint")?,
+            summaries: serde::field(m, "summaries", "PerfPoint")?,
+            speedup_vs_baseline: serde::field(m, "speedup_vs_baseline", "PerfPoint")?,
+            host: serde::field(m, "host", "PerfPoint")?,
+            unix_ms: serde::field(m, "unix_ms", "PerfPoint")?,
+        })
+    }
 }
 
 /// Schema tag of [`PerfPoint`] trajectory records.
@@ -217,7 +266,8 @@ impl PerfReport {
         self
     }
 
-    /// Boils the report down to its trajectory point (see [`PerfPoint`]).
+    /// Boils the report down to its trajectory point (see [`PerfPoint`]),
+    /// stamped with the measuring host's fingerprint and the wall clock.
     pub fn trajectory_point(&self) -> PerfPoint {
         PerfPoint {
             schema: TRAJECTORY_SCHEMA.to_string(),
@@ -225,6 +275,8 @@ impl PerfReport {
             reps: self.reps,
             summaries: self.summaries.clone(),
             speedup_vs_baseline: self.speedup_vs_baseline,
+            host: Some(cata_core::exp::host_fingerprint()),
+            unix_ms: Some(cata_core::exp::now_unix_ms()),
         }
     }
 
@@ -289,6 +341,41 @@ impl PerfReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn trajectory_point_carries_provenance_and_legacy_lines_parse() {
+        let point = PerfPoint {
+            schema: TRAJECTORY_SCHEMA.into(),
+            mode: "smoke".into(),
+            reps: 1,
+            summaries: vec![PerfSummary {
+                workload: "medium".into(),
+                events: 10,
+                wall_s: 0.5,
+                events_per_sec: 20.0,
+            }],
+            speedup_vs_baseline: None,
+            host: Some("deadbeefdeadbeef".into()),
+            unix_ms: Some(1_700_000_000_000),
+        };
+        let json = serde_json::to_string(&point).unwrap();
+        assert!(json.contains("\"host\""), "{json}");
+        let back: PerfPoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.host.as_deref(), Some("deadbeefdeadbeef"));
+        assert_eq!(back.unix_ms, Some(1_700_000_000_000));
+
+        // A pre-provenance trajectory line (no host/unix_ms, null speedup)
+        // must keep parsing.
+        let legacy = r#"{"schema":"cata-perf-point/v1","mode":"smoke","reps":1,
+            "summaries":[],"speedup_vs_baseline":null}"#;
+        let old: PerfPoint = serde_json::from_str(legacy).unwrap();
+        assert!(old.host.is_none() && old.unix_ms.is_none());
+
+        // Fresh reports stamp both fields.
+        let stamped = run_perf(true, 1).trajectory_point();
+        assert_eq!(stamped.host, Some(cata_core::exp::host_fingerprint()));
+        assert!(stamped.unix_ms.is_some());
+    }
 
     #[test]
     fn smoke_report_round_trips() {

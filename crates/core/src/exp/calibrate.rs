@@ -196,6 +196,10 @@ mod tests {
             seed: spec.seed,
             wall_s,
             report,
+            host: None,
+            started_unix_ms: None,
+            finished_unix_ms: None,
+            spec: None,
         }
     }
 

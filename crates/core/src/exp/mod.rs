@@ -56,6 +56,7 @@
 pub mod calibrate;
 pub mod error;
 pub mod executor;
+pub mod progress;
 pub mod registry;
 pub mod scenario;
 pub mod spec;
@@ -65,6 +66,10 @@ pub mod suite;
 pub use calibrate::CostCalibration;
 pub use error::ExpError;
 pub use executor::{BackendDispatch, CapturedGraph, EnergySource, Executor, NativeExecutor};
+pub use progress::{
+    host_fingerprint, now_unix_ms, JsonlTail, ProgressEvent, ProgressRecord, ProgressWriter,
+    PROGRESS_SCHEMA,
+};
 pub use registry::{
     default_event_queue_registry, default_registries, AccelEntry, AllNonCritical, EstimatorEntry,
     EventQueueRegistry, FactoryCtx, PolicyCaps, PolicyKeys, PolicyRegistries, SchedulerEntry,

@@ -1,0 +1,496 @@
+//! Streaming progress telemetry: heartbeat records for live observability.
+//!
+//! A sweep or service run is opaque while it executes — the store only
+//! shows *finished* cells. This module adds a sidecar `.progress.jsonl`
+//! stream the runners append heartbeat records to (cell started, grid N%
+//! complete, cell finished, periodic service-mode snapshots), written with
+//! the exact discipline [`ResultsStore`](super::store::ResultsStore)
+//! established: one self-contained JSON line per record, serialized into a
+//! single buffer ending in `\n` and appended with one `write_all` on an
+//! `O_APPEND` handle. A reader therefore needs no IPC and tolerates a
+//! killed writer the same way the store reader does — only a newline-less
+//! trailing fragment is ever in doubt.
+//!
+//! [`JsonlTail`] is the matching reader: an incremental follower that
+//! polls a growing JSONL file and yields only the *complete* lines that
+//! arrived since the last poll, holding a torn tail back until its newline
+//! lands (the writer may still be mid-append, or may have been killed and
+//! later resumed by a fresh process). The `repro watch` dashboard tails
+//! progress files, shard stores, and the perf trajectory through this one
+//! follower.
+
+use super::error::ExpError;
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Format tag carried by every progress record; bumped on breaking layout
+/// changes.
+pub const PROGRESS_SCHEMA: &str = "cata-progress/v1";
+
+/// Milliseconds since the Unix epoch, for heartbeat timestamps. Wall-clock
+/// time is *observability metadata only* — nothing deterministic (digests,
+/// reports, resume keys) may depend on it.
+pub fn now_unix_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// A stable fingerprint of the executing host: FNV-1a over the kernel
+/// hostname and the CPU model line. Stamped onto store cells and perf
+/// trajectory points so readers can refuse to mix measurements from
+/// different machines (events/sec on two hosts is not one trajectory).
+pub fn host_fingerprint() -> String {
+    use std::sync::OnceLock;
+    static FP: OnceLock<String> = OnceLock::new();
+    FP.get_or_init(|| {
+        let hostname = std::fs::read_to_string("/proc/sys/kernel/hostname")
+            .ok()
+            .or_else(|| std::env::var("HOSTNAME").ok())
+            .unwrap_or_else(|| "unknown-host".to_string());
+        let cpu = std::fs::read_to_string("/proc/cpuinfo")
+            .ok()
+            .and_then(|text| {
+                text.lines()
+                    .find(|l| l.starts_with("model name"))
+                    .map(str::to_string)
+            })
+            .unwrap_or_else(|| "unknown-cpu".to_string());
+        cata_tdg::fnv1a_hex(format!("{}\n{cpu}", hostname.trim()).bytes())
+    })
+    .clone()
+}
+
+/// One heartbeat. Suite runners emit the cell/grid variants; the service
+/// engine emits periodic snapshots of its open-system accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProgressEvent {
+    /// A suite worker picked up cell `index` and is executing it.
+    CellStart {
+        /// Global grid index of the cell.
+        index: u64,
+        /// The spec's configuration name (`CATA`, `FIFO`, …) — the full
+        /// cell key is only known once the report names the workload that
+        /// actually ran, so the start beat carries the cheap spec name.
+        name: String,
+        /// Digest of the cell's spec (joins the beat to store records).
+        spec_digest: String,
+    },
+    /// A suite worker finished cell `index` (successfully or not).
+    CellFinish {
+        /// Global grid index of the cell.
+        index: u64,
+        /// Full cell key (`label@workload/fN/backend`) on success, the
+        /// spec name on failure (a failed run has no report to name the
+        /// workload).
+        cell: String,
+        /// Whether the cell produced a report (false ⇒ the error text is
+        /// in `cell`-adjacent logs, and the store holds no record).
+        ok: bool,
+        /// Wall-clock seconds the execution took.
+        wall_s: f64,
+    },
+    /// Shard-level completion: `done` of `total` cells finished. Emitted
+    /// once at startup (counting resumed cells) and after every finish.
+    GridProgress {
+        /// Cells completed so far (including cells resumed from the store).
+        done: u64,
+        /// Cells this shard owns.
+        total: u64,
+    },
+    /// Open-system service heartbeat: the engine's accounting at a fixed
+    /// arrival cadence.
+    ServiceSnapshot {
+        /// Graph instances that arrived so far.
+        arrivals: u64,
+        /// Instances past admission control.
+        admitted: u64,
+        /// Instances that ran to completion.
+        completed: u64,
+        /// Instances shed by admission or recovery.
+        dropped: u64,
+        /// Admitted instances still in flight.
+        in_flight: u64,
+        /// p99 response time so far, picoseconds (0 until completions).
+        p99_ps: u64,
+        /// Simulated time of the snapshot, picoseconds.
+        sim_time_ps: u64,
+    },
+}
+
+impl ProgressEvent {
+    /// The `kind` discriminator this event serializes under.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ProgressEvent::CellStart { .. } => "cell-start",
+            ProgressEvent::CellFinish { .. } => "cell-finish",
+            ProgressEvent::GridProgress { .. } => "grid",
+            ProgressEvent::ServiceSnapshot { .. } => "service",
+        }
+    }
+}
+
+/// One line of a `.progress.jsonl` stream: schema + shard + wall-clock
+/// stamp + the event, flattened into a single JSON map keyed by `kind`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgressRecord {
+    /// Format tag ([`PROGRESS_SCHEMA`]).
+    pub schema: String,
+    /// 0-based shard id of the emitting runner (0 when unsharded).
+    pub shard: u64,
+    /// Wall-clock milliseconds since the Unix epoch at emit time.
+    pub unix_ms: u64,
+    /// The heartbeat payload.
+    pub event: ProgressEvent,
+}
+
+// Serde is hand-written: the event fields are flattened into the record's
+// own map under a `kind` discriminator (the vendored derive has no enum
+// tagging attributes), keeping each heartbeat one flat, greppable line.
+impl Serialize for ProgressRecord {
+    fn to_value(&self) -> Value {
+        let mut m: Vec<(String, Value)> = vec![
+            ("schema".into(), self.schema.to_value()),
+            ("shard".into(), self.shard.to_value()),
+            ("unix_ms".into(), self.unix_ms.to_value()),
+            ("kind".into(), self.event.kind().to_value()),
+        ];
+        match &self.event {
+            ProgressEvent::CellStart {
+                index,
+                name,
+                spec_digest,
+            } => {
+                m.push(("index".into(), index.to_value()));
+                m.push(("name".into(), name.to_value()));
+                m.push(("spec_digest".into(), spec_digest.to_value()));
+            }
+            ProgressEvent::CellFinish {
+                index,
+                cell,
+                ok,
+                wall_s,
+            } => {
+                m.push(("index".into(), index.to_value()));
+                m.push(("cell".into(), cell.to_value()));
+                m.push(("ok".into(), ok.to_value()));
+                m.push(("wall_s".into(), wall_s.to_value()));
+            }
+            ProgressEvent::GridProgress { done, total } => {
+                m.push(("done".into(), done.to_value()));
+                m.push(("total".into(), total.to_value()));
+            }
+            ProgressEvent::ServiceSnapshot {
+                arrivals,
+                admitted,
+                completed,
+                dropped,
+                in_flight,
+                p99_ps,
+                sim_time_ps,
+            } => {
+                m.push(("arrivals".into(), arrivals.to_value()));
+                m.push(("admitted".into(), admitted.to_value()));
+                m.push(("completed".into(), completed.to_value()));
+                m.push(("dropped".into(), dropped.to_value()));
+                m.push(("in_flight".into(), in_flight.to_value()));
+                m.push(("p99_ps".into(), p99_ps.to_value()));
+                m.push(("sim_time_ps".into(), sim_time_ps.to_value()));
+            }
+        }
+        Value::Map(m)
+    }
+}
+
+impl Deserialize for ProgressRecord {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let m = v.as_map_for("ProgressRecord")?;
+        let kind: String = serde::field(m, "kind", "ProgressRecord")?;
+        let event = match kind.as_str() {
+            "cell-start" => ProgressEvent::CellStart {
+                index: serde::field(m, "index", "ProgressRecord")?,
+                name: serde::field(m, "name", "ProgressRecord")?,
+                spec_digest: serde::field(m, "spec_digest", "ProgressRecord")?,
+            },
+            "cell-finish" => ProgressEvent::CellFinish {
+                index: serde::field(m, "index", "ProgressRecord")?,
+                cell: serde::field(m, "cell", "ProgressRecord")?,
+                ok: serde::field(m, "ok", "ProgressRecord")?,
+                wall_s: serde::field(m, "wall_s", "ProgressRecord")?,
+            },
+            "grid" => ProgressEvent::GridProgress {
+                done: serde::field(m, "done", "ProgressRecord")?,
+                total: serde::field(m, "total", "ProgressRecord")?,
+            },
+            "service" => ProgressEvent::ServiceSnapshot {
+                arrivals: serde::field(m, "arrivals", "ProgressRecord")?,
+                admitted: serde::field(m, "admitted", "ProgressRecord")?,
+                completed: serde::field(m, "completed", "ProgressRecord")?,
+                dropped: serde::field(m, "dropped", "ProgressRecord")?,
+                in_flight: serde::field(m, "in_flight", "ProgressRecord")?,
+                p99_ps: serde::field(m, "p99_ps", "ProgressRecord")?,
+                sim_time_ps: serde::field(m, "sim_time_ps", "ProgressRecord")?,
+            },
+            other => {
+                return Err(DeError::new(format!(
+                    "ProgressRecord: unknown kind `{other}`"
+                )))
+            }
+        };
+        Ok(ProgressRecord {
+            schema: serde::field(m, "schema", "ProgressRecord")?,
+            shard: serde::field(m, "shard", "ProgressRecord")?,
+            unix_ms: serde::field(m, "unix_ms", "ProgressRecord")?,
+            event,
+        })
+    }
+}
+
+fn progress_err(path: &Path, what: impl std::fmt::Display) -> ExpError {
+    ExpError::Store(format!("{}: {what}", path.display()))
+}
+
+/// An append-only heartbeat writer bound to one `.progress.jsonl` file.
+/// Safe to share across suite workers: each emit is one serialized line
+/// written with a single `write_all` under a lock, then flushed — the
+/// identical atomic-append discipline as the results store, so a reader
+/// can never observe an interleaved or half-flushed record (only a
+/// killed writer's newline-less fragment).
+#[derive(Debug)]
+pub struct ProgressWriter {
+    path: PathBuf,
+    shard: u64,
+    writer: Mutex<File>,
+}
+
+impl ProgressWriter {
+    /// Opens (creating if missing) the heartbeat stream at `path`,
+    /// stamping every record with `shard`. Appends to an existing file —
+    /// a resumed sweep continues the same stream.
+    pub fn open(path: impl AsRef<Path>, shard: u64) -> Result<Self, ExpError> {
+        let path = path.as_ref().to_path_buf();
+        let writer = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| progress_err(&path, e))?;
+        Ok(ProgressWriter {
+            path,
+            shard,
+            writer: Mutex::new(writer),
+        })
+    }
+
+    /// The file this writer appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one heartbeat stamped with the current wall clock.
+    pub fn emit(&self, event: ProgressEvent) -> Result<(), ExpError> {
+        self.emit_at(now_unix_ms(), event)
+    }
+
+    /// Appends one heartbeat with an explicit timestamp (tests pin these
+    /// for deterministic streams).
+    pub fn emit_at(&self, unix_ms: u64, event: ProgressEvent) -> Result<(), ExpError> {
+        let record = ProgressRecord {
+            schema: PROGRESS_SCHEMA.to_string(),
+            shard: self.shard,
+            unix_ms,
+            event,
+        };
+        let mut line = serde_json::to_string(&record)
+            .map_err(|e| progress_err(&self.path, format!("serialize: {e}")))?;
+        line.push('\n');
+        let mut f = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        f.write_all(line.as_bytes())
+            .and_then(|()| f.flush())
+            .map_err(|e| progress_err(&self.path, e))
+    }
+}
+
+/// An incremental follower over a growing JSONL file.
+///
+/// Each [`poll`](Self::poll) reads everything appended since the last
+/// poll and returns only the *complete* lines (newline-terminated). A
+/// trailing newline-less fragment — a writer mid-append, or killed
+/// mid-`write_all` — is left unconsumed: the follower's offset stays at
+/// the last line boundary, so when the writer (or a successor process)
+/// finishes the line, the next poll yields it whole. A missing file is
+/// "no lines yet", not an error — the follower may be started before the
+/// writer. If the file *shrinks* below the consumed offset (a resuming
+/// `ResultsStore::open` truncating a torn tail), the follower restarts
+/// from the beginning and re-yields the surviving lines; consumers keyed
+/// by record identity (cell index, shard) dedupe naturally.
+#[derive(Debug)]
+pub struct JsonlTail {
+    path: PathBuf,
+    /// Bytes consumed into complete lines so far.
+    offset: u64,
+}
+
+impl JsonlTail {
+    /// A follower positioned at the start of `path` (which need not exist
+    /// yet).
+    pub fn new(path: impl AsRef<Path>) -> Self {
+        JsonlTail {
+            path: path.as_ref().to_path_buf(),
+            offset: 0,
+        }
+    }
+
+    /// The file being followed.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Returns the complete lines appended since the last poll (empty
+    /// strings filtered out; the trailing torn fragment, if any, is held
+    /// back for a future poll).
+    pub fn poll(&mut self) -> Result<Vec<String>, ExpError> {
+        let mut f = match File::open(&self.path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(progress_err(&self.path, e)),
+        };
+        let len = f.metadata().map_err(|e| progress_err(&self.path, e))?.len();
+        if len < self.offset {
+            // Truncated under us (torn-tail recovery by a fresh writer):
+            // restart; dedupe is the consumer's job.
+            self.offset = 0;
+        }
+        if len == self.offset {
+            return Ok(Vec::new());
+        }
+        f.seek(SeekFrom::Start(self.offset))
+            .map_err(|e| progress_err(&self.path, e))?;
+        let mut buf = String::new();
+        f.read_to_string(&mut buf)
+            .map_err(|e| progress_err(&self.path, e))?;
+        // Consume only up to the last newline; the fragment past it is a
+        // line still being written.
+        let Some(last_nl) = buf.rfind('\n') else {
+            return Ok(Vec::new());
+        };
+        let complete = &buf[..=last_nl];
+        self.offset += complete.len() as u64;
+        Ok(complete
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(str::to_string)
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cata-progress-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn records_round_trip_through_every_kind() {
+        let events = [
+            ProgressEvent::CellStart {
+                index: 3,
+                name: "CATA".into(),
+                spec_digest: "abcd".into(),
+            },
+            ProgressEvent::CellFinish {
+                index: 3,
+                cell: "CATA@dedup-tiny/f8/sim".into(),
+                ok: true,
+                wall_s: 0.25,
+            },
+            ProgressEvent::GridProgress { done: 4, total: 12 },
+            ProgressEvent::ServiceSnapshot {
+                arrivals: 100,
+                admitted: 90,
+                completed: 80,
+                dropped: 10,
+                in_flight: 10,
+                p99_ps: 12_345,
+                sim_time_ps: 999,
+            },
+        ];
+        for event in events {
+            let rec = ProgressRecord {
+                schema: PROGRESS_SCHEMA.into(),
+                shard: 1,
+                unix_ms: 1_700_000_000_000,
+                event,
+            };
+            let line = serde_json::to_string(&rec).unwrap();
+            let back: ProgressRecord = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, rec, "{line}");
+        }
+    }
+
+    #[test]
+    fn unknown_kind_is_an_error() {
+        let line = r#"{"schema":"cata-progress/v1","shard":0,"unix_ms":1,"kind":"mystery"}"#;
+        assert!(serde_json::from_str::<ProgressRecord>(line).is_err());
+    }
+
+    #[test]
+    fn tail_holds_back_torn_fragment_until_newline_arrives() {
+        let path = tmp("torn.progress.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let mut tail = JsonlTail::new(&path);
+        assert!(tail.poll().unwrap().is_empty(), "missing file = no lines");
+
+        let writer = ProgressWriter::open(&path, 0).unwrap();
+        writer
+            .emit_at(1, ProgressEvent::GridProgress { done: 0, total: 2 })
+            .unwrap();
+        assert_eq!(tail.poll().unwrap().len(), 1);
+
+        // A writer killed mid-append leaves a newline-less fragment; the
+        // follower must not yield it.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"schema\":\"cata-progress/v1\",\"shard\":0")
+            .unwrap();
+        f.flush().unwrap();
+        assert!(tail.poll().unwrap().is_empty(), "fragment must be held");
+
+        // The resumed writer finishes the line; the whole record arrives.
+        f.write_all(b",\"unix_ms\":2,\"kind\":\"grid\",\"done\":1,\"total\":2}\n")
+            .unwrap();
+        drop(f);
+        let lines = tail.poll().unwrap();
+        assert_eq!(lines.len(), 1);
+        let rec: ProgressRecord = serde_json::from_str(&lines[0]).unwrap();
+        assert_eq!(rec.event, ProgressEvent::GridProgress { done: 1, total: 2 });
+        assert!(tail.poll().unwrap().is_empty());
+    }
+
+    #[test]
+    fn tail_restarts_after_truncation() {
+        let path = tmp("trunc.progress.jsonl");
+        let _ = std::fs::remove_file(&path);
+        std::fs::write(&path, "{\"a\":1}\n{\"b\":2}\n").unwrap();
+        let mut tail = JsonlTail::new(&path);
+        assert_eq!(tail.poll().unwrap().len(), 2);
+        // A fresh writer truncated the file (torn-tail recovery) and
+        // appended anew: the follower re-reads from the start.
+        std::fs::write(&path, "{\"a\":1}\n").unwrap();
+        assert_eq!(tail.poll().unwrap(), vec!["{\"a\":1}".to_string()]);
+    }
+
+    #[test]
+    fn host_fingerprint_is_stable_hex() {
+        let a = host_fingerprint();
+        assert_eq!(a, host_fingerprint());
+        assert_eq!(a.len(), 16, "{a}");
+        assert!(a.bytes().all(|b| b.is_ascii_hexdigit()), "{a}");
+    }
+}

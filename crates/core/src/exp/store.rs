@@ -31,7 +31,7 @@ use crate::report::RunReport;
 // keeps every identity — spec, grid, graph — in one namespace by
 // construction.
 use cata_tdg::fnv1a_hex as fnv1a;
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::Write as _;
@@ -61,7 +61,7 @@ pub fn grid_digest<'a>(pairs: impl Iterator<Item = (u64, &'a str)>) -> String {
 }
 
 /// One completed suite cell, as stored on one JSONL line.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CellRecord {
     /// Format tag ([`STORE_SCHEMA`]).
     pub schema: String,
@@ -85,6 +85,76 @@ pub struct CellRecord {
     pub wall_s: f64,
     /// The measured result.
     pub report: RunReport,
+    /// Fingerprint of the executing host (see
+    /// [`host_fingerprint`](super::progress::host_fingerprint)), so
+    /// readers can refuse to treat cross-host wall times as one series.
+    /// `None` — and skipped in the serialized form, so legacy stores stay
+    /// byte-identical — on records written before this field existed.
+    pub host: Option<String>,
+    /// Wall-clock start of the execution, milliseconds since the Unix
+    /// epoch. Observability metadata only (dashboard throughput/ETA
+    /// columns); `None` and skipped on legacy records.
+    pub started_unix_ms: Option<u64>,
+    /// Wall-clock end of the execution, same convention as
+    /// `started_unix_ms`.
+    pub finished_unix_ms: Option<u64>,
+    /// The full spec the cell executed, embedded so the record is
+    /// replayable on the spot (`repro replay`) without the generating
+    /// grid. `None` and skipped on legacy records — those replay only via
+    /// an externally supplied spec matching `spec_digest`.
+    pub spec: Option<ScenarioSpec>,
+}
+
+// Serde is hand-written (the vendored derive would emit `None` fields as
+// `null`) so every optional field is *omitted* when absent: a legacy
+// record loaded and re-serialized (merge --out, gc rewrite) stays
+// byte-identical, and golden store fixtures never see the new fields.
+impl Serialize for CellRecord {
+    fn to_value(&self) -> Value {
+        let mut m: Vec<(String, Value)> = vec![
+            ("schema".into(), self.schema.to_value()),
+            ("index".into(), self.index.to_value()),
+            ("cell".into(), self.cell.to_value()),
+            ("grid".into(), self.grid.to_value()),
+            ("spec_digest".into(), self.spec_digest.to_value()),
+            ("seed".into(), self.seed.to_value()),
+            ("wall_s".into(), self.wall_s.to_value()),
+            ("report".into(), self.report.to_value()),
+        ];
+        if let Some(h) = &self.host {
+            m.push(("host".into(), h.to_value()));
+        }
+        if let Some(ms) = self.started_unix_ms {
+            m.push(("started_unix_ms".into(), ms.to_value()));
+        }
+        if let Some(ms) = self.finished_unix_ms {
+            m.push(("finished_unix_ms".into(), ms.to_value()));
+        }
+        if let Some(spec) = &self.spec {
+            m.push(("spec".into(), spec.to_value()));
+        }
+        Value::Map(m)
+    }
+}
+
+impl Deserialize for CellRecord {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let m = v.as_map_for("CellRecord")?;
+        Ok(CellRecord {
+            schema: serde::field(m, "schema", "CellRecord")?,
+            index: serde::field(m, "index", "CellRecord")?,
+            cell: serde::field(m, "cell", "CellRecord")?,
+            grid: serde::field(m, "grid", "CellRecord")?,
+            spec_digest: serde::field(m, "spec_digest", "CellRecord")?,
+            seed: serde::field(m, "seed", "CellRecord")?,
+            wall_s: serde::field(m, "wall_s", "CellRecord")?,
+            report: serde::field(m, "report", "CellRecord")?,
+            host: serde::field(m, "host", "CellRecord")?,
+            started_unix_ms: serde::field(m, "started_unix_ms", "CellRecord")?,
+            finished_unix_ms: serde::field(m, "finished_unix_ms", "CellRecord")?,
+            spec: serde::field(m, "spec", "CellRecord")?,
+        })
+    }
 }
 
 impl CellRecord {
@@ -117,7 +187,32 @@ impl CellRecord {
             seed: spec.seed,
             wall_s,
             report,
+            host: None,
+            started_unix_ms: None,
+            finished_unix_ms: None,
+            spec: None,
         }
+    }
+
+    /// Stamps the executing host's fingerprint onto the record.
+    pub fn with_host(mut self, host: String) -> Self {
+        self.host = Some(host);
+        self
+    }
+
+    /// Stamps the wall-clock execution window onto the record
+    /// (observability metadata: dashboard throughput/ETA columns).
+    pub fn with_times(mut self, started_unix_ms: u64, finished_unix_ms: u64) -> Self {
+        self.started_unix_ms = Some(started_unix_ms);
+        self.finished_unix_ms = Some(finished_unix_ms);
+        self
+    }
+
+    /// Embeds the executed spec so the record replays standalone
+    /// (`repro replay CELL --store FILE`).
+    pub fn with_spec(mut self, spec: ScenarioSpec) -> Self {
+        self.spec = Some(spec);
+        self
     }
 }
 
@@ -576,6 +671,44 @@ mod tests {
         let native_spec = spec().with_backend(crate::exp::spec::Backend::Native);
         let rec = CellRecord::new(1, &native_spec, "g".into(), 0.0, rec.report);
         assert!(rec.cell.ends_with("/native"), "{}", rec.cell);
+    }
+
+    #[test]
+    fn observability_fields_are_omitted_when_absent_and_round_trip_when_present() {
+        // Legacy layout: a bare record serializes without any of the new
+        // optional fields, so existing stores rewritten by merge/gc stay
+        // byte-identical.
+        let bare = record(0);
+        let json = serde_json::to_string(&bare).unwrap();
+        for field in [
+            "\"host\"",
+            "started_unix_ms",
+            "finished_unix_ms",
+            "\"spec\"",
+        ] {
+            assert!(!json.contains(field), "{field} must be omitted: {json}");
+        }
+        let back: CellRecord = serde_json::from_str(&json).unwrap();
+        assert!(back.host.is_none() && back.spec.is_none());
+        assert_eq!(
+            serde_json::to_string(&back).unwrap(),
+            json,
+            "byte-identical"
+        );
+
+        // Stamped records round-trip, and the embedded spec re-digests to
+        // the record's own digest (the replay precondition).
+        let s = spec();
+        let full = record(1)
+            .with_host("deadbeefdeadbeef".into())
+            .with_times(1_000, 2_500)
+            .with_spec(s.clone());
+        let json = serde_json::to_string(&full).unwrap();
+        let back: CellRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.host.as_deref(), Some("deadbeefdeadbeef"));
+        assert_eq!(back.started_unix_ms, Some(1_000));
+        assert_eq!(back.finished_unix_ms, Some(2_500));
+        assert_eq!(spec_digest(back.spec.as_ref().unwrap()), spec_digest(&s));
     }
 
     #[test]

@@ -18,6 +18,7 @@
 use super::calibrate::CostCalibration;
 use super::error::ExpError;
 use super::executor::Executor;
+use super::progress::{host_fingerprint, now_unix_ms, ProgressEvent, ProgressWriter};
 use super::registry::PolicyRegistries;
 use super::scenario::Scenario;
 use super::spec::ScenarioSpec;
@@ -478,6 +479,25 @@ impl Suite {
         executor: &E,
         store: &ResultsStore,
     ) -> StoreRunOutcome {
+        self.run_with_store_observed(executor, store, None)
+    }
+
+    /// Like [`run_with_store`](Self::run_with_store), with heartbeat
+    /// telemetry: every cell pickup/finish and the running done/total
+    /// count are streamed into `progress` (cell start, cell finish,
+    /// grid progress), so a live dashboard can follow the sweep across
+    /// processes with no IPC. Heartbeats are best-effort — a telemetry
+    /// write error never fails the sweep — and purely observational:
+    /// results, records, and digests are bit-identical with `None`.
+    /// Executed cells are additionally stamped with the host fingerprint,
+    /// their wall-clock window, and the embedded spec (the replay
+    /// precondition).
+    pub fn run_with_store_observed<E: Executor + ?Sized>(
+        &self,
+        executor: &E,
+        store: &ResultsStore,
+        progress: Option<&ProgressWriter>,
+    ) -> StoreRunOutcome {
         let n = self.scenarios.len();
         let digests: Vec<String> = self
             .scenarios
@@ -505,6 +525,23 @@ impl Suite {
             .filter(|&i| !completed.contains_key(&(self.indices[i], digests[i].as_str())))
             .collect();
 
+        // `done` counts cells no longer pending (resumed + finished
+        // attempts, including failures — a failed cell is over, not
+        // outstanding). Emitted after every finish so a tailing dashboard
+        // sees the shard's completion fraction move.
+        let done = AtomicUsize::new(n - pending.len());
+        let beat = |event: ProgressEvent| {
+            if let Some(w) = progress {
+                // Telemetry is best-effort: a full disk or yanked sidecar
+                // file must not kill a multi-hour sweep.
+                let _ = w.emit(event);
+            }
+        };
+        beat(ProgressEvent::GridProgress {
+            done: done.load(Ordering::Relaxed) as u64,
+            total: n as u64,
+        });
+
         let execute_one = |pos: usize| -> Result<RunReport, ExpError> {
             // Warm the shared graph cache outside the timed window, so
             // `wall_s` measures execution rather than workload generation
@@ -519,10 +556,17 @@ impl Suite {
             if workload.graph_cache_eligible() {
                 let _ = workload.try_build_graph_shared();
             }
+            beat(ProgressEvent::CellStart {
+                index: self.indices[pos],
+                name: self.scenarios[pos].spec().name.clone(),
+                spec_digest: digests[pos].clone(),
+            });
+            let started_ms = now_unix_ms();
             let t0 = Instant::now();
             let result = execute_checked(executor, &self.scenarios[pos]);
             let wall_s = t0.elapsed().as_secs_f64();
-            match result {
+            let finished_ms = now_unix_ms();
+            let outcome = match result {
                 Ok(report) => {
                     let rec = CellRecord::new(
                         self.indices[pos],
@@ -530,12 +574,34 @@ impl Suite {
                         grid.clone(),
                         wall_s,
                         report,
-                    );
+                    )
+                    .with_host(host_fingerprint())
+                    .with_times(started_ms, finished_ms)
+                    .with_spec(self.scenarios[pos].spec().clone());
+                    beat(ProgressEvent::CellFinish {
+                        index: self.indices[pos],
+                        cell: rec.cell.clone(),
+                        ok: true,
+                        wall_s,
+                    });
                     store.append(&rec)?;
                     Ok(rec.report)
                 }
-                Err(e) => Err(e),
-            }
+                Err(e) => {
+                    beat(ProgressEvent::CellFinish {
+                        index: self.indices[pos],
+                        cell: self.scenarios[pos].spec().name.clone(),
+                        ok: false,
+                        wall_s,
+                    });
+                    Err(e)
+                }
+            };
+            beat(ProgressEvent::GridProgress {
+                done: done.fetch_add(1, Ordering::Relaxed) as u64 + 1,
+                total: n as u64,
+            });
+            outcome
         };
 
         let workers = self.jobs.clamp(1, pending.len().max(1));

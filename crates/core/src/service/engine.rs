@@ -26,6 +26,7 @@ use super::spec::{ArrivalSpec, ServiceSpec};
 use super::tape::{TapeRecord, TrafficTape};
 use crate::accel::{AccelEffects, AccelManager};
 use crate::exp::error::ExpError;
+use crate::exp::progress::{ProgressEvent, ProgressWriter};
 use crate::exp::registry::{FactoryCtx, PolicyKeys, PolicyRegistries, ResolvedPolicies};
 use crate::exp::suite::derive_seed;
 use crate::fault::{default_recovery_registry, RecoveryAction, RecoveryCtx, RecoveryPolicy};
@@ -48,6 +49,13 @@ use std::sync::Arc;
 /// decorrelated from the run seed the policies see.
 const ARRIVAL_STREAM: u64 = 0x7A9E_0001;
 
+/// Heartbeat cadence of an observed run: one
+/// [`ServiceSnapshot`](ProgressEvent::ServiceSnapshot) per this many
+/// arrivals (plus one final snapshot at drain). Arrival-indexed rather
+/// than wall-clocked so the emitted stream is a deterministic function of
+/// the tape (only the `unix_ms` stamps differ between runs).
+const SNAPSHOT_EVERY_ARRIVALS: u64 = 64;
+
 /// Runs a service spec end to end: generates the traffic tape its
 /// arrival process describes, replays it, and returns both the report
 /// and the tape (so callers can store/record the traffic they measured).
@@ -60,6 +68,21 @@ pub fn run_service(
     spec: &ServiceSpec,
     registries: &PolicyRegistries,
     admissions: &AdmissionRegistry,
+) -> Result<(RunReport, TrafficTape), ExpError> {
+    run_service_observed(spec, registries, admissions, None)
+}
+
+/// Like [`run_service`], with heartbeat telemetry: the engine streams a
+/// [`ServiceSnapshot`](ProgressEvent::ServiceSnapshot) of its accounting
+/// (arrivals, drops, in-flight, p99-so-far) into `progress` every
+/// [`SNAPSHOT_EVERY_ARRIVALS`] arrivals plus once at drain. Heartbeats
+/// are best-effort and purely observational — the report is bit-identical
+/// with `None`.
+pub fn run_service_observed(
+    spec: &ServiceSpec,
+    registries: &PolicyRegistries,
+    admissions: &AdmissionRegistry,
+    progress: Option<&ProgressWriter>,
 ) -> Result<(RunReport, TrafficTape), ExpError> {
     spec.validate()?;
     if matches!(spec.arrival, ArrivalSpec::Tape { .. }) {
@@ -74,7 +97,7 @@ pub fn run_service(
         spec.base.workload.clone(),
         derive_seed(spec.base.seed, ARRIVAL_STREAM),
     )?;
-    let report = replay_tape(spec, &tape, registries, admissions)?;
+    let report = replay_tape_observed(spec, &tape, registries, admissions, progress)?;
     Ok((report, tape))
 }
 
@@ -86,6 +109,18 @@ pub fn replay_tape(
     tape: &TrafficTape,
     registries: &PolicyRegistries,
     admissions: &AdmissionRegistry,
+) -> Result<RunReport, ExpError> {
+    replay_tape_observed(spec, tape, registries, admissions, None)
+}
+
+/// Like [`replay_tape`], with heartbeat telemetry (see
+/// [`run_service_observed`]).
+pub fn replay_tape_observed(
+    spec: &ServiceSpec,
+    tape: &TrafficTape,
+    registries: &PolicyRegistries,
+    admissions: &AdmissionRegistry,
+    progress: Option<&ProgressWriter>,
 ) -> Result<RunReport, ExpError> {
     spec.base.validate()?;
     let digest = tape.verify()?;
@@ -186,7 +221,7 @@ pub fn replay_tape(
         Some(m) => Some(default_arbitration_registry().build(&m.arbitration, m)?),
         None => None,
     };
-    let engine = ServiceEngine::new(
+    let mut engine = ServiceEngine::new(
         engine_params,
         &graphs,
         &tape.records,
@@ -196,6 +231,7 @@ pub fn replay_tape(
         recovery,
         arbitration,
     );
+    engine.progress = progress;
     engine.run(&workload_label)
 }
 
@@ -328,6 +364,8 @@ struct ServiceEngine<'g> {
     fault: Option<FaultState>,
     /// Memory-gate bookkeeping; `None` on the uncontended machine.
     mem: Option<MemState>,
+    /// Heartbeat sink of an observed run; `None` runs silently.
+    progress: Option<&'g ProgressWriter>,
 }
 
 impl<'g> ServiceEngine<'g> {
@@ -408,6 +446,23 @@ impl<'g> ServiceEngine<'g> {
             service_time: LatencyHistogram::new(),
             fault,
             mem,
+            progress: None,
+        }
+    }
+
+    /// Streams one heartbeat snapshot of the service accounting.
+    /// Best-effort: a telemetry write error never fails the run.
+    fn snapshot(&self, now: SimTime) {
+        if let Some(w) = self.progress {
+            let _ = w.emit(ProgressEvent::ServiceSnapshot {
+                arrivals: self.arrivals,
+                admitted: self.admitted,
+                completed: self.completed,
+                dropped: self.dropped,
+                in_flight: self.live as u64,
+                p99_ps: self.latency.quantile(0.99).as_ps(),
+                sim_time_ps: now.as_ps(),
+            });
         }
     }
 
@@ -485,6 +540,9 @@ impl<'g> ServiceEngine<'g> {
         // usually it *is* the last completion, but a trailing dropped
         // arrival or idle-halt can sit later.
         let end = self.horizon.max(self.last_completion);
+        // Final heartbeat: the drained totals a tailing dashboard settles
+        // on.
+        self.snapshot(end);
         // Close the capacity ledger: cores still failed at run end lost
         // the remainder of the observation window.
         let fault = self.fault.take().map(|mut fs| {
@@ -572,6 +630,9 @@ impl<'g> ServiceEngine<'g> {
             self.events.push(SimTime::from_ps(next.at_ps), SEv::Arrival);
         }
         self.arrivals += 1;
+        if self.arrivals.is_multiple_of(SNAPSHOT_EVERY_ARRIVALS) {
+            self.snapshot(now);
+        }
 
         let entry = &self.graphs[rec.workload as usize];
         let ctx = AdmissionCtx {

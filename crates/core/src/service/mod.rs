@@ -43,7 +43,7 @@ pub mod tape;
 pub use admission::{
     default_admission_registry, AdmissionCtx, AdmissionPolicy, AdmissionRegistry, DEFAULT_QUEUE_CAP,
 };
-pub use engine::{replay_tape, run_service};
+pub use engine::{replay_tape, replay_tape_observed, run_service, run_service_observed};
 pub use report::ServiceReport;
 pub use spec::{AdmissionParams, ArrivalSpec, ServiceSpec};
 pub use tape::{TapeRecord, TrafficTape, TAPE_SCHEMA};

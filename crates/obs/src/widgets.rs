@@ -1,0 +1,194 @@
+//! Reusable drawing primitives composed by the dashboard renderer.
+
+use crate::frame::{Frame, Rect, Style};
+
+/// Glyph + style for a grid cell that has not started.
+pub const GLYPH_PENDING: (char, Style) = ('·', Style::Dim);
+/// Glyph + style for a grid cell currently executing.
+pub const GLYPH_RUNNING: (char, Style) = ('▶', Style::Yellow);
+/// Glyph + style for a grid cell that finished successfully.
+pub const GLYPH_DONE: (char, Style) = ('█', Style::Green);
+/// Glyph + style for a grid cell whose attempt failed.
+pub const GLYPH_FAILED: (char, Style) = ('✗', Style::Red);
+
+/// Draws a single-line box around `area` with `title` set into the top
+/// edge, returning the interior region.
+pub fn border(f: &mut Frame, area: Rect, title: &str) -> Rect {
+    if area.w < 2 || area.h < 2 {
+        return area.inner();
+    }
+    let (x0, y0) = (area.x, area.y);
+    let (x1, y1) = (area.x + area.w - 1, area.y + area.h - 1);
+    f.put(x0, y0, '┌', Style::Dim);
+    f.put(x1, y0, '┐', Style::Dim);
+    f.put(x0, y1, '└', Style::Dim);
+    f.put(x1, y1, '┘', Style::Dim);
+    f.hfill(x0 + 1, y0, area.w - 2, '─', Style::Dim);
+    f.hfill(x0 + 1, y1, area.w - 2, '─', Style::Dim);
+    for y in (y0 + 1)..y1 {
+        f.put(x0, y, '│', Style::Dim);
+        f.put(x1, y, '│', Style::Dim);
+    }
+    if !title.is_empty() && area.w > 4 {
+        let label = format!(" {title} ");
+        f.text(x0 + 2, y0, &label, Style::Bold);
+    }
+    area.inner()
+}
+
+/// Draws a `[█████░░░░] done/total` completion gauge across `width`
+/// columns starting at `(x, y)`.
+pub fn gauge(f: &mut Frame, x: usize, y: usize, width: usize, done: u64, total: u64) {
+    let label = format!(" {done}/{total}");
+    let bar_w = width.saturating_sub(label.chars().count() + 2);
+    if bar_w == 0 {
+        f.text(x, y, label.trim_start(), Style::Bold);
+        return;
+    }
+    let filled = if total == 0 {
+        0
+    } else {
+        (done as usize * bar_w) / total as usize
+    };
+    f.put(x, y, '[', Style::Dim);
+    f.hfill(x + 1, y, filled, '█', Style::Green);
+    f.hfill(x + 1 + filled, y, bar_w - filled, '░', Style::Dim);
+    f.put(x + 1 + bar_w, y, ']', Style::Dim);
+    let style = if total > 0 && done == total {
+        Style::Green
+    } else {
+        Style::Bold
+    };
+    f.text(x + bar_w + 2, y, &label, style);
+}
+
+/// Draws a unicode block sparkline of `values` scaled to their own
+/// min..max, right-aligned into `width` columns at `(x, y)`. NaN or
+/// non-finite samples are skipped. Returns the number of points drawn.
+pub fn sparkline(f: &mut Frame, x: usize, y: usize, width: usize, values: &[f64]) -> usize {
+    const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() || width == 0 {
+        return 0;
+    }
+    let shown = &finite[finite.len().saturating_sub(width)..];
+    let lo = shown.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = shown.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(f64::MIN_POSITIVE);
+    let x0 = x + width - shown.len();
+    for (i, v) in shown.iter().enumerate() {
+        let idx = (((v - lo) / span) * 7.0).round() as usize;
+        f.put(x0 + i, y, BLOCKS[idx.min(7)], Style::Cyan);
+    }
+    shown.len()
+}
+
+/// Formats a float for display: `-` for non-finite, trimmed precision
+/// otherwise. Guarantees the frame never contains `NaN`/`inf` text.
+pub fn fmt_f64(v: Option<f64>) -> String {
+    match v {
+        Some(v) if v.is_finite() => {
+            if v == 0.0 {
+                "0".into()
+            } else if v.abs() >= 1000.0 {
+                format!("{v:.0}")
+            } else if v.abs() >= 1.0 {
+                format!("{v:.3}")
+            } else {
+                format!("{v:.3e}")
+            }
+        }
+        _ => "-".into(),
+    }
+}
+
+/// Formats a picosecond duration as engineering-notation seconds.
+pub fn fmt_ps(ps: Option<u64>) -> String {
+    match ps {
+        None => "-".into(),
+        Some(ps) => {
+            let s = ps as f64 * 1e-12;
+            if s >= 1.0 {
+                format!("{s:.3}s")
+            } else if s >= 1e-3 {
+                format!("{:.3}ms", s * 1e3)
+            } else if s >= 1e-6 {
+                format!("{:.3}us", s * 1e6)
+            } else {
+                format!("{ps}ps")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gauge_full_and_empty() {
+        let mut f = Frame::new(20, 1);
+        gauge(&mut f, 0, 0, 20, 4, 4);
+        let t = f.to_text();
+        assert!(t.contains("4/4"), "{t}");
+        assert!(t.contains('█'));
+        assert!(!t.contains('░'), "full gauge has no empty run: {t}");
+
+        let mut f = Frame::new(20, 1);
+        gauge(&mut f, 0, 0, 20, 0, 4);
+        let t = f.to_text();
+        assert!(t.contains("0/4"), "{t}");
+        assert!(!t.contains('█'));
+    }
+
+    #[test]
+    fn sparkline_skips_non_finite_and_scales_to_range() {
+        let mut f = Frame::new(8, 1);
+        let n = sparkline(
+            &mut f,
+            0,
+            0,
+            8,
+            &[1.0, f64::NAN, 2.0, f64::INFINITY, 3.0, 4.0],
+        );
+        assert_eq!(n, 4);
+        let t = f.to_text();
+        assert!(t.contains('▁') && t.contains('█'), "{t}");
+        assert!(!t.contains("NaN") && !t.contains("inf"));
+    }
+
+    #[test]
+    fn formatters_never_leak_nan_or_inf() {
+        assert_eq!(fmt_f64(Some(f64::NAN)), "-");
+        assert_eq!(fmt_f64(Some(f64::INFINITY)), "-");
+        assert_eq!(fmt_f64(None), "-");
+        assert_eq!(fmt_f64(Some(0.0)), "0");
+        assert_eq!(fmt_ps(None), "-");
+        assert_eq!(fmt_ps(Some(1_500_000_000)), "1.500ms");
+    }
+
+    #[test]
+    fn border_returns_interior() {
+        let mut f = Frame::new(10, 4);
+        let inner = border(
+            &mut f,
+            Rect {
+                x: 0,
+                y: 0,
+                w: 10,
+                h: 4,
+            },
+            "T",
+        );
+        assert_eq!(
+            inner,
+            Rect {
+                x: 1,
+                y: 1,
+                w: 8,
+                h: 2
+            }
+        );
+        assert!(f.to_text().contains(" T "));
+    }
+}

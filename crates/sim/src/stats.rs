@@ -79,6 +79,29 @@ impl LatencySamples {
         SimDuration::from_ps(self.samples_ps[rank])
     }
 
+    /// The `q`-quantile without mutating the collection. A pure renderer
+    /// (`State -> Frame`) holds reports by shared reference and cannot use
+    /// the lazily-sorting [`quantile`](Self::quantile); this variant sorts
+    /// a copy when the samples are not already in order (reports hold at
+    /// most tens of thousands of samples, so the copy is dashboard-cheap).
+    pub fn quantile_of(&self, q: f64) -> SimDuration {
+        if self.samples_ps.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let sorted_ps;
+        let samples = if self.sorted {
+            &self.samples_ps
+        } else {
+            let mut copy = self.samples_ps.clone();
+            copy.sort_unstable();
+            sorted_ps = copy;
+            &sorted_ps
+        };
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((samples.len() as f64 - 1.0) * q).round() as usize;
+        SimDuration::from_ps(samples[rank])
+    }
+
     /// Merges another collection into this one.
     pub fn merge(&mut self, other: &LatencySamples) {
         self.samples_ps.extend_from_slice(&other.samples_ps);
@@ -227,6 +250,17 @@ impl LatencyHistogram {
             }
         }
         self.max()
+    }
+
+    /// The occupied buckets as `(lower_bound_ps, count)` pairs in
+    /// ascending value order — the shape a renderer needs to draw the
+    /// latency distribution without reaching into the bucket encoding.
+    pub fn occupied_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(b, &c)| (Self::bucket_floor(b), c))
     }
 
     /// Merges another histogram into this one.
@@ -413,6 +447,35 @@ mod tests {
         assert_eq!(s.quantile(1.0), SimDuration::from_us(10));
         s.record(SimDuration::from_us(5));
         assert_eq!(s.quantile(0.0), SimDuration::from_us(5));
+    }
+
+    #[test]
+    fn quantile_of_matches_sorting_quantile_without_mutation() {
+        let mut s = LatencySamples::new();
+        for us in [40u64, 10, 100, 20, 30] {
+            s.record(SimDuration::from_us(us));
+        }
+        // The shared-reference variant agrees with the sorting one at
+        // every rank, both before and after the internal sort happened.
+        assert_eq!(s.quantile_of(0.5), SimDuration::from_us(30));
+        for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            assert_eq!(s.quantile_of(q), s.clone().quantile(q), "q={q}");
+        }
+        s.quantile(0.5); // sorts in place
+        assert_eq!(s.quantile_of(1.0), SimDuration::from_us(100));
+        assert!(LatencySamples::new().quantile_of(0.5).is_zero());
+    }
+
+    #[test]
+    fn occupied_buckets_cover_every_sample_in_order() {
+        let mut h = LatencyHistogram::new();
+        for us in [1u64, 5, 5, 900, 12_000] {
+            h.record(SimDuration::from_us(us));
+        }
+        let buckets: Vec<(u64, u64)> = h.occupied_buckets().collect();
+        assert_eq!(buckets.iter().map(|&(_, c)| c).sum::<u64>(), h.count());
+        assert!(buckets.windows(2).all(|w| w[0].0 < w[1].0), "{buckets:?}");
+        assert!(buckets.iter().all(|&(floor, _)| floor <= h.max().as_ps()));
     }
 
     #[test]
